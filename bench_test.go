@@ -1,0 +1,219 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each
+// BenchmarkFigN replays a scaled-down version of the corresponding
+// experiment and reports the figure's headline quantities as custom
+// metrics (pJ/write, cells/write, errors/write, coverage %), so
+// `go test -bench=. -benchmem` reproduces the paper's series end to end.
+// Encode-throughput benchmarks for every scheme follow at the bottom.
+package wlcrc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wlcrc"
+	"wlcrc/internal/exp"
+	"wlcrc/internal/hw"
+	"wlcrc/internal/sim"
+)
+
+// benchConfig scales experiments down so a full -bench=. pass stays in
+// benchmark-friendly territory while preserving the shapes.
+func benchConfig() exp.Config {
+	cfg := exp.DefaultConfig()
+	cfg.WritesPerBenchmark = 400
+	cfg.RandomWrites = 600
+	cfg.Footprint = 256
+	return cfg
+}
+
+func BenchmarkFig1Random(b *testing.B) {
+	cfg := benchConfig()
+	var points []exp.SweepPoint
+	for i := 0; i < b.N; i++ {
+		points, _ = exp.Figure1(cfg, true)
+	}
+	report16(b, points)
+}
+
+func BenchmarkFig1Biased(b *testing.B) {
+	cfg := benchConfig()
+	var points []exp.SweepPoint
+	for i := 0; i < b.N; i++ {
+		points, _ = exp.Figure1(cfg, false)
+	}
+	report16(b, points)
+}
+
+func report16(b *testing.B, points []exp.SweepPoint) {
+	for _, p := range points {
+		if p.Granularity == 16 {
+			b.ReportMetric(p.Total(), "pJ/write@16b")
+		}
+	}
+}
+
+func BenchmarkFig2CosetCandidatesRandom(b *testing.B) {
+	cfg := benchConfig()
+	var pts map[string][]exp.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts, _ = exp.Figure2(cfg)
+	}
+	b.ReportMetric(pts["6cosets"][1].Total(), "6cosets-pJ@16b")
+	b.ReportMetric(pts["4cosets"][1].Total(), "4cosets-pJ@16b")
+}
+
+func BenchmarkFig3CosetCandidatesBiased(b *testing.B) {
+	cfg := benchConfig()
+	var pts map[string][]exp.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts, _ = exp.Figure3(cfg)
+	}
+	b.ReportMetric(pts["6cosets"][1].Total(), "6cosets-pJ@16b")
+	b.ReportMetric(pts["4cosets"][1].Total(), "4cosets-pJ@16b")
+}
+
+func BenchmarkFig4Compressibility(b *testing.B) {
+	cfg := benchConfig()
+	var rows []exp.Figure4Row
+	for i := 0; i < b.N; i++ {
+		rows, _ = exp.Figure4(cfg)
+	}
+	avg := rows[len(rows)-1]
+	b.ReportMetric(100*avg.WLC[6], "WLC6-%")
+	b.ReportMetric(100*avg.WLC[9], "WLC9-%")
+	b.ReportMetric(100*avg.FPCBDI, "FPC+BDI-%")
+	b.ReportMetric(100*avg.COC, "COC-%")
+}
+
+func BenchmarkFig5RestrictedCosets(b *testing.B) {
+	cfg := benchConfig()
+	var pts map[string][]exp.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts, _ = exp.Figure5(cfg)
+	}
+	b.ReportMetric(pts["3-r-cosets"][1].Total(), "3r-pJ@16b")
+	b.ReportMetric(pts["4cosets"][1].Total(), "4cosets-pJ@16b")
+}
+
+// evalOnce caches the Figure 8/9/10 matrix across the three benches when
+// run in the same process.
+var evalCache *exp.Evaluation
+
+func evalForBench(b *testing.B) *exp.Evaluation {
+	b.Helper()
+	if evalCache == nil {
+		evalCache = exp.RunEvaluation(benchConfig())
+	}
+	return evalCache
+}
+
+func BenchmarkFig8WriteEnergy(b *testing.B) {
+	var e *exp.Evaluation
+	for i := 0; i < b.N; i++ {
+		evalCache = nil
+		e = evalForBench(b)
+	}
+	b.ReportMetric(e.Average("Baseline", sim.Metrics.AvgEnergy), "Baseline-pJ")
+	b.ReportMetric(e.Average("6cosets", sim.Metrics.AvgEnergy), "6cosets-pJ")
+	b.ReportMetric(e.Average("WLCRC-16", sim.Metrics.AvgEnergy), "WLCRC16-pJ")
+}
+
+func BenchmarkFig9Endurance(b *testing.B) {
+	var e *exp.Evaluation
+	for i := 0; i < b.N; i++ {
+		evalCache = nil
+		e = evalForBench(b)
+	}
+	b.ReportMetric(e.Average("Baseline", sim.Metrics.AvgUpdated), "Baseline-cells")
+	b.ReportMetric(e.Average("WLCRC-16", sim.Metrics.AvgUpdated), "WLCRC16-cells")
+}
+
+func BenchmarkFig10Disturbance(b *testing.B) {
+	var e *exp.Evaluation
+	for i := 0; i < b.N; i++ {
+		evalCache = nil
+		e = evalForBench(b)
+	}
+	b.ReportMetric(e.Average("DIN", sim.Metrics.AvgDisturb), "DIN-errors")
+	b.ReportMetric(e.Average("WLCRC-16", sim.Metrics.AvgDisturb), "WLCRC16-errors")
+}
+
+func BenchmarkFig11to13Granularity(b *testing.B) {
+	cfg := benchConfig()
+	var pts map[string][]exp.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts, _ = exp.GranularityStudy(cfg)
+	}
+	wl := pts["WLCRC"]
+	for _, p := range wl {
+		b.ReportMetric(p.Total(), fmt.Sprintf("WLCRC%d-pJ", p.Granularity))
+	}
+}
+
+func BenchmarkFig14EnergyLevels(b *testing.B) {
+	cfg := benchConfig()
+	var pts []exp.Figure14Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = exp.Figure14(cfg)
+	}
+	b.ReportMetric(100*pts[0].Improvement, "imp-583pJ-%")
+	b.ReportMetric(100*pts[len(pts)-1].Improvement, "imp-116pJ-%")
+}
+
+func BenchmarkMultiObjective(b *testing.B) {
+	cfg := benchConfig()
+	var res exp.MultiObjectiveResult
+	for i := 0; i < b.N; i++ {
+		res, _ = exp.MultiObjective(cfg)
+	}
+	b.ReportMetric(res.PlainUpdated, "plain-cells")
+	b.ReportMetric(res.MultiUpdated, "T1%-cells")
+}
+
+func BenchmarkAblationEmbedding(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.AblationEmbedding(cfg)
+	}
+}
+
+func BenchmarkAblationDisturbAware(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.AblationDisturbAware(cfg, []float64{1000})
+	}
+}
+
+func BenchmarkHWModel(b *testing.B) {
+	var rep hw.Report
+	for i := 0; i < b.N; i++ {
+		rep = hw.Estimate(hw.FreePDK45(), hw.WLCRCDesign())
+	}
+	b.ReportMetric(rep.AreaMM2*1000, "area-10^-3mm2")
+	b.ReportMetric(rep.WriteNS, "write-ns")
+}
+
+// Encode-throughput benchmarks: lines encoded per second for every
+// scheme, on a steady-state biased write stream.
+func BenchmarkEncode(b *testing.B) {
+	for _, name := range wlcrc.SchemeNames() {
+		b.Run(name, func(b *testing.B) {
+			mem := wlcrc.NewMemory(wlcrc.MustScheme(name))
+			w, err := wlcrc.NewWorkload("gcc", 256, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs := make([]wlcrc.WriteRequest, 512)
+			for i := range reqs {
+				reqs[i] = w.Next()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := reqs[i%len(reqs)]
+				mem.Write(r.Addr, r.New)
+			}
+			b.SetBytes(64)
+		})
+	}
+}

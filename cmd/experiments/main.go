@@ -1,0 +1,123 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation. Each figure prints the same rows/series the paper reports;
+// EXPERIMENTS.md records paper-vs-measured values.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig8 -writes 5000
+//	experiments -run fig1a,fig4,hw
+//
+// Valid experiment ids: fig1a fig1b fig2 fig3 fig4 fig5 fig8 fig9 fig10
+// fig11 fig12 fig13 fig14 multiobj ablation hw headline all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wlcrc/internal/exp"
+	"wlcrc/internal/hw"
+	"wlcrc/internal/stats"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated experiment ids (fig1a..fig14, multiobj, ablation, hw, headline, all)")
+		writes = flag.Int("writes", 2000, "write requests per benchmark")
+		random = flag.Int("random-writes", 4000, "write requests for random-workload figures")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	cfg.WritesPerBenchmark = *writes
+	cfg.RandomWrites = *random
+	cfg.Seed = *seed
+
+	ids := strings.Split(*run, ",")
+	if *run == "all" {
+		// fig11 prints the combined 11-13 sweep table.
+		ids = []string{"fig1a", "fig1b", "fig2", "fig3", "fig4", "fig5",
+			"fig8", "fig9", "fig10", "fig11", "fig14",
+			"multiobj", "ablation", "hw", "headline"}
+	}
+
+	// The fig8/9/10 matrix and the fig11/12/13 sweep are each computed
+	// once and shared.
+	var eval *exp.Evaluation
+	getEval := func() *exp.Evaluation {
+		if eval == nil {
+			eval = exp.RunEvaluation(cfg)
+		}
+		return eval
+	}
+	var study map[string][]exp.SweepPoint
+	var studyTbl *stats.Table
+	getStudy := func() (map[string][]exp.SweepPoint, *stats.Table) {
+		if study == nil {
+			study, studyTbl = exp.GranularityStudy(cfg)
+		}
+		return study, studyTbl
+	}
+
+	for _, id := range ids {
+		switch strings.TrimSpace(id) {
+		case "fig1a":
+			_, t := exp.Figure1(cfg, true)
+			section("Figure 1(a): 6cosets energy vs granularity, random workload", t)
+		case "fig1b":
+			_, t := exp.Figure1(cfg, false)
+			section("Figure 1(b): 6cosets energy vs granularity, biased workloads", t)
+		case "fig2":
+			_, t := exp.Figure2(cfg)
+			section("Figure 2: 6cosets vs 4cosets, random workload (pJ/write)", t)
+		case "fig3":
+			_, t := exp.Figure3(cfg)
+			section("Figure 3: 6cosets vs 4cosets, biased workloads (pJ/write)", t)
+		case "fig4":
+			_, t := exp.Figure4(cfg)
+			section("Figure 4: % of memory lines compressed", t)
+		case "fig5":
+			_, t := exp.Figure5(cfg)
+			section("Figure 5: 4cosets vs 3cosets vs 3-r-cosets, biased workloads (pJ/write)", t)
+		case "fig8":
+			section("Figure 8: write energy per request (pJ)", getEval().Figure8())
+		case "fig9":
+			section("Figure 9: average updated cells per request", getEval().Figure9())
+		case "fig10":
+			section("Figure 10: average write disturbance errors per request", getEval().Figure10())
+		case "fig11", "fig12", "fig13":
+			_, t := getStudy()
+			section("Figures 11-13: WLC+{4,3}cosets vs WLCRC across granularities", t)
+		case "fig14":
+			_, t := exp.Figure14(cfg)
+			section("Figure 14: WLCRC-16 sensitivity to intermediate-state energies", t)
+		case "multiobj":
+			_, t := exp.MultiObjective(cfg)
+			section("§VIII.D: multi-objective optimization (T=1%)", t)
+		case "hw":
+			rep := hw.Estimate(hw.FreePDK45(), hw.WLCRCDesign())
+			section("§VI.B: WLCRC-16 hardware cost model", rep.Table())
+		case "ablation":
+			section("Ablation: multi-objective threshold sweep",
+				exp.AblationMultiObjective(cfg, []float64{0.01, 0.05, 0.2}))
+			section("Ablation: disturbance-aware lambda sweep (§XI extension)",
+				exp.AblationDisturbAware(cfg, []float64{500, 1000, 2000}))
+			section("Ablation: restriction vs in-word embedding at 16-bit blocks",
+				exp.AblationEmbedding(cfg))
+		case "headline":
+			fmt.Println("== Headline comparisons ==")
+			fmt.Println(getEval().Headline())
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", id)
+			os.Exit(2)
+		}
+	}
+}
+
+func section(title string, t *stats.Table) {
+	fmt.Printf("== %s ==\n%s\n", title, t.String())
+}

@@ -1,0 +1,21 @@
+// Command hwcost prints the §VI.B hardware cost estimate for the
+// WLCRC-16 encode/decode pipeline (the structural gate-count model that
+// stands in for the paper's Synopsys DC + FreePDK45 synthesis).
+package main
+
+import (
+	"fmt"
+
+	"wlcrc/internal/hw"
+)
+
+func main() {
+	design := hw.WLCRCDesign()
+	fmt.Println("WLCRC-16 module inventory (Figure 7 architecture):")
+	for _, m := range design {
+		fmt.Printf("  %-40s %6d gates x%d, depth %d\n", m.Name, m.Gates, m.Count, m.Depth)
+	}
+	fmt.Println()
+	rep := hw.Estimate(hw.FreePDK45(), design)
+	fmt.Println(rep.Table().String())
+}

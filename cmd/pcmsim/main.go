@@ -1,0 +1,152 @@
+// Command pcmsim replays a workload (synthetic or from a trace file)
+// through one or more encoding schemes and reports the paper's three
+// metrics — write energy, updated cells, disturbance errors — plus
+// compression coverage. With -memsys it also pushes the write stream
+// through the Table II memory-system model and reports latency and
+// utilization.
+//
+// Examples:
+//
+//	pcmsim -workload gcc -schemes Baseline,WLCRC-16 -writes 10000
+//	pcmsim -trace writes.wlct -schemes WLCRC-16
+//	pcmsim -workload all -schemes Baseline,6cosets,WLCRC-16 -memsys
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"wlcrc/internal/core"
+	"wlcrc/internal/memsys"
+	"wlcrc/internal/sim"
+	"wlcrc/internal/stats"
+	"wlcrc/internal/trace"
+	"wlcrc/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcmsim: ")
+	var (
+		schemesFlag = flag.String("schemes", "Baseline,WLCRC-16", "comma-separated scheme names")
+		wlFlag      = flag.String("workload", "gcc", "workload name, 'all', or 'random' (ignored with -trace)")
+		traceFile   = flag.String("trace", "", "replay a trace file instead of a synthetic workload")
+		writes      = flag.Int("writes", 5000, "writes per workload (synthetic only)")
+		footprint   = flag.Int("footprint", 0, "working-set size in lines (0 = profile default)")
+		seed        = flag.Uint64("seed", 1, "workload seed")
+		sample      = flag.Bool("sample-disturb", false, "sample disturbance instead of expected values")
+		useMemsys   = flag.Bool("memsys", false, "also run the Table II memory-system timing model")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	var schemes []core.Scheme
+	for _, name := range strings.Split(*schemesFlag, ",") {
+		s, err := core.NewScheme(strings.TrimSpace(name), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		schemes = append(schemes, s)
+	}
+
+	opts := sim.DefaultOptions()
+	opts.SampleDisturb = *sample
+	opts.Seed = *seed
+
+	type namedSource struct {
+		name string
+		src  trace.Source
+		n    int
+	}
+	var sources []namedSource
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		rd, err := trace.NewReader(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sources = append(sources, namedSource{name: *traceFile, src: &trace.ReaderSource{R: rd}})
+	case *wlFlag == "all":
+		for _, p := range workload.Profiles() {
+			sources = append(sources, namedSource{
+				name: p.Name,
+				src:  workload.NewGenerator(p, *footprint, *seed),
+				n:    *writes,
+			})
+		}
+	case *wlFlag == "random":
+		sources = append(sources, namedSource{
+			name: "random",
+			src:  workload.NewGenerator(workload.RandomProfile(), *footprint, *seed),
+			n:    *writes,
+		})
+	default:
+		p, ok := workload.ProfileByName(*wlFlag)
+		if !ok {
+			log.Fatalf("unknown workload %q", *wlFlag)
+		}
+		sources = append(sources, namedSource{
+			name: p.Name,
+			src:  workload.NewGenerator(p, *footprint, *seed),
+			n:    *writes,
+		})
+	}
+
+	tbl := stats.NewTable("workload", "scheme", "pJ/write", "cells/write",
+		"disturb/write", "compressed")
+	var msys *memsys.Controller
+	if *useMemsys {
+		msys = memsys.New(memsys.TableII())
+	}
+	for _, ns := range sources {
+		s := sim.New(opts, schemes...)
+		src := ns.src
+		if ns.n > 0 {
+			src = &workload.Limited{Src: src, N: ns.n}
+		}
+		if msys != nil {
+			src = &timingTap{src: src, ctrl: msys}
+		}
+		if err := s.Run(src, 0); err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range s.Metrics() {
+			tbl.Row(ns.name, m.Scheme, m.AvgEnergy(), m.AvgUpdated(),
+				m.AvgDisturb(), stats.Percent(m.CompressedFraction()))
+		}
+	}
+	fmt.Print(tbl.String())
+	if msys != nil {
+		msys.Drain()
+		st := msys.Stats()
+		fmt.Printf("\nmemory system (%s):\n", memsys.TableII())
+		fmt.Printf("  writes %d, avg write latency %.0f cycles, pauses %d, drains %d, utilization %s\n",
+			st.Writes, st.AvgWriteLatency(), st.WritePauses, st.DrainEvents,
+			stats.Percent(st.Utilization()))
+	}
+}
+
+// timingTap feeds every request into the memory-system model as it
+// passes through.
+type timingTap struct {
+	src  trace.Source
+	ctrl *memsys.Controller
+}
+
+// Next implements trace.Source.
+func (t *timingTap) Next() (trace.Request, bool) {
+	req, ok := t.src.Next()
+	if ok {
+		t.ctrl.Enqueue(memsys.Access{Kind: memsys.Write, Addr: req.Addr})
+		t.ctrl.Step(40) // nominal inter-arrival gap
+	}
+	return req, ok
+}

@@ -1,0 +1,144 @@
+// Command tracegen generates write-trace files from the synthetic
+// benchmark workloads (optionally through the Table II L2 cache model,
+// which turns a store stream into the dirty write-back stream the
+// paper's Simics methodology captured) and inspects existing traces.
+//
+// Examples:
+//
+//	tracegen -workload mcf -writes 100000 -out mcf.wlct
+//	tracegen -workload lesl -writes 50000 -through-cache -out lesl.wlct
+//	tracegen -info mcf.wlct
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"wlcrc/internal/cache"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/trace"
+	"wlcrc/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		wlName   = flag.String("workload", "gcc", "workload profile name or 'random'")
+		writes   = flag.Int("writes", 10000, "number of write requests to emit")
+		out      = flag.String("out", "", "output trace file (required unless -info)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		footpr   = flag.Int("footprint", 0, "working-set lines (0 = profile default)")
+		useCache = flag.Bool("through-cache", false, "filter stores through the Table II L2; the trace holds its dirty write-backs")
+		info     = flag.String("info", "", "print a summary of an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		if err := describe(*info); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		log.Fatal("-out is required (or use -info)")
+	}
+
+	var prof workload.Profile
+	if *wlName == "random" {
+		prof = workload.RandomProfile()
+	} else {
+		var ok bool
+		prof, ok = workload.ProfileByName(*wlName)
+		if !ok {
+			log.Fatalf("unknown workload %q", *wlName)
+		}
+	}
+	gen := workload.NewGenerator(prof, *footpr, *seed)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *useCache {
+		// Stores go through the L2; the trace records its dirty
+		// write-backs, each carrying the previous memory content.
+		mem := cache.NewMemory()
+		var sinkErr error
+		l2 := cache.New(cache.TableII(), mem, func(r trace.Request) {
+			if sinkErr == nil {
+				sinkErr = w.Write(r)
+			}
+		})
+		for i := 0; i < *writes; i++ {
+			req, _ := gen.Next()
+			l2.Store(req.Addr, req.New)
+			if sinkErr != nil {
+				log.Fatal(sinkErr)
+			}
+		}
+		l2.Flush()
+		if sinkErr != nil {
+			log.Fatal(sinkErr)
+		}
+		st := l2.Stats()
+		fmt.Printf("L2: %.1f%% hit rate, %d write-backs from %d stores\n",
+			100*st.HitRate(), st.WriteBacks, *writes)
+	} else {
+		for i := 0; i < *writes; i++ {
+			req, _ := gen.Next()
+			if err := w.Write(req); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d requests to %s\n", w.Count(), *out)
+}
+
+func describe(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var (
+		n        int
+		addrs    = map[uint64]bool{}
+		diffSyms int
+	)
+	for {
+		req, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n++
+		addrs[req.Addr] = true
+		diffSyms += req.Old.CountDiffSymbols(&req.New)
+	}
+	fmt.Printf("%s: %d requests, %d distinct lines\n", path, n, len(addrs))
+	if n > 0 {
+		avg := float64(diffSyms) / float64(n)
+		fmt.Printf("avg changed symbols per write: %.1f / %d (%.1f%%)\n",
+			avg, memline.LineCells, 100*avg/float64(memline.LineCells))
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package wlcrc_test
+
+import (
+	"fmt"
+
+	"wlcrc"
+)
+
+// Encoding one line with the paper's headline configuration and reading
+// it back.
+func ExampleNewMemory() {
+	mem := wlcrc.NewMemory(wlcrc.MustScheme("WLCRC-16"))
+	data := wlcrc.LineFromWords([8]uint64{100, 200, 300, 400, 500, 600, 700, 800})
+	info := mem.Write(0, data)
+	fmt.Println("compressed:", info.Compressed)
+	fmt.Println("round trip:", mem.Read(0) == data)
+	// Output:
+	// compressed: true
+	// round trip: true
+}
+
+// Rewriting identical data costs nothing under differential write.
+func ExampleMemory_Write() {
+	mem := wlcrc.NewMemory(wlcrc.MustScheme("Baseline"))
+	data := wlcrc.LineFromWords([8]uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	mem.Write(7, data)
+	again := mem.Write(7, data)
+	fmt.Println(again.EnergyPJ, again.UpdatedCells)
+	// Output:
+	// 0 0
+}
+
+// Scheme names accepted by NewScheme.
+func ExampleSchemeNames() {
+	for _, n := range wlcrc.SchemeNames()[:3] {
+		fmt.Println(n)
+	}
+	// Output:
+	// 6cosets
+	// Baseline
+	// COC+4cosets
+}
+
+// Comparing two schemes on a synthetic benchmark workload.
+func ExampleNewWorkload() {
+	w, err := wlcrc.NewWorkload("mcf", 64, 1)
+	if err != nil {
+		panic(err)
+	}
+	base := wlcrc.NewMemory(wlcrc.MustScheme("Baseline"))
+	fine := wlcrc.NewMemory(wlcrc.MustScheme("WLCRC-16"))
+	for i := 0; i < 2000; i++ {
+		r := w.Next()
+		base.Write(r.Addr, r.New)
+		fine.Write(r.Addr, r.New)
+	}
+	fmt.Println("WLCRC-16 saves energy:",
+		fine.Stats().AvgEnergyPJ() < base.Stats().AvgEnergyPJ())
+	// Output:
+	// WLCRC-16 saves energy: true
+}

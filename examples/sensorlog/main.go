@@ -1,0 +1,79 @@
+// sensorlog: an append-heavy time-series workload on PCM — a ring of
+// sample buffers where each append rewrites one line with mostly-similar
+// content (timestamps advance, a couple of readings change). This is the
+// differential-write-friendly pattern where WLCRC's property of *not*
+// moving bits around (unlike stream compressors) matters most; the
+// example contrasts it with COC+4cosets, whose variable-length packing
+// shifts every downstream bit when one sample changes length (§VIII.A).
+//
+// Run with: go run ./examples/sensorlog
+package main
+
+import (
+	"fmt"
+
+	"wlcrc"
+	"wlcrc/internal/prng"
+)
+
+// sampleLine packs a sensor frame: timestamp, sequence number, and six
+// 16-bit-ish readings stored as sign-extended 64-bit values.
+func sampleLine(ts, seq uint64, readings [6]int64) wlcrc.Line {
+	var ws [8]uint64
+	ws[0] = ts
+	ws[1] = seq
+	for i, r := range readings {
+		ws[2+i] = uint64(r)
+	}
+	return wlcrc.LineFromWords(ws)
+}
+
+func main() {
+	const (
+		buffers = 16
+		appends = 20000
+	)
+	schemes := []string{"Baseline", "COC+4cosets", "WLCRC-16"}
+
+	fmt.Printf("sensor log: %d ring buffers, %d appends\n\n", buffers, appends)
+	results := map[string]wlcrc.MemStats{}
+	for _, name := range schemes {
+		mem := wlcrc.NewMemory(wlcrc.MustScheme(name))
+		r := prng.New(3)
+		ts := uint64(1_700_000_000_000)
+		var readings [6]int64
+		for i := range readings {
+			readings[i] = int64(r.Intn(2000)) - 1000
+		}
+		for i := 0; i < appends; i++ {
+			ts += uint64(10 + r.Intn(5))
+			// One or two sensors move by a small delta; occasionally a
+			// sensor spikes (wider value) or drops out (reads -1) —
+			// exactly the width changes that make variable-length
+			// compressed layouts shift.
+			k := r.Intn(6)
+			switch {
+			case r.Bool(0.06):
+				readings[k] = -1
+			case r.Bool(0.06):
+				readings[k] = int64(r.Intn(1<<20)) - 1<<19
+			default:
+				readings[k] += int64(r.Intn(31)) - 15
+			}
+			mem.Write(uint64(i%buffers), sampleLine(ts, uint64(i), readings))
+		}
+		results[name] = mem.Stats()
+	}
+
+	base := results["Baseline"]
+	fmt.Printf("%-12s %12s %14s %12s\n", "scheme", "pJ/append", "cells/append", "vs Baseline")
+	for _, name := range schemes {
+		st := results[name]
+		fmt.Printf("%-12s %12.0f %14.1f %11.1f%%\n", name,
+			st.AvgEnergyPJ(), st.AvgUpdatedCells(),
+			100*(1-st.AvgEnergyPJ()/base.AvgEnergyPJ()))
+	}
+	fmt.Println("\nWLCRC keeps bit positions stable across appends, so the differential")
+	fmt.Println("write only touches the fields that moved; COC repacks the line and")
+	fmt.Println("pays for it. (Paper §VIII.A makes the same comparison.)")
+}

@@ -1,0 +1,158 @@
+// Package bch implements a binary BCH code correcting up to two bit
+// errors with 20 parity bits over GF(2^10), the "20-bit BCH code to
+// correct any two write disturbance errors" that DIN [16] attaches to its
+// encoded memory lines.
+//
+// The code is the double-error-correcting narrow-sense BCH code of
+// natural length n = 1023, shortened to whatever message length the
+// caller uses (DIN messages are at most 492 bits). The generator
+// polynomial is g(x) = m1(x) * m3(x), the product of the minimal
+// polynomials of alpha and alpha^3, of degree 20.
+package bch
+
+import (
+	"wlcrc/internal/gf2"
+)
+
+// ParityBits is the number of parity bits of the t=2, m=10 code.
+const ParityBits = 20
+
+// MaxMessageBits is the maximum message length of the shortened code.
+const MaxMessageBits = 1023 - ParityBits
+
+// Code is a double-error-correcting BCH codec. It is safe for concurrent
+// use after construction.
+type Code struct {
+	field *gf2.Field
+	gen   []uint8 // generator polynomial coefficients, ascending, degree 20
+}
+
+// New constructs the t=2 BCH code over GF(2^10).
+func New() *Code {
+	f := gf2.NewField(10, 0)
+	m1 := f.MinimalPoly(1)
+	m3 := f.MinimalPoly(3)
+	gen := polyMulGF2(m1, m3)
+	if len(gen)-1 != ParityBits {
+		panic("bch: generator polynomial degree != 20")
+	}
+	return &Code{field: f, gen: gen}
+}
+
+func polyMulGF2(a, b []uint8) []uint8 {
+	out := make([]uint8, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] ^= bj
+		}
+	}
+	return out
+}
+
+// Generator returns a copy of the generator polynomial coefficients in
+// ascending degree order.
+func (c *Code) Generator() []uint8 {
+	out := make([]uint8, len(c.gen))
+	copy(out, c.gen)
+	return out
+}
+
+// Encode computes the ParityBits parity bits for the message bits msg
+// (each element 0 or 1, msg[0] is the lowest-degree coefficient). The
+// systematic codeword is conceptually msg(x)*x^20 + parity(x): parity
+// bits occupy positions 0..19, message bits positions 20..20+len(msg)-1.
+func (c *Code) Encode(msg []uint8) []uint8 {
+	if len(msg) > MaxMessageBits {
+		panic("bch: message too long for shortened code")
+	}
+	// Polynomial division of msg(x)*x^20 by g(x) over GF(2), LFSR style.
+	rem := make([]uint8, ParityBits)
+	for i := len(msg) - 1; i >= 0; i-- {
+		feedback := msg[i] ^ rem[ParityBits-1]
+		copy(rem[1:], rem[:ParityBits-1])
+		rem[0] = 0
+		if feedback == 1 {
+			for j := 0; j < ParityBits; j++ {
+				rem[j] ^= c.gen[j]
+			}
+		}
+	}
+	return rem
+}
+
+// Syndromes evaluates the received codeword at alpha and alpha^3.
+// codeword[i] is the coefficient of x^i (parity first, then message).
+func (c *Code) Syndromes(codeword []uint8) (s1, s3 uint16) {
+	f := c.field
+	for i, bit := range codeword {
+		if bit == 0 {
+			continue
+		}
+		s1 ^= f.Exp(i)
+		s3 ^= f.Exp(3 * i)
+	}
+	return s1, s3
+}
+
+// Decode corrects up to two bit errors in place. codeword is the full
+// shortened codeword: parity bits at positions 0..19 followed by message
+// bits. It returns the number of corrected bits and ok=false if the
+// syndrome pattern is inconsistent with <= 2 errors within the codeword.
+func (c *Code) Decode(codeword []uint8) (corrected int, ok bool) {
+	f := c.field
+	s1, s3 := c.Syndromes(codeword)
+	if s1 == 0 && s3 == 0 {
+		return 0, true
+	}
+	if s1 != 0 && s3 == f.Pow(s1, 3) {
+		// Single error at position log(s1).
+		pos := f.Log(s1)
+		if pos >= len(codeword) {
+			return 0, false // error located in the shortened (absent) region
+		}
+		codeword[pos] ^= 1
+		return 1, true
+	}
+	if s1 == 0 {
+		// s1 == 0 but s3 != 0 cannot happen with <= 2 errors.
+		return 0, false
+	}
+	// Two errors: error locator sigma(x) = x^2 + s1*x + (s3/s1 + s1^2).
+	sigma2 := f.Add(f.Div(s3, s1), f.Pow(s1, 2))
+	if sigma2 == 0 {
+		return 0, false
+	}
+	// Chien search for roots x = alpha^i; error positions are the logs of
+	// the roots' inverses... For sigma(x) = (x+X1)(x+X2) with error
+	// locators X1 = alpha^p1, X2 = alpha^p2, the roots are X1 and X2
+	// themselves here because sigma was built from elementary symmetric
+	// functions of the locators.
+	var positions []int
+	for i := 0; i < len(codeword); i++ {
+		x := f.Exp(i)
+		v := f.Add(f.Add(f.Mul(x, x), f.Mul(s1, x)), sigma2)
+		if v == 0 {
+			positions = append(positions, i)
+			if len(positions) == 2 {
+				break
+			}
+		}
+	}
+	if len(positions) != 2 {
+		return 0, false
+	}
+	for _, p := range positions {
+		codeword[p] ^= 1
+	}
+	// Verify.
+	if v1, v3 := c.Syndromes(codeword); v1 != 0 || v3 != 0 {
+		for _, p := range positions {
+			codeword[p] ^= 1 // undo
+		}
+		return 0, false
+	}
+	return 2, true
+}

@@ -1,0 +1,195 @@
+package bch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wlcrc/internal/prng"
+)
+
+func makeCodeword(c *Code, msg []uint8) []uint8 {
+	parity := c.Encode(msg)
+	cw := make([]uint8, len(parity)+len(msg))
+	copy(cw, parity)
+	copy(cw[len(parity):], msg)
+	return cw
+}
+
+func randMsg(r *prng.Xoshiro256, n int) []uint8 {
+	msg := make([]uint8, n)
+	for i := range msg {
+		msg[i] = uint8(r.Intn(2))
+	}
+	return msg
+}
+
+func TestGeneratorDegree(t *testing.T) {
+	c := New()
+	g := c.Generator()
+	if len(g) != ParityBits+1 {
+		t.Fatalf("generator has %d coefficients, want 21", len(g))
+	}
+	if g[0] != 1 || g[ParityBits] != 1 {
+		t.Error("generator must be monic with nonzero constant term")
+	}
+}
+
+func TestCleanCodewordHasZeroSyndromes(t *testing.T) {
+	c := New()
+	r := prng.New(1)
+	for _, n := range []int{1, 64, 369, 492} {
+		msg := randMsg(r, n)
+		cw := makeCodeword(c, msg)
+		s1, s3 := c.Syndromes(cw)
+		if s1 != 0 || s3 != 0 {
+			t.Errorf("n=%d: clean codeword has syndromes %d, %d", n, s1, s3)
+		}
+		corrected, ok := c.Decode(cw)
+		if !ok || corrected != 0 {
+			t.Errorf("n=%d: decode of clean codeword: %d, %v", n, corrected, ok)
+		}
+	}
+}
+
+func TestCorrectSingleError(t *testing.T) {
+	c := New()
+	r := prng.New(2)
+	msg := randMsg(r, 492)
+	clean := makeCodeword(c, msg)
+	for pos := 0; pos < len(clean); pos += 13 {
+		cw := make([]uint8, len(clean))
+		copy(cw, clean)
+		cw[pos] ^= 1
+		corrected, ok := c.Decode(cw)
+		if !ok || corrected != 1 {
+			t.Fatalf("pos %d: corrected=%d ok=%v", pos, corrected, ok)
+		}
+		for i := range cw {
+			if cw[i] != clean[i] {
+				t.Fatalf("pos %d: bit %d still wrong", pos, i)
+			}
+		}
+	}
+}
+
+func TestCorrectDoubleError(t *testing.T) {
+	c := New()
+	r := prng.New(3)
+	msg := randMsg(r, 492)
+	clean := makeCodeword(c, msg)
+	n := len(clean)
+	for trial := 0; trial < 300; trial++ {
+		p1 := r.Intn(n)
+		p2 := r.Intn(n)
+		if p1 == p2 {
+			continue
+		}
+		cw := make([]uint8, n)
+		copy(cw, clean)
+		cw[p1] ^= 1
+		cw[p2] ^= 1
+		corrected, ok := c.Decode(cw)
+		if !ok || corrected != 2 {
+			t.Fatalf("positions %d,%d: corrected=%d ok=%v", p1, p2, corrected, ok)
+		}
+		for i := range cw {
+			if cw[i] != clean[i] {
+				t.Fatalf("positions %d,%d: bit %d still wrong", p1, p2, i)
+			}
+		}
+	}
+}
+
+func TestTripleErrorDetectedOrMiscorrected(t *testing.T) {
+	// A t=2 code cannot correct 3 errors. It must either report failure
+	// or "correct" to some other codeword; it must never loop or panic,
+	// and if it claims success the result must be a valid codeword.
+	c := New()
+	r := prng.New(4)
+	msg := randMsg(r, 200)
+	clean := makeCodeword(c, msg)
+	n := len(clean)
+	for trial := 0; trial < 100; trial++ {
+		cw := make([]uint8, n)
+		copy(cw, clean)
+		seen := map[int]bool{}
+		for len(seen) < 3 {
+			p := r.Intn(n)
+			if !seen[p] {
+				seen[p] = true
+				cw[p] ^= 1
+			}
+		}
+		_, ok := c.Decode(cw)
+		if ok {
+			if s1, s3 := c.Syndromes(cw); s1 != 0 || s3 != 0 {
+				t.Fatal("Decode claimed success but left nonzero syndromes")
+			}
+		}
+	}
+}
+
+func TestQuickRoundTripWithErrors(t *testing.T) {
+	c := New()
+	r := prng.New(5)
+	f := func(seed uint32, nerr8 uint8) bool {
+		rr := prng.New(uint64(seed))
+		msg := randMsg(rr, 128+rr.Intn(300))
+		cw := makeCodeword(c, msg)
+		nerr := int(nerr8) % 3 // 0, 1 or 2 errors
+		positions := map[int]bool{}
+		for len(positions) < nerr {
+			positions[r.Intn(len(cw))] = true
+		}
+		for p := range positions {
+			cw[p] ^= 1
+		}
+		corrected, ok := c.Decode(cw)
+		if !ok || corrected != nerr {
+			return false
+		}
+		clean := makeCodeword(c, msg)
+		for i := range cw {
+			if cw[i] != clean[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New().Encode(make([]uint8, MaxMessageBits+1))
+}
+
+func BenchmarkEncode492(b *testing.B) {
+	c := New()
+	msg := randMsg(prng.New(6), 492)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(msg)
+	}
+}
+
+func BenchmarkDecodeTwoErrors(b *testing.B) {
+	c := New()
+	r := prng.New(7)
+	msg := randMsg(r, 492)
+	clean := makeCodeword(c, msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw := make([]uint8, len(clean))
+		copy(cw, clean)
+		cw[i%len(cw)] ^= 1
+		cw[(i*7+13)%len(cw)] ^= 1
+		c.Decode(cw)
+	}
+}

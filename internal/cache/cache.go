@@ -1,0 +1,212 @@
+// Package cache models the private 2MB 8-way write-back L2 of Table II.
+// In the paper's methodology the memory write trace is the stream of
+// dirty-line write-backs leaving this cache (plus the previously stored
+// line content, captured by Simics). The model here serves the same
+// role for synthetic CPU store streams: stores dirty lines in the cache;
+// evictions of dirty lines emit trace requests carrying both the old
+// memory content and the new data.
+package cache
+
+import (
+	"fmt"
+
+	"wlcrc/internal/memline"
+	"wlcrc/internal/trace"
+)
+
+// Config describes the cache geometry.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+}
+
+// TableII returns the paper's L2 configuration: 2MB, 8-way, 64B lines.
+func TableII() Config {
+	return Config{SizeBytes: 2 << 20, Ways: 8, LineBytes: memline.LineBytes}
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+type way struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	data  memline.Line
+	lru   uint64 // larger = more recently used
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	WriteBacks uint64
+	Fills      uint64
+}
+
+// HitRate returns hits / (hits+misses).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Memory is the backing store the cache fills from and writes back to.
+// It retains the *data values* of every line (the encoding schemes keep
+// their own cell-state views downstream).
+type Memory struct {
+	lines map[uint64]memline.Line
+}
+
+// NewMemory returns an empty backing store (all lines zero).
+func NewMemory() *Memory { return &Memory{lines: make(map[uint64]memline.Line)} }
+
+// Load returns the current content of a line.
+func (m *Memory) Load(addr uint64) memline.Line { return m.lines[addr] }
+
+// Store replaces the content of a line.
+func (m *Memory) Store(addr uint64, l memline.Line) { m.lines[addr] = l }
+
+// Cache is a set-associative write-back, write-allocate cache.
+type Cache struct {
+	cfg   Config
+	sets  [][]way
+	mem   *Memory
+	clock uint64
+	stats Stats
+	// sink receives dirty evictions as trace requests.
+	sink func(trace.Request)
+}
+
+// New builds a cache over mem; evicted dirty lines are passed to sink
+// (which may be nil).
+func New(cfg Config, mem *Memory, sink func(trace.Request)) *Cache {
+	if cfg.Sets() <= 0 || cfg.Ways <= 0 {
+		panic("cache: invalid geometry")
+	}
+	sets := make([][]way, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]way, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets, mem: mem, sink: sink}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) locate(addr uint64) (set []way, idx int, hit bool) {
+	s := c.sets[addr%uint64(len(c.sets))]
+	tag := addr / uint64(len(c.sets))
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			return s, i, true
+		}
+	}
+	return s, -1, false
+}
+
+// victim picks the LRU way of a set.
+func victim(s []way) int {
+	v := 0
+	for i := range s {
+		if !s[i].valid {
+			return i
+		}
+		if s[i].lru < s[v].lru {
+			v = i
+		}
+	}
+	return v
+}
+
+// evict writes back way i of set s if dirty.
+func (c *Cache) evict(s []way, i int, setIdx uint64) {
+	w := &s[i]
+	if !w.valid || !w.dirty {
+		return
+	}
+	addr := w.tag*uint64(len(c.sets)) + setIdx
+	old := c.mem.Load(addr)
+	c.mem.Store(addr, w.data)
+	c.stats.WriteBacks++
+	if c.sink != nil {
+		c.sink(trace.Request{Addr: addr, Old: old, New: w.data})
+	}
+}
+
+// Store writes a full line into the cache (write-allocate).
+func (c *Cache) Store(addr uint64, data memline.Line) {
+	c.clock++
+	s, i, hit := c.locate(addr)
+	if hit {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+		i = victim(s)
+		c.evict(s, i, addr%uint64(len(c.sets)))
+		s[i] = way{valid: true, tag: addr / uint64(len(c.sets))}
+		// Write-allocate: fill from memory (content immediately
+		// overwritten here because our synthetic CPU writes whole
+		// lines, but the fill is still an access).
+		s[i].data = c.mem.Load(addr)
+		c.stats.Fills++
+	}
+	s[i].data = data
+	s[i].dirty = true
+	s[i].lru = c.clock
+}
+
+// StoreWord writes one 64-bit word of a line (read-modify-write).
+func (c *Cache) StoreWord(addr uint64, word int, v uint64) {
+	c.clock++
+	s, i, hit := c.locate(addr)
+	if hit {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+		i = victim(s)
+		c.evict(s, i, addr%uint64(len(c.sets)))
+		s[i] = way{valid: true, tag: addr / uint64(len(c.sets)), data: c.mem.Load(addr)}
+		c.stats.Fills++
+	}
+	s[i].data.SetWord(word, v)
+	s[i].dirty = true
+	s[i].lru = c.clock
+}
+
+// Load reads a line through the cache.
+func (c *Cache) Load(addr uint64) memline.Line {
+	c.clock++
+	s, i, hit := c.locate(addr)
+	if hit {
+		c.stats.Hits++
+		s[i].lru = c.clock
+		return s[i].data
+	}
+	c.stats.Misses++
+	i = victim(s)
+	c.evict(s, i, addr%uint64(len(c.sets)))
+	s[i] = way{valid: true, tag: addr / uint64(len(c.sets)), data: c.mem.Load(addr), lru: c.clock}
+	c.stats.Fills++
+	return s[i].data
+}
+
+// Flush writes back every dirty line (end of trace).
+func (c *Cache) Flush() {
+	for setIdx := range c.sets {
+		s := c.sets[setIdx]
+		for i := range s {
+			c.evict(s, i, uint64(setIdx))
+			s[i].dirty = false
+		}
+	}
+}
+
+// String describes the geometry.
+func (c Config) String() string {
+	return fmt.Sprintf("%dKB %d-way, %dB lines, %d sets",
+		c.SizeBytes>>10, c.Ways, c.LineBytes, c.Sets())
+}

@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"testing"
+
+	"wlcrc/internal/memline"
+	"wlcrc/internal/prng"
+	"wlcrc/internal/trace"
+)
+
+func line(b byte) memline.Line {
+	var l memline.Line
+	for i := range l {
+		l[i] = b
+	}
+	return l
+}
+
+func TestTableIIGeometry(t *testing.T) {
+	cfg := TableII()
+	if cfg.Sets() != 4096 {
+		t.Errorf("sets = %d, want 4096 (2MB / (8 x 64B))", cfg.Sets())
+	}
+	if cfg.String() == "" {
+		t.Error("empty geometry string")
+	}
+}
+
+func TestStoreLoadHit(t *testing.T) {
+	mem := NewMemory()
+	c := New(TableII(), mem, nil)
+	c.Store(42, line(0xaa))
+	got := c.Load(42)
+	if got != line(0xaa) {
+		t.Error("load after store mismatch")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestDirtyEvictionEmitsWriteBack(t *testing.T) {
+	cfg := Config{SizeBytes: 2 * 64, Ways: 1, LineBytes: 64} // 2 sets, direct-mapped
+	mem := NewMemory()
+	var evictions []trace.Request
+	c := New(cfg, mem, func(r trace.Request) { evictions = append(evictions, r) })
+
+	c.Store(0, line(1)) // set 0
+	c.Store(2, line(2)) // set 0 again -> evicts addr 0
+	if len(evictions) != 1 {
+		t.Fatalf("evictions = %d, want 1", len(evictions))
+	}
+	ev := evictions[0]
+	if ev.Addr != 0 {
+		t.Errorf("evicted addr = %d", ev.Addr)
+	}
+	if ev.New != line(1) {
+		t.Error("write-back data mismatch")
+	}
+	if (ev.Old != memline.Line{}) {
+		t.Error("old content of a fresh line must be zero")
+	}
+	if mem.Load(0) != line(1) {
+		t.Error("memory not updated by write-back")
+	}
+}
+
+func TestWriteBackCarriesOldContent(t *testing.T) {
+	cfg := Config{SizeBytes: 64, Ways: 1, LineBytes: 64} // 1 set
+	mem := NewMemory()
+	var evictions []trace.Request
+	c := New(cfg, mem, func(r trace.Request) { evictions = append(evictions, r) })
+
+	c.Store(0, line(1))
+	c.Store(1, line(2)) // evicts 0 (old=zero, new=1)
+	c.Store(0, line(3)) // evicts 1 (old=zero, new=2)
+	c.Store(1, line(4)) // evicts 0 (old=1!, new=3)
+	if len(evictions) != 3 {
+		t.Fatalf("evictions = %d", len(evictions))
+	}
+	last := evictions[2]
+	if last.Addr != 0 || last.Old != line(1) || last.New != line(3) {
+		t.Errorf("third eviction = addr %d old %v new %v", last.Addr, last.Old[0], last.New[0])
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	cfg := Config{SizeBytes: 2 * 64, Ways: 2, LineBytes: 64} // 1 set, 2 ways
+	mem := NewMemory()
+	var evicted []uint64
+	c := New(cfg, mem, func(r trace.Request) { evicted = append(evicted, r.Addr) })
+	c.Store(0, line(1))
+	c.Store(1, line(2))
+	c.Load(0)           // touch 0: now 1 is LRU
+	c.Store(2, line(3)) // evict 1
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Errorf("evicted %v, want [1]", evicted)
+	}
+}
+
+func TestStoreWordReadModifyWrite(t *testing.T) {
+	mem := NewMemory()
+	mem.Store(7, line(0x11))
+	c := New(TableII(), mem, nil)
+	c.StoreWord(7, 3, 0xdeadbeef)
+	got := c.Load(7)
+	want := line(0x11)
+	want.SetWord(3, 0xdeadbeef)
+	if got != want {
+		t.Error("StoreWord lost surrounding content")
+	}
+}
+
+func TestFlushWritesEverythingBack(t *testing.T) {
+	mem := NewMemory()
+	n := 0
+	c := New(TableII(), mem, func(trace.Request) { n++ })
+	for i := 0; i < 100; i++ {
+		c.Store(uint64(i), line(byte(i)))
+	}
+	c.Flush()
+	if n != 100 {
+		t.Errorf("flush emitted %d write-backs, want 100", n)
+	}
+	for i := 0; i < 100; i++ {
+		if mem.Load(uint64(i)) != line(byte(i)) {
+			t.Fatalf("memory line %d not written back", i)
+		}
+	}
+	// A second flush must emit nothing.
+	c.Flush()
+	if n != 100 {
+		t.Error("second flush re-emitted write-backs")
+	}
+}
+
+func TestHitRateOnLocalityStream(t *testing.T) {
+	mem := NewMemory()
+	c := New(TableII(), mem, nil)
+	r := prng.New(4)
+	for i := 0; i < 20000; i++ {
+		// 90% of accesses to 64 hot lines: should hit nearly always.
+		var addr uint64
+		if r.Bool(0.9) {
+			addr = uint64(r.Intn(64))
+		} else {
+			addr = uint64(r.Intn(1 << 20))
+		}
+		c.Store(addr, line(byte(i)))
+	}
+	if hr := c.Stats().HitRate(); hr < 0.85 {
+		t.Errorf("hit rate = %.2f, want >= 0.85", hr)
+	}
+}

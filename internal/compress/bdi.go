@@ -1,0 +1,302 @@
+package compress
+
+import "wlcrc/internal/memline"
+
+// BDI implements Base-Delta-Immediate compression (Pekhimenko et al.
+// [26]) for a 64-byte line. The line is viewed as segments of 2, 4 or 8
+// bytes; each segment is stored either as a small signed delta from an
+// implicit zero base or as a delta from one explicit base (the first
+// segment that does not fit the zero base). A per-segment mask selects
+// the base, which is the "immediate" part of the scheme.
+//
+// Encodings tried, cheapest wins (tag is 4 bits):
+//
+//	0  zeros            line of all zero bytes                (4 bits)
+//	1  rep8             eight identical 64-bit values         (4+64)
+//	2  base8-delta1     8-byte segments, 1-byte deltas        (4+64+8*8 +8)
+//	3  base8-delta2                                          (4+64+8*16+8)
+//	4  base8-delta4                                          (4+64+8*32+8)
+//	5  base4-delta1     4-byte segments, 1-byte deltas        (4+32+16*8+16)
+//	6  base4-delta2                                          (4+32+16*16+16)
+//	7  base2-delta1     2-byte segments, 1-byte deltas        (4+16+32*8+32)
+//	15 raw              uncompressed                          (4+512)
+const (
+	bdiZeros = iota
+	bdiRep8
+	bdiB8D1
+	bdiB8D2
+	bdiB8D4
+	bdiB4D1
+	bdiB4D2
+	bdiB2D1
+	bdiRaw = 15
+)
+
+type bdiConfig struct {
+	tag      int
+	segBytes int
+	dltBytes int
+}
+
+var bdiConfigs = []bdiConfig{
+	{bdiB8D1, 8, 1},
+	{bdiB8D2, 8, 2},
+	{bdiB8D4, 8, 4},
+	{bdiB4D1, 4, 1},
+	{bdiB4D2, 4, 2},
+	{bdiB2D1, 2, 1},
+}
+
+func bdiSegments(l *memline.Line, segBytes int) []uint64 {
+	n := memline.LineBytes / segBytes
+	segs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		var v uint64
+		for b := segBytes - 1; b >= 0; b-- {
+			v = v<<8 | uint64(l[i*segBytes+b])
+		}
+		segs[i] = v
+	}
+	return segs
+}
+
+// bdiTry attempts one base+delta configuration. It returns the explicit
+// base, the per-segment zero-base mask, deltas, and ok=false if some
+// segment fits neither base.
+func bdiTry(segs []uint64, segBytes, dltBytes int) (base uint64, mask []bool, deltas []uint64, ok bool) {
+	segBits := segBytes * 8
+	dltBits := dltBytes * 8
+	mask = make([]bool, len(segs))
+	deltas = make([]uint64, len(segs))
+	haveBase := false
+	for i, s := range segs {
+		sv := memline.SignExtend(s, segBits)
+		if memline.FitsSigned(sv, dltBits) {
+			mask[i] = true // zero base
+			deltas[i] = s & (1<<uint(dltBits) - 1)
+			continue
+		}
+		if !haveBase {
+			base = s
+			haveBase = true
+		}
+		d := (s - base) & (1<<uint(segBits) - 1)
+		dv := memline.SignExtend(d, segBits)
+		if !memline.FitsSigned(dv, dltBits) {
+			return 0, nil, nil, false
+		}
+		deltas[i] = d & (1<<uint(dltBits) - 1)
+	}
+	return base, mask, deltas, true
+}
+
+func bdiConfigSize(segBytes, dltBytes int) int {
+	n := memline.LineBytes / segBytes
+	return 4 + segBytes*8 + n*dltBytes*8 + n
+}
+
+// BDICompress encodes the line with the cheapest applicable BDI encoding
+// and returns the packed stream and its size in bits.
+func BDICompress(l *memline.Line) ([]byte, int) {
+	// Zeros?
+	zero := true
+	for _, b := range l {
+		if b != 0 {
+			zero = false
+			break
+		}
+	}
+	w := NewBitWriter(memline.LineBits + 16)
+	if zero {
+		w.WriteBits(bdiZeros, 4)
+		return w.Bytes(), w.Len()
+	}
+	// Repeated 64-bit value?
+	rep := true
+	w0 := l.Word(0)
+	for i := 1; i < memline.LineWords; i++ {
+		if l.Word(i) != w0 {
+			rep = false
+			break
+		}
+	}
+	if rep {
+		w.WriteBits(bdiRep8, 4)
+		w.WriteBits(w0, 64)
+		return w.Bytes(), w.Len()
+	}
+	// Base+delta configs in order of compressed size.
+	best := -1
+	bestSize := 4 + memline.LineBits // raw
+	var bestBase uint64
+	var bestMask []bool
+	var bestDeltas []uint64
+	for ci, cfg := range bdiConfigs {
+		size := bdiConfigSize(cfg.segBytes, cfg.dltBytes)
+		if size >= bestSize {
+			continue
+		}
+		segs := bdiSegments(l, cfg.segBytes)
+		base, mask, deltas, ok := bdiTry(segs, cfg.segBytes, cfg.dltBytes)
+		if !ok {
+			continue
+		}
+		best, bestSize = ci, size
+		bestBase, bestMask, bestDeltas = base, mask, deltas
+	}
+	if best < 0 {
+		w.WriteBits(bdiRaw, 4)
+		for i := 0; i < memline.LineWords; i++ {
+			w.WriteBits(l.Word(i), 64)
+		}
+		return w.Bytes(), w.Len()
+	}
+	cfg := bdiConfigs[best]
+	w.WriteBits(uint64(cfg.tag), 4)
+	w.WriteBits(bestBase, cfg.segBytes*8)
+	for _, m := range bestMask {
+		if m {
+			w.WriteBits(1, 1)
+		} else {
+			w.WriteBits(0, 1)
+		}
+	}
+	for _, d := range bestDeltas {
+		w.WriteBits(d, cfg.dltBytes*8)
+	}
+	return w.Bytes(), w.Len()
+}
+
+// BDISize returns only the compressed size in bits.
+func BDISize(l *memline.Line) int {
+	_, n := BDICompress(l)
+	return n
+}
+
+// BDIDecompress reconstructs a line from a BDI stream.
+func BDIDecompress(buf []byte) memline.Line {
+	r := NewBitReader(buf)
+	tag := int(r.ReadBits(4))
+	var l memline.Line
+	switch tag {
+	case bdiZeros:
+		return l
+	case bdiRep8:
+		v := r.ReadBits(64)
+		for i := 0; i < memline.LineWords; i++ {
+			l.SetWord(i, v)
+		}
+		return l
+	case bdiRaw:
+		for i := 0; i < memline.LineWords; i++ {
+			l.SetWord(i, r.ReadBits(64))
+		}
+		return l
+	}
+	var cfg bdiConfig
+	found := false
+	for _, c := range bdiConfigs {
+		if c.tag == tag {
+			cfg, found = c, true
+			break
+		}
+	}
+	if !found {
+		return l // corrupt stream decodes to zeros
+	}
+	segBits := cfg.segBytes * 8
+	dltBits := cfg.dltBytes * 8
+	n := memline.LineBytes / cfg.segBytes
+	base := r.ReadBits(segBits)
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = r.ReadBits(1) == 1
+	}
+	segMask := ^uint64(0)
+	if segBits < 64 {
+		segMask = 1<<uint(segBits) - 1
+	}
+	for i := 0; i < n; i++ {
+		d := memline.SignExtend(r.ReadBits(dltBits), dltBits)
+		var v uint64
+		if mask[i] {
+			v = d & segMask
+		} else {
+			v = (base + d) & segMask
+		}
+		for b := 0; b < cfg.segBytes; b++ {
+			l[i*cfg.segBytes+b] = byte(v >> uint(8*b))
+		}
+	}
+	return l
+}
+
+// FPCBDISize returns the size in bits of the better of FPC and BDI for
+// the line, plus one selector bit, which is how DIN [16] and Figure 4
+// account for the combined FPC+BDI scheme.
+func FPCBDISize(l *memline.Line) int {
+	f := FPCSize(l)
+	b := BDISize(l)
+	if b < f {
+		return b + 1
+	}
+	return f + 1
+}
+
+// FPCBDICompress encodes with the better of FPC and BDI behind a one-bit
+// selector (0 = FPC, 1 = BDI).
+func FPCBDICompress(l *memline.Line) ([]byte, int) {
+	fBuf, fBits := FPCCompress(l)
+	bBuf, bBits := BDICompress(l)
+	w := NewBitWriter(min(fBits, bBits) + 1)
+	if bBits < fBits {
+		w.WriteBits(1, 1)
+		copyStream(w, bBuf, bBits)
+	} else {
+		w.WriteBits(0, 1)
+		copyStream(w, fBuf, fBits)
+	}
+	return w.Bytes(), w.Len()
+}
+
+// FPCBDIDecompress inverts FPCBDICompress.
+func FPCBDIDecompress(buf []byte) memline.Line {
+	r := NewBitReader(buf)
+	sel := r.ReadBits(1)
+	rest := extractStream(r, memline.LineBits+16)
+	if sel == 1 {
+		return BDIDecompress(rest)
+	}
+	return FPCDecompress(rest)
+}
+
+func copyStream(w *BitWriter, buf []byte, bits int) {
+	r := NewBitReader(buf)
+	for bits > 0 {
+		n := bits
+		if n > 64 {
+			n = 64
+		}
+		w.WriteBits(r.ReadBits(n), n)
+		bits -= n
+	}
+}
+
+func extractStream(r *BitReader, maxBits int) []byte {
+	w := NewBitWriter(maxBits)
+	for w.Len() < maxBits {
+		n := maxBits - w.Len()
+		if n > 64 {
+			n = 64
+		}
+		w.WriteBits(r.ReadBits(n), n)
+	}
+	return w.Bytes()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

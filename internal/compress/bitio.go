@@ -1,0 +1,70 @@
+// Package compress implements the compression substrates the paper builds
+// on or compares against: Word-Level Compression (WLC, the paper's own
+// §IV contribution), Frequent Pattern Compression (FPC [2]),
+// Base-Delta-Immediate (BDI [26]), the combined FPC+BDI selector used by
+// DIN [16], and a Coverage-Oriented Compression (COC [20]) menu of 28
+// variable-length word compressors.
+//
+// FPC, BDI and COC produce variable-length bit streams; BitWriter and
+// BitReader provide the LSB-first bit packing they share. WLC is special:
+// it does not repack bits — it frees a fixed field at the top of every
+// 64-bit word, preserving bit positions, which is the property that makes
+// differential writes effective (paper §VIII.A).
+package compress
+
+// BitWriter accumulates a bit stream, least-significant bit first within
+// each byte, matching the line bit numbering of package memline.
+type BitWriter struct {
+	buf  []byte
+	bits int
+}
+
+// NewBitWriter returns a writer with capacity preallocated for sizeBits.
+func NewBitWriter(sizeBits int) *BitWriter {
+	return &BitWriter{buf: make([]byte, 0, (sizeBits+7)/8)}
+}
+
+// WriteBits appends the n low bits of v, LSB first. n must be in [0, 64].
+func (w *BitWriter) WriteBits(v uint64, n int) {
+	for i := 0; i < n; i++ {
+		if w.bits%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if v>>uint(i)&1 == 1 {
+			w.buf[w.bits/8] |= 1 << uint(w.bits%8)
+		}
+		w.bits++
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *BitWriter) Len() int { return w.bits }
+
+// Bytes returns the packed stream. The final byte is zero-padded.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitReader consumes a bit stream produced by BitWriter.
+type BitReader struct {
+	buf []byte
+	pos int
+}
+
+// NewBitReader returns a reader over buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBits consumes the next n bits and returns them LSB first.
+// Reading past the end yields zero bits, mirroring the zero padding a
+// fixed-size memory line provides.
+func (r *BitReader) ReadBits(n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		if r.pos/8 < len(r.buf) && r.buf[r.pos/8]>>uint(r.pos%8)&1 == 1 {
+			v |= 1 << uint(i)
+		}
+		r.pos++
+	}
+	return v
+}
+
+// Pos returns the number of bits consumed so far.
+func (r *BitReader) Pos() int { return r.pos }

@@ -1,0 +1,56 @@
+package compress
+
+import (
+	"testing"
+
+	"wlcrc/internal/prng"
+)
+
+// Decompressors must tolerate arbitrary (corrupt) input buffers without
+// panicking: a decoder fed garbage produces a garbage line, not a crash.
+func TestDecompressorsNeverPanicOnGarbage(t *testing.T) {
+	r := prng.New(999)
+	for trial := 0; trial < 2000; trial++ {
+		n := r.Intn(80)
+		buf := make([]byte, n)
+		r.Fill(buf)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d (len %d): panic: %v", trial, n, p)
+				}
+			}()
+			_ = FPCDecompress(buf)
+			_ = BDIDecompress(buf)
+			_ = COCDecompress(buf)
+			_ = FPCBDIDecompress(buf)
+		}()
+	}
+}
+
+// Truncating a valid stream must also be safe.
+func TestDecompressorsTolerateTruncation(t *testing.T) {
+	r := prng.New(1001)
+	l := randomLine(r)
+	for _, tc := range []struct {
+		name string
+		comp func() []byte
+		dec  func([]byte)
+	}{
+		{"FPC", func() []byte { b, _ := FPCCompress(&l); return b }, func(b []byte) { FPCDecompress(b) }},
+		{"BDI", func() []byte { b, _ := BDICompress(&l); return b }, func(b []byte) { BDIDecompress(b) }},
+		{"COC", func() []byte { b, _ := COCCompress(&l); return b }, func(b []byte) { COCDecompress(b) }},
+	} {
+		buf := tc.comp()
+		for cut := 0; cut <= len(buf); cut += 7 {
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("%s truncated to %d: panic: %v", tc.name, cut, p)
+					}
+				}()
+				tc.dec(buf[:cut])
+			}()
+		}
+	}
+}

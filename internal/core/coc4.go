@@ -1,0 +1,119 @@
+package core
+
+import (
+	"wlcrc/internal/compress"
+	"wlcrc/internal/coset"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+)
+
+// COC4 is the COC+4cosets scheme of §VIII: the line is compressed with
+// the coverage-oriented menu, and the freed space holds per-block
+// candidate indices for the four Table I cosets. Lines compressing to at
+// most 448 bits are encoded at 16-bit granularity, lines at most 480
+// bits at 32-bit granularity, and everything else is written raw.
+//
+// The stored layout is fixed per mode so the decoder can locate the
+// auxiliary bits before it knows any block's mapping:
+//
+//	16-bit mode: payload cells 0..223 (448 bits), 28 blocks, aux bits in
+//	             cells 224..251 (two bits per block through C1).
+//	32-bit mode: payload cells 0..239 (480 bits), 15 blocks, aux bits in
+//	             cells 240..254.
+//
+// Cells beyond the aux region are left untouched. The flag cell
+// disambiguates the three modes; per the paper the overwhelmingly common
+// 16-bit mode gets the lowest-energy state.
+type COC4 struct {
+	em pcm.EnergyModel
+}
+
+const (
+	coc16PayloadBits  = 448
+	coc16PayloadCells = coc16PayloadBits / 2
+	coc16Blocks       = coc16PayloadBits / 16
+	coc32PayloadBits  = 480
+	coc32PayloadCells = coc32PayloadBits / 2
+	coc32Blocks       = coc32PayloadBits / 32
+
+	cocFlag16  = pcm.S1
+	cocFlag32  = pcm.S2
+	cocFlagRaw = pcm.S3
+)
+
+// NewCOC4 returns the COC+4cosets scheme.
+func NewCOC4(cfg Config) *COC4 { return &COC4{em: cfg.Energy} }
+
+// Name implements Scheme.
+func (*COC4) Name() string { return "COC+4cosets" }
+
+// TotalCells implements Scheme.
+func (*COC4) TotalCells() int { return memline.LineCells + 1 }
+
+// DataCells implements Scheme.
+func (*COC4) DataCells() int { return memline.LineCells }
+
+// Encode implements Scheme.
+func (s *COC4) Encode(old []pcm.State, data *memline.Line) []pcm.State {
+	out := make([]pcm.State, s.TotalCells())
+	copy(out, old)
+	buf, bits := compress.COCCompress(data)
+	switch {
+	case bits <= coc16PayloadBits:
+		s.encodeMode(out, old, buf, coc16PayloadCells, 8, coc16Blocks)
+		out[memline.LineCells] = cocFlag16
+	case bits <= coc32PayloadBits:
+		s.encodeMode(out, old, buf, coc32PayloadCells, 16, coc32Blocks)
+		out[memline.LineCells] = cocFlag32
+	default:
+		rawEncode(data, out)
+		out[memline.LineCells] = cocFlagRaw
+	}
+	return out
+}
+
+// encodeMode coset-encodes the compressed payload. blockCells is the
+// block granularity in cells (8 = 16 bits, 16 = 32 bits).
+func (s *COC4) encodeMode(out, old []pcm.State, buf []byte, payloadCells, blockCells, nblocks int) {
+	// View the (zero-padded) compressed stream as a line prefix.
+	var payload memline.Line
+	copy(payload[:], buf)
+	syms := lineSymbols(&payload)
+	auxBits := make([]uint8, 2*nblocks)
+	for b := 0; b < nblocks; b++ {
+		lo := b * blockCells
+		hi := lo + blockCells
+		idx, _ := coset.Best(&s.em, coset.Table1[:], syms[lo:hi], old[lo:hi])
+		coset.Encode(coset.Table1[idx], syms[lo:hi], out[lo:hi])
+		auxBits[2*b] = uint8(idx) & 1
+		auxBits[2*b+1] = uint8(idx) >> 1
+	}
+	coset.PackBitsToStates(auxBits, out[payloadCells:payloadCells+nblocks])
+}
+
+// Decode implements Scheme.
+func (s *COC4) Decode(cells []pcm.State) memline.Line {
+	switch cells[memline.LineCells] {
+	case cocFlag16:
+		return s.decodeMode(cells, coc16PayloadCells, 8, coc16Blocks)
+	case cocFlag32:
+		return s.decodeMode(cells, coc32PayloadCells, 16, coc32Blocks)
+	default:
+		return rawDecode(cells)
+	}
+}
+
+func (s *COC4) decodeMode(cells []pcm.State, payloadCells, blockCells, nblocks int) memline.Line {
+	auxBits := coset.UnpackStatesToBits(cells[payloadCells:payloadCells+nblocks], 2*nblocks)
+	var payload memline.Line
+	blkSyms := make([]uint8, blockCells)
+	for b := 0; b < nblocks; b++ {
+		lo := b * blockCells
+		idx := int(auxBits[2*b]) | int(auxBits[2*b+1])<<1
+		coset.Decode(coset.Table1[idx], cells[lo:lo+blockCells], blkSyms)
+		for i, v := range blkSyms {
+			payload.SetSymbol(lo+i, v)
+		}
+	}
+	return compress.COCDecompress(payload[:])
+}

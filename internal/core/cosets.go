@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+
+	"wlcrc/internal/coset"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+)
+
+// LineCosets is the family of unrestricted coset encoders operating on a
+// bare (uncompressed) memory line with auxiliary symbols stored in extra
+// cells, as in §III and the granularity sweeps of Figures 1–3 and 5:
+//
+//   - 6cosets [34]: six candidates, two aux cells per block, the
+//     candidate identified by the i-th cheapest two-cell state pair.
+//   - 4cosets / 3cosets (Table I): one aux cell per block, candidate Ci
+//     stored directly as state Si (§IX.A).
+//
+// The block granularity ranges from 8 bits up to the full 512-bit line.
+type LineCosets struct {
+	name       string
+	cands      []coset.Mapping
+	blockBits  int
+	blockCells int
+	nblocks    int
+	auxPerBlk  int // aux cells per block: 1 for <=4 candidates, 2 for 6
+	em         pcm.EnergyModel
+	pairs      [][2]pcm.State
+	pairIdx    map[[2]pcm.State]int
+}
+
+// NewLineCosets builds an unrestricted coset scheme. blockBits must
+// divide 512 and be even. With more than four candidates two auxiliary
+// cells per block are used, otherwise one.
+func NewLineCosets(cfg Config, name string, cands []coset.Mapping, blockBits int) *LineCosets {
+	if blockBits < 2 || blockBits%2 != 0 || memline.LineBits%blockBits != 0 {
+		panic(fmt.Sprintf("core: invalid coset block size %d", blockBits))
+	}
+	if len(cands) < 2 || len(cands) > 16 {
+		panic("core: candidate count out of range")
+	}
+	s := &LineCosets{
+		name:       name,
+		cands:      cands,
+		blockBits:  blockBits,
+		blockCells: blockBits / 2,
+		nblocks:    memline.LineBits / blockBits,
+		auxPerBlk:  1,
+		em:         cfg.Energy,
+	}
+	if len(cands) > 4 {
+		s.auxPerBlk = 2
+		s.pairs = coset.AuxPairs(&cfg.Energy)[:len(cands)]
+		s.pairIdx = auxPairIndex(s.pairs)
+	}
+	return s
+}
+
+// Name implements Scheme.
+func (s *LineCosets) Name() string { return s.name }
+
+// BlockBits returns the encoding granularity in bits.
+func (s *LineCosets) BlockBits() int { return s.blockBits }
+
+// TotalCells implements Scheme.
+func (s *LineCosets) TotalCells() int {
+	return memline.LineCells + s.nblocks*s.auxPerBlk
+}
+
+// DataCells implements Scheme.
+func (s *LineCosets) DataCells() int { return memline.LineCells }
+
+// Encode implements Scheme. Each block independently picks the candidate
+// with minimum differential-write energy; its index goes to the block's
+// auxiliary cells.
+func (s *LineCosets) Encode(old []pcm.State, data *memline.Line) []pcm.State {
+	syms := lineSymbols(data)
+	out := make([]pcm.State, s.TotalCells())
+	copy(out, old) // aux cells not rewritten below keep their states
+	for b := 0; b < s.nblocks; b++ {
+		lo := b * s.blockCells
+		hi := lo + s.blockCells
+		idx, _ := coset.Best(&s.em, s.cands, syms[lo:hi], old[lo:hi])
+		coset.Encode(s.cands[idx], syms[lo:hi], out[lo:hi])
+		s.writeAux(out, b, idx)
+	}
+	return out
+}
+
+func (s *LineCosets) writeAux(out []pcm.State, block, idx int) {
+	base := memline.LineCells + block*s.auxPerBlk
+	if s.auxPerBlk == 1 {
+		// §IX.A: candidate Ci is stored directly as state Si, so the
+		// frequent C1/C2 keep the aux cell in a low-energy state.
+		out[base] = pcm.State(idx)
+		return
+	}
+	pair := s.pairs[idx]
+	out[base] = pair[0]
+	out[base+1] = pair[1]
+}
+
+func (s *LineCosets) readAux(cells []pcm.State, block int) int {
+	base := memline.LineCells + block*s.auxPerBlk
+	if s.auxPerBlk == 1 {
+		idx := int(cells[base])
+		if idx >= len(s.cands) {
+			idx = 0
+		}
+		return idx
+	}
+	if idx, ok := s.pairIdx[[2]pcm.State{cells[base], cells[base+1]}]; ok {
+		return idx
+	}
+	return 0
+}
+
+// Decode implements Scheme.
+func (s *LineCosets) Decode(cells []pcm.State) memline.Line {
+	var l memline.Line
+	blkSyms := make([]uint8, s.blockCells)
+	for b := 0; b < s.nblocks; b++ {
+		lo := b * s.blockCells
+		idx := s.readAux(cells, b)
+		coset.Decode(s.cands[idx], cells[lo:lo+s.blockCells], blkSyms)
+		for i, v := range blkSyms {
+			l.SetSymbol(lo+i, v)
+		}
+	}
+	return l
+}
+
+// RestrictedLineCosets is the line-level restricted coset encoding of §V
+// (called 3-r-cosets in Figure 5): every block of the line is encoded
+// with one of two candidates from a per-line group — either {C1,C2} or
+// {C1,C3} — so each block costs one auxiliary bit plus one global bit for
+// the whole line. The auxiliary bits are packed two per cell through the
+// fixed C1 mapping.
+type RestrictedLineCosets struct {
+	name       string
+	blockBits  int
+	blockCells int
+	nblocks    int
+	em         pcm.EnergyModel
+}
+
+// NewRestrictedLineCosets builds the 3-r-cosets scheme at the given block
+// granularity. blockBits must divide 512 and be even.
+func NewRestrictedLineCosets(cfg Config, blockBits int) *RestrictedLineCosets {
+	if blockBits < 2 || blockBits%2 != 0 || memline.LineBits%blockBits != 0 {
+		panic(fmt.Sprintf("core: invalid coset block size %d", blockBits))
+	}
+	return &RestrictedLineCosets{
+		name:       fmt.Sprintf("3-r-cosets-%d", blockBits),
+		blockBits:  blockBits,
+		blockCells: blockBits / 2,
+		nblocks:    memline.LineBits / blockBits,
+		em:         cfg.Energy,
+	}
+}
+
+// Name implements Scheme.
+func (s *RestrictedLineCosets) Name() string { return s.name }
+
+// BlockBits returns the encoding granularity in bits.
+func (s *RestrictedLineCosets) BlockBits() int { return s.blockBits }
+
+// auxCells returns the number of auxiliary cells: 1 global bit plus one
+// bit per block, two bits per cell.
+func (s *RestrictedLineCosets) auxCells() int { return (1 + s.nblocks + 1) / 2 }
+
+// TotalCells implements Scheme.
+func (s *RestrictedLineCosets) TotalCells() int { return memline.LineCells + s.auxCells() }
+
+// DataCells implements Scheme.
+func (s *RestrictedLineCosets) DataCells() int { return memline.LineCells }
+
+// Encode implements Scheme: §V's three steps — encode every block with
+// {C1,C2}, encode every block with {C1,C3}, keep the better line.
+func (s *RestrictedLineCosets) Encode(old []pcm.State, data *memline.Line) []pcm.State {
+	syms := lineSymbols(data)
+	type plan struct {
+		cost   float64
+		choice []uint8 // per block: 0 = C1, 1 = group alternate
+	}
+	plans := [2]plan{}
+	for g, alt := range [2]coset.Mapping{coset.C2, coset.C3} {
+		choice := make([]uint8, s.nblocks)
+		var total float64
+		for b := 0; b < s.nblocks; b++ {
+			lo := b * s.blockCells
+			hi := lo + s.blockCells
+			c1 := coset.BlockCost(&s.em, coset.C1, syms[lo:hi], old[lo:hi])
+			ca := coset.BlockCost(&s.em, alt, syms[lo:hi], old[lo:hi])
+			if ca < c1 {
+				choice[b] = 1
+				total += ca
+			} else {
+				total += c1
+			}
+		}
+		plans[g] = plan{cost: total, choice: choice}
+	}
+	group := 0
+	if plans[1].cost < plans[0].cost {
+		group = 1
+	}
+	alt := coset.C2
+	if group == 1 {
+		alt = coset.C3
+	}
+	p := plans[group]
+
+	out := make([]pcm.State, s.TotalCells())
+	copy(out, old)
+	bits := make([]uint8, 1+s.nblocks)
+	bits[0] = uint8(group)
+	for b := 0; b < s.nblocks; b++ {
+		lo := b * s.blockCells
+		hi := lo + s.blockCells
+		m := coset.C1
+		if p.choice[b] == 1 {
+			m = alt
+		}
+		coset.Encode(m, syms[lo:hi], out[lo:hi])
+		bits[1+b] = p.choice[b]
+	}
+	coset.PackBitsToStates(bits, out[memline.LineCells:])
+	return out
+}
+
+// Decode implements Scheme.
+func (s *RestrictedLineCosets) Decode(cells []pcm.State) memline.Line {
+	bits := coset.UnpackStatesToBits(cells[memline.LineCells:], 1+s.nblocks)
+	alt := coset.C2
+	if bits[0] == 1 {
+		alt = coset.C3
+	}
+	var l memline.Line
+	blkSyms := make([]uint8, s.blockCells)
+	for b := 0; b < s.nblocks; b++ {
+		lo := b * s.blockCells
+		m := coset.C1
+		if bits[1+b] == 1 {
+			m = alt
+		}
+		coset.Decode(m, cells[lo:lo+s.blockCells], blkSyms)
+		for i, v := range blkSyms {
+			l.SetSymbol(lo+i, v)
+		}
+	}
+	return l
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"wlcrc/internal/coset"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+)
+
+// FNW is Flip-N-Write (Cho & Lee [7]) adapted to MLC PCM as the paper's
+// evaluation does: the line is partitioned into four 128-bit blocks, and
+// each block is stored either as-is or bitwise complemented, whichever
+// needs less differential-write energy. One flip bit per block — four
+// bits, two auxiliary cells per line — matches FlipMin's space overhead
+// (§VIII).
+type FNW struct {
+	em pcm.EnergyModel
+}
+
+// fnwBlocks is the number of independently-flippable blocks per line.
+const fnwBlocks = 4
+
+// fnwBlockCells is the number of cells per 128-bit block.
+const fnwBlockCells = memline.LineCells / fnwBlocks
+
+// NewFNW returns the FNW scheme.
+func NewFNW(cfg Config) *FNW { return &FNW{em: cfg.Energy} }
+
+// Name implements Scheme.
+func (*FNW) Name() string { return "FNW" }
+
+// TotalCells implements Scheme.
+func (*FNW) TotalCells() int { return memline.LineCells + 2 }
+
+// DataCells implements Scheme.
+func (*FNW) DataCells() int { return memline.LineCells }
+
+// Encode implements Scheme. Complementing a bit pair complements the
+// symbol (v -> ^v&3), so flipping is evaluated symbol-wise under the
+// default mapping.
+func (f *FNW) Encode(old []pcm.State, data *memline.Line) []pcm.State {
+	syms := lineSymbols(data)
+	out := make([]pcm.State, f.TotalCells())
+	copy(out, old)
+	bits := make([]uint8, fnwBlocks)
+	for b := 0; b < fnwBlocks; b++ {
+		lo := b * fnwBlockCells
+		hi := lo + fnwBlockCells
+		var costKeep, costFlip float64
+		for c := lo; c < hi; c++ {
+			if st := coset.C1[syms[c]]; st != old[c] {
+				costKeep += f.em.WriteEnergy(st)
+			}
+			if st := coset.C1[^syms[c]&3]; st != old[c] {
+				costFlip += f.em.WriteEnergy(st)
+			}
+		}
+		flip := uint8(0)
+		if costFlip < costKeep {
+			flip = 1
+		}
+		bits[b] = flip
+		for c := lo; c < hi; c++ {
+			v := syms[c]
+			if flip == 1 {
+				v = ^v & 3
+			}
+			out[c] = coset.C1[v]
+		}
+	}
+	coset.PackBitsToStates(bits, out[memline.LineCells:])
+	return out
+}
+
+// Decode implements Scheme.
+func (f *FNW) Decode(cells []pcm.State) memline.Line {
+	bits := coset.UnpackStatesToBits(cells[memline.LineCells:], fnwBlocks)
+	inv := coset.C1.Inverse()
+	var l memline.Line
+	for b := 0; b < fnwBlocks; b++ {
+		lo := b * fnwBlockCells
+		for c := lo; c < lo+fnwBlockCells; c++ {
+			v := inv[cells[c]]
+			if bits[b] == 1 {
+				v = ^v & 3
+			}
+			l.SetSymbol(c, v)
+		}
+	}
+	return l
+}

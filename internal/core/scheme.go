@@ -1,0 +1,186 @@
+// Package core implements the paper's write-encoding schemes: the
+// baseline differential write, the full-line encoders it compares against
+// (FlipMin, FNW, DIN, 6cosets), the fine-grain coset encoders of §III–V
+// (4cosets, 3cosets, restricted cosets), and the paper's contribution —
+// WLCRC, the integration of word-level compression with restricted coset
+// coding (§VI) — plus the WLC+4cosets and COC+4cosets variants evaluated
+// in §VIII.
+//
+// Every scheme turns (current cell states, new 512-bit data) into the new
+// cell states to program; the simulator in internal/sim charges the
+// differential write, endurance and disturbance models from package pcm
+// on the (old, new) state pair. Every scheme also implements Decode so
+// tests can prove the stored states always recover the written data.
+package core
+
+import (
+	"fmt"
+
+	"wlcrc/internal/coset"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+)
+
+// Scheme is one write-encoding scheme for 512-bit MLC PCM lines.
+type Scheme interface {
+	// Name identifies the scheme in reports (e.g. "WLCRC-16").
+	Name() string
+	// TotalCells is the number of MLC cells one line occupies: 256 data
+	// cells plus the scheme's auxiliary cells.
+	TotalCells() int
+	// DataCells is the boundary index between the data region and the
+	// auxiliary region for the blk/aux split in the paper's figures.
+	DataCells() int
+	// Encode returns the TotalCells() states to program when writing
+	// data over a line whose cells currently hold old. Implementations
+	// must not retain or modify old.
+	Encode(old []pcm.State, data *memline.Line) []pcm.State
+	// Decode recovers the stored data from the cell states.
+	Decode(cells []pcm.State) memline.Line
+}
+
+// InitialCells returns the state vector of a freshly-initialized line:
+// all cells in S1, the RESET state a PCM array starts from.
+func InitialCells(n int) []pcm.State {
+	return make([]pcm.State, n)
+}
+
+// Flag-cell states for compression-gated schemes. The paper: "since COC
+// and WLC compress more than 90% of memory lines, we flagged the
+// 'compressed' state with the lowest energy state" and uses only the two
+// lowest-energy states for the flag.
+const (
+	flagCompressed   = pcm.S1
+	flagUncompressed = pcm.S2
+)
+
+// rawEncode fills dst[0:256] with the default-mapping (C1) states of the
+// line's symbols — the uncompressed fallback path shared by every
+// compression-gated scheme, and the whole of the baseline scheme.
+func rawEncode(data *memline.Line, dst []pcm.State) {
+	for c := 0; c < memline.LineCells; c++ {
+		dst[c] = coset.C1[data.Symbol(c)]
+	}
+}
+
+// rawDecode inverts rawEncode.
+func rawDecode(cells []pcm.State) memline.Line {
+	inv := coset.C1.Inverse()
+	var l memline.Line
+	for c := 0; c < memline.LineCells; c++ {
+		l.SetSymbol(c, inv[cells[c]])
+	}
+	return l
+}
+
+// lineSymbols extracts all 256 data symbols of a line.
+func lineSymbols(l *memline.Line) [memline.LineCells]uint8 {
+	var syms [memline.LineCells]uint8
+	for c := range syms {
+		syms[c] = l.Symbol(c)
+	}
+	return syms
+}
+
+// Baseline is standard differential write with the default symbol-to-
+// state mapping and no auxiliary information (paper §VIII "Baseline").
+type Baseline struct{}
+
+// NewBaseline returns the baseline scheme.
+func NewBaseline() Baseline { return Baseline{} }
+
+// Name implements Scheme.
+func (Baseline) Name() string { return "Baseline" }
+
+// TotalCells implements Scheme.
+func (Baseline) TotalCells() int { return memline.LineCells }
+
+// DataCells implements Scheme.
+func (Baseline) DataCells() int { return memline.LineCells }
+
+// Encode implements Scheme.
+func (Baseline) Encode(old []pcm.State, data *memline.Line) []pcm.State {
+	out := make([]pcm.State, memline.LineCells)
+	rawEncode(data, out)
+	return out
+}
+
+// Decode implements Scheme.
+func (Baseline) Decode(cells []pcm.State) memline.Line { return rawDecode(cells) }
+
+// Registry construction -----------------------------------------------
+
+// Config carries the shared knobs schemes need at construction time.
+type Config struct {
+	Energy pcm.EnergyModel
+	// MultiObjectiveT is the §VIII.D threshold T (e.g. 0.01 for 1%):
+	// when two restricted-coset group costs are within T of each other,
+	// WLCRC breaks the tie by updated-cell count instead of energy.
+	// Zero disables the multi-objective mode.
+	MultiObjectiveT float64
+	// DisturbAwareLambda enables the write-disturbance-aware WLCRC the
+	// paper proposes as future work (§XI): candidate costs gain a
+	// penalty of lambda pJ per expected disturbance error the block's
+	// write pattern would induce. Zero disables the extension.
+	DisturbAwareLambda float64
+	// Disturb is the disturbance model the WD-aware extension prices
+	// against; the zero value means Table II defaults.
+	Disturb pcm.DisturbModel
+}
+
+// DefaultConfig returns the Table II configuration.
+func DefaultConfig() Config {
+	return Config{Energy: pcm.DefaultEnergy()}
+}
+
+// NewScheme constructs a scheme by its evaluation-section name. Valid
+// names: Baseline, FlipMin, FNW, DIN, 6cosets, COC+4cosets, WLC+4cosets,
+// WLC+3cosets, WLCRC-8, WLCRC-16, WLCRC-32, WLCRC-64.
+func NewScheme(name string, cfg Config) (Scheme, error) {
+	switch name {
+	case "Baseline":
+		return NewBaseline(), nil
+	case "FlipMin":
+		return NewFlipMin(cfg), nil
+	case "FNW":
+		return NewFNW(cfg), nil
+	case "DIN":
+		return NewDIN(cfg), nil
+	case "6cosets":
+		return NewLineCosets(cfg, "6cosets", coset.SixCosets(), memline.LineBits), nil
+	case "COC+4cosets":
+		return NewCOC4(cfg), nil
+	case "WLC+4cosets":
+		return NewWLCCosets(cfg, 4, 32)
+	case "WLC+3cosets":
+		return NewWLCCosets(cfg, 3, 32)
+	case "WLCRC-8":
+		return NewWLCRC(cfg, 8)
+	case "WLCRC-16":
+		return NewWLCRC(cfg, 16)
+	case "WLCRC-32":
+		return NewWLCRC(cfg, 32)
+	case "WLCRC-64":
+		return NewWLCRC(cfg, 64)
+	}
+	return nil, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// EvaluationSchemes lists the eight schemes of Figures 8–10 in paper
+// order.
+func EvaluationSchemes() []string {
+	return []string{
+		"Baseline", "FlipMin", "FNW", "DIN",
+		"6cosets", "COC+4cosets", "WLC+4cosets", "WLCRC-16",
+	}
+}
+
+// auxPairIndex builds the candidate-index lookup for two-cell auxiliary
+// encodings (6cosets).
+func auxPairIndex(pairs [][2]pcm.State) map[[2]pcm.State]int {
+	idx := make(map[[2]pcm.State]int, len(pairs))
+	for i, p := range pairs {
+		idx[p] = i
+	}
+	return idx
+}

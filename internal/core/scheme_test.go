@@ -1,0 +1,368 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/prng"
+)
+
+// allSchemes returns one instance of every registered scheme.
+func allSchemes(t *testing.T) []Scheme {
+	t.Helper()
+	cfg := DefaultConfig()
+	names := []string{
+		"Baseline", "FlipMin", "FNW", "DIN", "6cosets", "COC+4cosets",
+		"WLC+4cosets", "WLC+3cosets",
+		"WLCRC-8", "WLCRC-16", "WLCRC-32", "WLCRC-64",
+	}
+	var out []Scheme
+	for _, n := range names {
+		s, err := NewScheme(n, cfg)
+		if err != nil {
+			t.Fatalf("NewScheme(%q): %v", n, err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// randomBiasedLine mixes compressible and incompressible content so the
+// round-trip tests exercise both paths of compression-gated schemes.
+func randomBiasedLine(r *prng.Xoshiro256) memline.Line {
+	var l memline.Line
+	switch r.Intn(4) {
+	case 0: // random
+		r.Fill(l[:])
+	case 1: // small signed ints: WLC-compressible
+		for w := 0; w < memline.LineWords; w++ {
+			l.SetWord(w, memline.SignExtend(r.Uint64()&0xffff, 16))
+		}
+	case 2: // zero-dominated
+		for w := 0; w < memline.LineWords; w++ {
+			if r.Bool(0.3) {
+				l.SetWord(w, uint64(r.Uint32()&0xff))
+			}
+		}
+	default: // pointer-ish
+		base := uint64(0x00007f32_00000000)
+		for w := 0; w < memline.LineWords; w++ {
+			l.SetWord(w, base|uint64(r.Uint32()))
+		}
+	}
+	return l
+}
+
+func TestNewSchemeUnknown(t *testing.T) {
+	if _, err := NewScheme("nope", DefaultConfig()); err == nil {
+		t.Fatal("expected error for unknown scheme")
+	}
+}
+
+func TestEvaluationSchemesConstructible(t *testing.T) {
+	for _, n := range EvaluationSchemes() {
+		s, err := NewScheme(n, DefaultConfig())
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+			continue
+		}
+		if s.Name() != n {
+			t.Errorf("Name() = %q, want %q", s.Name(), n)
+		}
+	}
+}
+
+func TestSchemeGeometry(t *testing.T) {
+	for _, s := range allSchemes(t) {
+		if s.DataCells() != memline.LineCells {
+			t.Errorf("%s: DataCells = %d", s.Name(), s.DataCells())
+		}
+		if s.TotalCells() < s.DataCells() {
+			t.Errorf("%s: TotalCells < DataCells", s.Name())
+		}
+		if s.TotalCells() > memline.LineCells+128 {
+			t.Errorf("%s: TotalCells = %d unreasonably large", s.Name(), s.TotalCells())
+		}
+	}
+}
+
+// TestRoundTripAllSchemes is the central correctness property: whatever a
+// scheme stores must decode back to the written data, starting from a
+// fresh line and across consecutive rewrites.
+func TestRoundTripAllSchemes(t *testing.T) {
+	r := prng.New(1234)
+	for _, s := range allSchemes(t) {
+		cells := InitialCells(s.TotalCells())
+		for step := 0; step < 40; step++ {
+			data := randomBiasedLine(r)
+			cells = s.Encode(cells, &data)
+			if len(cells) != s.TotalCells() {
+				t.Fatalf("%s: Encode returned %d cells", s.Name(), len(cells))
+			}
+			got := s.Decode(cells)
+			if !got.Equal(&data) {
+				t.Fatalf("%s: decode mismatch at step %d\nwant %s\ngot  %s",
+					s.Name(), step, data.String(), got.String())
+			}
+		}
+	}
+}
+
+// TestRewriteSameDataIsFree: differential write of identical data must
+// program zero cells for every scheme (the encoder must be deterministic
+// and must not flip auxiliary choices gratuitously).
+func TestRewriteSameDataIsFree(t *testing.T) {
+	r := prng.New(77)
+	em := pcm.DefaultEnergy()
+	for _, s := range allSchemes(t) {
+		for trial := 0; trial < 10; trial++ {
+			data := randomBiasedLine(r)
+			cells := s.Encode(InitialCells(s.TotalCells()), &data)
+			again := s.Encode(cells, &data)
+			st := em.DiffWrite(cells, again, s.DataCells())
+			if st.Updated() != 0 {
+				t.Errorf("%s: rewriting identical data programs %d cells",
+					s.Name(), st.Updated())
+				break
+			}
+		}
+	}
+}
+
+// TestEncodeDoesNotMutateOld guards the Scheme contract.
+func TestEncodeDoesNotMutateOld(t *testing.T) {
+	r := prng.New(5)
+	for _, s := range allSchemes(t) {
+		data := randomBiasedLine(r)
+		old := InitialCells(s.TotalCells())
+		for i := range old {
+			old[i] = pcm.State(r.Intn(pcm.NumStates))
+		}
+		snapshot := append([]pcm.State(nil), old...)
+		s.Encode(old, &data)
+		for i := range old {
+			if old[i] != snapshot[i] {
+				t.Errorf("%s: Encode mutated old[%d]", s.Name(), i)
+				break
+			}
+		}
+	}
+}
+
+// TestSchemesBeatOrMatchBaselineOnBiasedData: on compressible biased
+// data, every energy-aware scheme should cost at most the baseline on a
+// fresh write (fresh cells are all S1; candidate C1 is always available,
+// so the minimum over candidates cannot exceed the baseline's data cost
+// by more than the auxiliary cost, and on biased data it should win).
+func TestWLCRCBeatsBaselineOnBiasedFreshWrites(t *testing.T) {
+	r := prng.New(31)
+	em := pcm.DefaultEnergy()
+	base := NewBaseline()
+	wl, err := NewWLCRC(DefaultConfig(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseTotal, wlTotal float64
+	for trial := 0; trial < 200; trial++ {
+		var data memline.Line
+		// Biased, WLC-compressible content.
+		for w := 0; w < memline.LineWords; w++ {
+			data.SetWord(w, memline.SignExtend(r.Uint64()&0x3ffffff, 26))
+		}
+		bCells := base.Encode(InitialCells(base.TotalCells()), &data)
+		bst := em.DiffWrite(InitialCells(base.TotalCells()), bCells, base.DataCells())
+		wCells := wl.Encode(InitialCells(wl.TotalCells()), &data)
+		wst := em.DiffWrite(InitialCells(wl.TotalCells()), wCells, wl.DataCells())
+		baseTotal += bst.Energy()
+		wlTotal += wst.Energy()
+	}
+	if wlTotal >= baseTotal {
+		t.Errorf("WLCRC-16 energy %.0f >= baseline %.0f on biased data", wlTotal, baseTotal)
+	}
+}
+
+func TestQuickRoundTripWLCRC16(t *testing.T) {
+	s, err := NewWLCRC(DefaultConfig(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ws [memline.LineWords]uint64, oldSeed uint64) bool {
+		data := memline.FromWords(ws)
+		r := prng.New(oldSeed)
+		old := InitialCells(s.TotalCells())
+		for i := range old {
+			old[i] = pcm.State(r.Intn(pcm.NumStates))
+		}
+		cells := s.Encode(old, &data)
+		got := s.Decode(cells)
+		return got.Equal(&data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripCompressibleWLCRC(t *testing.T) {
+	// Force compressible lines so the encoded path (not the raw
+	// fallback) is exercised for every granularity.
+	for _, gran := range []int{8, 16, 32, 64} {
+		s, err := NewWLCRC(DefaultConfig(), gran)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep := 64 - wlcrcGeoms[gran].reclaim
+		f := func(ws [memline.LineWords]uint64) bool {
+			var data memline.Line
+			for w, v := range ws {
+				data.SetWord(w, memline.SignExtend(v&(1<<uint(keep)-1), keep))
+			}
+			if !s.Compressible(&data) {
+				return false // construction bug, fail loudly
+			}
+			cells := s.Encode(InitialCells(s.TotalCells()), &data)
+			if cells[memline.LineCells] != flagCompressed {
+				return false
+			}
+			got := s.Decode(cells)
+			return got.Equal(&data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("granularity %d: %v", gran, err)
+		}
+	}
+}
+
+func TestWLCRCUncompressibleFallsBackToRaw(t *testing.T) {
+	s, err := NewWLCRC(DefaultConfig(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data memline.Line
+	data.SetWord(0, 0x4123456789abcdef) // MSB run of 1 < k=6
+	if s.Compressible(&data) {
+		t.Fatal("line should be incompressible")
+	}
+	cells := s.Encode(InitialCells(s.TotalCells()), &data)
+	if cells[memline.LineCells] != flagUncompressed {
+		t.Error("flag cell must mark uncompressed")
+	}
+	got := s.Decode(cells)
+	if !got.Equal(&data) {
+		t.Error("raw fallback decode mismatch")
+	}
+}
+
+func TestWLCRCAuxOverhead(t *testing.T) {
+	// §VI.A: total encoding space overhead < 0.4% (one flag cell per 256).
+	s, _ := NewWLCRC(DefaultConfig(), 16)
+	over := float64(s.TotalCells()-memline.LineCells) / float64(memline.LineCells)
+	if over >= 0.004 {
+		t.Errorf("space overhead %.4f, want < 0.004", over)
+	}
+	if s.AuxCellsPerWord() != 2 {
+		t.Errorf("WLCRC-16 pure-aux cells per word = %d, want 2", s.AuxCellsPerWord())
+	}
+}
+
+func TestWLCCosetsGranularities(t *testing.T) {
+	r := prng.New(99)
+	for _, gran := range []int{8, 16, 32, 64} {
+		for _, n := range []int{3, 4} {
+			s, err := NewWLCCosets(DefaultConfig(), n, gran)
+			if err != nil {
+				t.Fatalf("WLC+%dcosets-%d: %v", n, gran, err)
+			}
+			keep := 64 - wlcReclaim[gran]
+			cells := InitialCells(s.TotalCells())
+			for step := 0; step < 10; step++ {
+				var data memline.Line
+				for w := 0; w < memline.LineWords; w++ {
+					data.SetWord(w, memline.SignExtend(r.Uint64()&(1<<uint(keep)-1), keep))
+				}
+				if !s.Compressible(&data) {
+					t.Fatalf("%s: constructed line not compressible", s.Name())
+				}
+				cells = s.Encode(cells, &data)
+				got := s.Decode(cells)
+				if !got.Equal(&data) {
+					t.Fatalf("%s: round trip failed", s.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestWLCCosetsInvalidConfig(t *testing.T) {
+	if _, err := NewWLCCosets(DefaultConfig(), 4, 24); err == nil {
+		t.Error("granularity 24 must be rejected")
+	}
+	if _, err := NewWLCCosets(DefaultConfig(), 6, 32); err == nil {
+		t.Error("6 candidates must be rejected")
+	}
+	if _, err := NewWLCRC(DefaultConfig(), 12); err == nil {
+		t.Error("WLCRC granularity 12 must be rejected")
+	}
+}
+
+func TestMultiObjectiveNameAndBehavior(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MultiObjectiveT = 0.01
+	s, err := NewWLCRC(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "WLCRC-16(T=1%)" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	// Multi-objective must never harm correctness.
+	r := prng.New(3)
+	cells := InitialCells(s.TotalCells())
+	for step := 0; step < 30; step++ {
+		data := randomBiasedLine(r)
+		cells = s.Encode(cells, &data)
+		got := s.Decode(cells)
+		if !got.Equal(&data) {
+			t.Fatalf("multi-objective round trip failed at step %d", step)
+		}
+	}
+}
+
+func TestMultiObjectiveReducesUpdates(t *testing.T) {
+	// Aggregate over many rewrites: T=1% must not increase updated cells
+	// and must not increase energy by more than ~2%.
+	em := pcm.DefaultEnergy()
+	plain, _ := NewWLCRC(DefaultConfig(), 16)
+	cfgT := DefaultConfig()
+	cfgT.MultiObjectiveT = 0.01
+	multi, _ := NewWLCRC(cfgT, 16)
+
+	r := prng.New(42)
+	cellsP := InitialCells(plain.TotalCells())
+	cellsM := InitialCells(multi.TotalCells())
+	var eP, eM float64
+	var uP, uM int
+	for step := 0; step < 400; step++ {
+		var data memline.Line
+		for w := 0; w < memline.LineWords; w++ {
+			data.SetWord(w, memline.SignExtend(r.Uint64()&0xffffffff, 32))
+		}
+		nP := plain.Encode(cellsP, &data)
+		st := em.DiffWrite(cellsP, nP, plain.DataCells())
+		eP += st.Energy()
+		uP += st.Updated()
+		cellsP = nP
+		nM := multi.Encode(cellsM, &data)
+		st = em.DiffWrite(cellsM, nM, multi.DataCells())
+		eM += st.Energy()
+		uM += st.Updated()
+		cellsM = nM
+	}
+	if uM > uP {
+		t.Errorf("multi-objective updates %d > plain %d", uM, uP)
+	}
+	if eM > eP*1.05 {
+		t.Errorf("multi-objective energy %.0f exceeds plain %.0f by >5%%", eM, eP)
+	}
+}

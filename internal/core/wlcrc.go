@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+
+	"wlcrc/internal/compress"
+	"wlcrc/internal/coset"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+)
+
+// WLCRC is the paper's contribution (§VI): Word-Level Compression
+// integrated with Restricted Coset coding. When every 64-bit word of the
+// line is WLC-compressible, each word is encoded independently: its data
+// blocks all use candidates from one per-word group — {C1,C2} or {C1,C3}
+// — selected by Algorithm 1, with one candidate bit per block and one
+// group bit stored in the word's reclaimed field. Incompressible lines
+// (fewer than 9% of writes on the paper's workloads) are written raw; a
+// global flag cell tells the two cases apart.
+//
+// Per-word layout by granularity (DESIGN.md §3). Cells that carry
+// auxiliary bits are always stored through the fixed C1 mapping so the
+// decoder can read them before it knows any block's mapping:
+//
+//	WLCRC-16 (reclaim r=5, WLC k=6):
+//	    blocks: cells 0-7, 8-15, 16-23, 24-28 (+ data bit b58 in cell 29)
+//	    b59=cand3 b60=cand2 b61=cand1 b62=cand0 b63=group
+//	    cell29=(b59,b58) mixed; cells 30,31 pure aux
+//	WLCRC-32 (r=3, k=4):
+//	    blocks: cells 0-15, 16-29 (+ data bit b60 in cell 30)
+//	    b61=cand1 b62=cand0 b63=group
+//	WLCRC-8 (r=8, k=9):
+//	    blocks: 7 x 4 cells (bits b0..b55); b56..b62=cand0..6, b63=group
+//	WLCRC-64 (r=2, k=3): identical to unrestricted 3cosets on the word:
+//	    one block, cells 0-30 (bits b0..b61); b62,b63 = candidate index
+type WLCRC struct {
+	displayName string
+	em          pcm.EnergyModel
+	gran        int
+	wlc         compress.WLC
+	multiT      float64
+	wdLambda    float64
+	dm          pcm.DisturbModel
+	geom        wlcrcGeom
+}
+
+// wlcrcGeom captures the per-word layout of one granularity.
+type wlcrcGeom struct {
+	reclaim   int      // bits reclaimed by WLC (k-1)
+	dataCells int      // count of cells that are pure data (0..dataCells-1)
+	mixed     bool     // cell dataCells carries one data bit (lo) + one aux bit (hi)
+	blocks    [][2]int // [lo,hi) pure-data cell ranges per block
+	// When mixed, the owning block is the last one; its candidate bit is
+	// the aux (hi) bit of the mixed cell.
+}
+
+var wlcrcGeoms = map[int]wlcrcGeom{
+	8: {
+		reclaim:   8,
+		dataCells: 28,
+		blocks:    [][2]int{{0, 4}, {4, 8}, {8, 12}, {12, 16}, {16, 20}, {20, 24}, {24, 28}},
+	},
+	16: {
+		reclaim:   5,
+		dataCells: 29,
+		mixed:     true,
+		blocks:    [][2]int{{0, 8}, {8, 16}, {16, 24}, {24, 29}},
+	},
+	32: {
+		reclaim:   3,
+		dataCells: 30,
+		mixed:     true,
+		blocks:    [][2]int{{0, 16}, {16, 30}},
+	},
+	64: {
+		reclaim:   2,
+		dataCells: 31,
+		blocks:    [][2]int{{0, 31}},
+	},
+}
+
+// NewWLCRC builds a WLCRC scheme at block granularity 8, 16, 32 or 64
+// bits. The default evaluation configuration is 16 (WLCRC-16). If
+// cfg.MultiObjectiveT is nonzero, the §VIII.D multi-objective group
+// selection is enabled and reflected in the scheme name.
+func NewWLCRC(cfg Config, gran int) (*WLCRC, error) {
+	geom, ok := wlcrcGeoms[gran]
+	if !ok {
+		return nil, fmt.Errorf("core: WLCRC granularity %d not in {8,16,32,64}", gran)
+	}
+	name := fmt.Sprintf("WLCRC-%d", gran)
+	if cfg.MultiObjectiveT > 0 {
+		name = fmt.Sprintf("WLCRC-%d(T=%g%%)", gran, cfg.MultiObjectiveT*100)
+	}
+	if cfg.DisturbAwareLambda > 0 {
+		name = fmt.Sprintf("WLCRC-%d(WD)", gran)
+	}
+	dm := cfg.Disturb
+	if dm.DER == ([pcm.NumStates]float64{}) {
+		dm = pcm.DefaultDisturb()
+	}
+	return &WLCRC{
+		displayName: name,
+		em:          cfg.Energy,
+		gran:        gran,
+		wlc:         compress.WLC{K: geom.reclaim + 1},
+		multiT:      cfg.MultiObjectiveT,
+		wdLambda:    cfg.DisturbAwareLambda,
+		dm:          dm,
+		geom:        geom,
+	}, nil
+}
+
+// Name implements Scheme.
+func (s *WLCRC) Name() string { return s.displayName }
+
+// Granularity returns the block size in bits.
+func (s *WLCRC) Granularity() int { return s.gran }
+
+// Compressible reports whether WLC can reclaim this granularity's
+// auxiliary field in every word of the line.
+func (s *WLCRC) Compressible(data *memline.Line) bool {
+	return s.wlc.LineCompressible(data)
+}
+
+// TotalCells implements Scheme: auxiliary bits live inside the words;
+// only the compression flag cell is extra (<0.4% overhead, §VI.A).
+func (s *WLCRC) TotalCells() int { return memline.LineCells + 1 }
+
+// DataCells implements Scheme.
+func (s *WLCRC) DataCells() int { return memline.LineCells }
+
+// AuxCellsPerWord returns how many trailing cells of each word hold only
+// auxiliary bits when the line is compressed (the mixed cell counts as
+// data).
+func (s *WLCRC) AuxCellsPerWord() int {
+	n := memline.WordCells - s.geom.dataCells
+	if s.geom.mixed {
+		n--
+	}
+	return n
+}
+
+// Encode implements Scheme.
+func (s *WLCRC) Encode(old []pcm.State, data *memline.Line) []pcm.State {
+	out := make([]pcm.State, s.TotalCells())
+	copy(out, old)
+	if !s.wlc.LineCompressible(data) {
+		rawEncode(data, out)
+		out[memline.LineCells] = flagUncompressed
+		return out
+	}
+	for w := 0; w < memline.LineWords; w++ {
+		s.encodeWord(data.Word(w), old[w*memline.WordCells:(w+1)*memline.WordCells], out[w*memline.WordCells:(w+1)*memline.WordCells])
+	}
+	out[memline.LineCells] = flagCompressed
+	return out
+}
+
+// wordPlan is a fully-evaluated encoding of one word under one group.
+type wordPlan struct {
+	cost    float64
+	updates int
+	cands   []uint8 // candidate bit (or 2-bit index for gran 64) per block
+	group   uint8
+}
+
+func (s *WLCRC) encodeWord(word uint64, old, out []pcm.State) {
+	var syms [memline.WordCells]uint8
+	for c := 0; c < memline.WordCells; c++ {
+		syms[c] = uint8(word >> (uint(c) * 2) & 3)
+	}
+	if s.gran == 64 {
+		s.encodeWord64(syms[:], old, out)
+		return
+	}
+	p12 := s.planGroup(0, coset.C2, syms[:], old)
+	p13 := s.planGroup(1, coset.C3, syms[:], old)
+	best := p12
+	if p13.cost < best.cost {
+		best = p13
+	}
+	if s.multiT > 0 {
+		// §VIII.D: when the two group costs are within T of each other,
+		// choose the group that programs fewer cells.
+		hi := p12.cost
+		if p13.cost > hi {
+			hi = p13.cost
+		}
+		diff := p12.cost - p13.cost
+		if diff < 0 {
+			diff = -diff
+		}
+		if hi > 0 && diff <= s.multiT*hi {
+			best = p12
+			if p13.updates < p12.updates ||
+				(p13.updates == p12.updates && p13.cost < p12.cost) {
+				best = p13
+			}
+		}
+	}
+	s.commit(best, syms[:], out)
+}
+
+// planGroup evaluates Algorithm 1 for one coset group: every block picks
+// the cheaper of C1 and alt; the plan cost includes the auxiliary cells.
+// In multi-objective mode (§VIII.D), a block whose two candidate costs
+// are within T of each other is decided by updated-cell count instead —
+// the source of the paper's endurance gain at negligible energy cost.
+func (s *WLCRC) planGroup(group uint8, alt coset.Mapping, syms []uint8, old []pcm.State) wordPlan {
+	g := &s.geom
+	plan := wordPlan{group: group, cands: make([]uint8, len(g.blocks))}
+	for b, rng := range g.blocks {
+		mixedHere := g.mixed && b == len(g.blocks)-1
+		c1Cost, c1Upd := s.blockCost(coset.C1, 0, mixedHere, syms, old, rng)
+		caCost, caUpd := s.blockCost(alt, 1, mixedHere, syms, old, rng)
+		pickAlt := caCost < c1Cost
+		if s.multiT > 0 {
+			hi := c1Cost
+			if caCost > hi {
+				hi = caCost
+			}
+			diff := c1Cost - caCost
+			if diff < 0 {
+				diff = -diff
+			}
+			if hi > 0 && diff <= s.multiT*hi {
+				pickAlt = caUpd < c1Upd || (caUpd == c1Upd && caCost < c1Cost)
+			}
+		}
+		if pickAlt {
+			plan.cands[b] = 1
+			plan.cost += caCost
+			plan.updates += caUpd
+		} else {
+			plan.cost += c1Cost
+			plan.updates += c1Upd
+		}
+	}
+	// Pure auxiliary cells.
+	for i, sym := range s.auxSymbols(plan.cands, plan.group) {
+		cell := s.firstAuxCell() + i
+		st := coset.C1[sym]
+		if st != old[cell] {
+			plan.cost += s.em.WriteEnergy(st)
+			plan.updates++
+		}
+	}
+	return plan
+}
+
+// blockCost prices one block under mapping m whose candidate bit is
+// candBit. When the block owns the mixed cell, that cell's C1-mapped
+// symbol (aux hi bit = candBit, lo bit = the block's last data bit) is
+// included — this is how the "11-bit most significant block" of §VI.A is
+// accounted. With the §XI write-disturbance-aware extension enabled, the
+// cost also includes wdLambda pJ per expected disturbance error the
+// block's write pattern would induce on its idle cells.
+func (s *WLCRC) blockCost(m coset.Mapping, candBit uint8, mixedHere bool, syms []uint8, old []pcm.State, rng [2]int) (float64, int) {
+	var cost float64
+	updates := 0
+	var changed [memline.WordCells]bool
+	for c := rng[0]; c < rng[1]; c++ {
+		st := m[syms[c]]
+		if st != old[c] {
+			cost += s.em.WriteEnergy(st)
+			updates++
+			changed[c-rng[0]] = true
+		}
+	}
+	if mixedHere {
+		cell := s.geom.dataCells
+		st := coset.C1[candBit<<1|syms[cell]&1]
+		if st != old[cell] {
+			cost += s.em.WriteEnergy(st)
+			updates++
+		}
+	}
+	if s.wdLambda > 0 {
+		cost += s.wdLambda * s.blockDisturbRisk(m, syms, old, rng, changed[:rng[1]-rng[0]])
+	}
+	return cost, updates
+}
+
+// blockDisturbRisk estimates the expected disturbance errors within a
+// block for a candidate mapping: each idle cell adjacent to a written
+// cell contributes DER of the state it will hold, plus a future-
+// vulnerability term for written cells left in disturbance-prone states.
+func (s *WLCRC) blockDisturbRisk(m coset.Mapping, syms []uint8, old []pcm.State, rng [2]int, changed []bool) float64 {
+	var risk float64
+	n := rng[1] - rng[0]
+	for i := 0; i < n; i++ {
+		c := rng[0] + i
+		if changed[i] {
+			// The written cell's final state determines how vulnerable
+			// it is to later neighboring writes.
+			risk += 0.5 * s.dm.DER[m[syms[c]]]
+			continue
+		}
+		exposed := (i > 0 && changed[i-1]) || (i < n-1 && changed[i+1])
+		if exposed {
+			risk += s.dm.DER[old[c]]
+		}
+	}
+	return risk
+}
+
+// firstAuxCell returns the index of the first pure-aux cell in a word.
+func (s *WLCRC) firstAuxCell() int {
+	if s.geom.mixed {
+		return s.geom.dataCells + 1
+	}
+	return s.geom.dataCells
+}
+
+// auxSymbols derives the symbols of the pure-aux cells from the
+// candidate bits and group bit (layouts in the type comment). The mixed
+// cell is handled in blockCost.
+func (s *WLCRC) auxSymbols(cands []uint8, group uint8) []uint8 {
+	switch s.gran {
+	case 8: // cells 28..31: (c1,c0) (c3,c2) (c5,c4) (group,c6)
+		return []uint8{
+			cands[1]<<1 | cands[0],
+			cands[3]<<1 | cands[2],
+			cands[5]<<1 | cands[4],
+			group<<1 | cands[6],
+		}
+	case 16: // cells 30,31: (c1,c2) (group,c0); c3 is in the mixed cell
+		return []uint8{
+			cands[1]<<1 | cands[2],
+			group<<1 | cands[0],
+		}
+	case 32: // cell 31: (group,c0); c1 is in the mixed cell
+		return []uint8{group<<1 | cands[0]}
+	}
+	panic("core: auxSymbols on unrestricted granularity")
+}
+
+// commit writes the chosen plan's states.
+func (s *WLCRC) commit(plan wordPlan, syms []uint8, out []pcm.State) {
+	alt := coset.C2
+	if plan.group == 1 {
+		alt = coset.C3
+	}
+	g := &s.geom
+	for b, rng := range g.blocks {
+		m := coset.C1
+		if plan.cands[b] == 1 {
+			m = alt
+		}
+		for c := rng[0]; c < rng[1]; c++ {
+			out[c] = m[syms[c]]
+		}
+		if g.mixed && b == len(g.blocks)-1 {
+			cell := g.dataCells
+			out[cell] = coset.C1[plan.cands[b]<<1|syms[cell]&1]
+		}
+	}
+	for i, sym := range s.auxSymbols(plan.cands, plan.group) {
+		out[s.firstAuxCell()+i] = coset.C1[sym]
+	}
+}
+
+// encodeWord64 is the degenerate granularity-64 case: one block per word,
+// unrestricted choice among C1, C2, C3, two-bit index in cell 31.
+func (s *WLCRC) encodeWord64(syms []uint8, old, out []pcm.State) {
+	cands := coset.Table1[:3]
+	rng := s.geom.blocks[0]
+	idx, _ := coset.Best(&s.em, cands, syms[rng[0]:rng[1]], old[rng[0]:rng[1]])
+	coset.Encode(cands[idx], syms[rng[0]:rng[1]], out[rng[0]:rng[1]])
+	out[31] = coset.C1[uint8(idx)]
+}
+
+// Decode implements Scheme.
+func (s *WLCRC) Decode(cells []pcm.State) memline.Line {
+	if cells[memline.LineCells] != flagCompressed {
+		return rawDecode(cells)
+	}
+	var l memline.Line
+	for w := 0; w < memline.LineWords; w++ {
+		l.SetWord(w, s.decodeWord(cells[w*memline.WordCells:(w+1)*memline.WordCells]))
+	}
+	return l
+}
+
+func (s *WLCRC) decodeWord(cells []pcm.State) uint64 {
+	inv := coset.C1.Inverse()
+	g := &s.geom
+	var word uint64
+
+	if s.gran == 64 {
+		idx := int(inv[cells[31]])
+		if idx > 2 {
+			idx = 0
+		}
+		blk := make([]uint8, g.dataCells)
+		coset.Decode(coset.Table1[idx], cells[:g.dataCells], blk)
+		for c, v := range blk {
+			word |= uint64(v) << (uint(c) * 2)
+		}
+		return s.wlc.DecompressWord(word)
+	}
+
+	cands, group, mixedData := s.readAux(cells)
+	alt := coset.C2
+	if group == 1 {
+		alt = coset.C3
+	}
+	blk := make([]uint8, memline.WordCells)
+	for b, rng := range g.blocks {
+		m := coset.C1
+		if cands[b] == 1 {
+			m = alt
+		}
+		n := rng[1] - rng[0]
+		coset.Decode(m, cells[rng[0]:rng[1]], blk[:n])
+		for i := 0; i < n; i++ {
+			word |= uint64(blk[i]) << (uint(rng[0]+i) * 2)
+		}
+	}
+	if g.mixed {
+		word |= uint64(mixedData) << (uint(g.dataCells) * 2)
+	}
+	return s.wlc.DecompressWord(word)
+}
+
+// readAux recovers the candidate bits, group bit, and (for mixed
+// layouts) the mixed cell's data bit from the C1-mapped auxiliary cells.
+func (s *WLCRC) readAux(cells []pcm.State) (cands []uint8, group, mixedData uint8) {
+	inv := coset.C1.Inverse()
+	g := &s.geom
+	cands = make([]uint8, len(g.blocks))
+	switch s.gran {
+	case 8:
+		a := [4]uint8{inv[cells[28]], inv[cells[29]], inv[cells[30]], inv[cells[31]]}
+		cands[0], cands[1] = a[0]&1, a[0]>>1
+		cands[2], cands[3] = a[1]&1, a[1]>>1
+		cands[4], cands[5] = a[2]&1, a[2]>>1
+		cands[6], group = a[3]&1, a[3]>>1
+	case 16:
+		mixedSym := inv[cells[29]]
+		mixedData = mixedSym & 1
+		cands[3] = mixedSym >> 1
+		a30, a31 := inv[cells[30]], inv[cells[31]]
+		cands[2], cands[1] = a30&1, a30>>1
+		cands[0], group = a31&1, a31>>1
+	case 32:
+		mixedSym := inv[cells[30]]
+		mixedData = mixedSym & 1
+		cands[1] = mixedSym >> 1
+		a31 := inv[cells[31]]
+		cands[0], group = a31&1, a31>>1
+	}
+	return cands, group, mixedData
+}

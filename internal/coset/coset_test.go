@@ -1,0 +1,263 @@
+package coset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/prng"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// Table I, read column-wise (state <- symbol):
+	//        C1  C2  C3  C4
+	//  S1    00  11  11  11
+	//  S2    10  00  01  00
+	//  S3    11  10  00  01
+	//  S4    01  01  10  10
+	type row struct {
+		state pcm.State
+		syms  [4]uint8 // symbol mapped to this state under C1..C4
+	}
+	rows := []row{
+		{pcm.S1, [4]uint8{0b00, 0b11, 0b11, 0b11}},
+		{pcm.S2, [4]uint8{0b10, 0b00, 0b01, 0b00}},
+		{pcm.S3, [4]uint8{0b11, 0b10, 0b00, 0b01}},
+		{pcm.S4, [4]uint8{0b01, 0b01, 0b10, 0b10}},
+	}
+	for ci, m := range Table1 {
+		inv := m.Inverse()
+		for _, r := range rows {
+			if inv[r.state] != r.syms[ci] {
+				t.Errorf("C%d: state %v stores symbol %02b, want %02b",
+					ci+1, r.state, inv[r.state], r.syms[ci])
+			}
+		}
+	}
+}
+
+func TestAllMappingsValid(t *testing.T) {
+	for i, m := range Table1 {
+		if !m.Valid() {
+			t.Errorf("C%d is not a bijection: %v", i+1, m)
+		}
+	}
+	for i, m := range SixCosets() {
+		if !m.Valid() {
+			t.Errorf("6cosets[%d] is not a bijection: %v", i, m)
+		}
+	}
+}
+
+func TestC1C3Complement(t *testing.T) {
+	// Paper §III: combined, C1 and C3 map every symbol to a low-energy
+	// state (S1 or S2) in at least one of the two.
+	for v := 0; v < 4; v++ {
+		low1 := C1[v] == pcm.S1 || C1[v] == pcm.S2
+		low3 := C3[v] == pcm.S1 || C3[v] == pcm.S2
+		if !low1 && !low3 {
+			t.Errorf("symbol %02b is high-energy in both C1 and C3", v)
+		}
+	}
+}
+
+func TestC2MapsRunsToLowEnergy(t *testing.T) {
+	if C2[0b11] != pcm.S1 {
+		t.Error("C2 must map 11 to S1")
+	}
+	if C2[0b00] != pcm.S2 {
+		t.Error("C2 must map 00 to S2")
+	}
+}
+
+func TestSixCosetsProperties(t *testing.T) {
+	cands := SixCosets()
+	if len(cands) != 6 {
+		t.Fatalf("got %d candidates, want 6", len(cands))
+	}
+	// Every unordered pair of symbols must be mapped to {S1,S2} by
+	// exactly one candidate.
+	seen := map[[2]int]int{}
+	for _, m := range cands {
+		var low []int
+		for v := 0; v < 4; v++ {
+			if m[v] == pcm.S1 || m[v] == pcm.S2 {
+				low = append(low, v)
+			}
+		}
+		if len(low) != 2 {
+			t.Fatalf("candidate %v has %d low-energy symbols", m, len(low))
+		}
+		seen[[2]int{low[0], low[1]}]++
+	}
+	if len(seen) != 6 {
+		t.Errorf("low-energy pairs not unique: %v", seen)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	all := append([]Mapping{}, Table1[:]...)
+	all = append(all, SixCosets()...)
+	syms := []uint8{0, 1, 2, 3, 3, 2, 1, 0}
+	for _, m := range all {
+		states := make([]pcm.State, len(syms))
+		Encode(m, syms, states)
+		got := make([]uint8, len(syms))
+		Decode(m, states, got)
+		for i := range syms {
+			if got[i] != syms[i] {
+				t.Fatalf("mapping %v: round trip failed at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestBlockCostIdentityIsFree(t *testing.T) {
+	em := pcm.DefaultEnergy()
+	syms := []uint8{0, 1, 2, 3}
+	states := make([]pcm.State, 4)
+	Encode(C2, syms, states)
+	if c := BlockCost(&em, C2, syms, states); c != 0 {
+		t.Errorf("rewriting same data with same mapping costs %v, want 0", c)
+	}
+	if u := BlockUpdates(C2, syms, states); u != 0 {
+		t.Errorf("updates = %d, want 0", u)
+	}
+}
+
+func TestBlockCostKnownValue(t *testing.T) {
+	em := pcm.DefaultEnergy()
+	// Old cells all S1; write symbols 00,11 with C1: 00->S1 (unchanged),
+	// 11->S3 (36+307).
+	old := []pcm.State{pcm.S1, pcm.S1}
+	syms := []uint8{0b00, 0b11}
+	if c := BlockCost(&em, C1, syms, old); c != 343 {
+		t.Errorf("cost = %v, want 343", c)
+	}
+	// Same block with C2: 00->S2 (56), 11->S1 (unchanged, free).
+	if c := BlockCost(&em, C2, syms, old); c != 56 {
+		t.Errorf("C2 cost = %v, want 56", c)
+	}
+}
+
+func TestBestPicksMinimum(t *testing.T) {
+	em := pcm.DefaultEnergy()
+	old := []pcm.State{pcm.S1, pcm.S1, pcm.S1, pcm.S1}
+	// All-ones data strongly favors C2/C3/C4 (11 -> S1).
+	syms := []uint8{3, 3, 3, 3}
+	idx, cost := Best(&em, Table1[:], syms, old)
+	for i := range Table1 {
+		if c := BlockCost(&em, Table1[i], syms, old); c < cost {
+			t.Errorf("Best returned %d (%v) but %d is cheaper (%v)", idx, cost, i, c)
+		}
+	}
+	if idx == 0 {
+		t.Error("all-ones over all-S1 should not pick C1")
+	}
+}
+
+func TestBestTieBreaksTowardC1(t *testing.T) {
+	em := pcm.DefaultEnergy()
+	// Empty block: every candidate costs 0; C1 must win.
+	idx, cost := Best(&em, Table1[:], nil, nil)
+	if idx != 0 || cost != 0 {
+		t.Errorf("Best(empty) = %d, %v", idx, cost)
+	}
+}
+
+func TestQuickBestIsOptimal(t *testing.T) {
+	em := pcm.DefaultEnergy()
+	cands := SixCosets()
+	f := func(raw [8]uint8, oldRaw [8]uint8) bool {
+		syms := make([]uint8, 8)
+		old := make([]pcm.State, 8)
+		for i := range syms {
+			syms[i] = raw[i] % 4
+			old[i] = pcm.State(oldRaw[i] % 4)
+		}
+		idx, cost := Best(&em, cands, syms, old)
+		for i := range cands {
+			if BlockCost(&em, cands[i], syms, old) < cost {
+				return false
+			}
+		}
+		return idx >= 0 && idx < len(cands)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAuxPairsOrderedAndComplete(t *testing.T) {
+	em := pcm.DefaultEnergy()
+	pairs := AuxPairs(&em)
+	if len(pairs) != 16 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	for i := 1; i < len(pairs); i++ {
+		ei := em.Set[pairs[i-1][0]] + em.Set[pairs[i-1][1]]
+		ej := em.Set[pairs[i][0]] + em.Set[pairs[i][1]]
+		if ei > ej {
+			t.Errorf("pairs not sorted at %d: %v then %v", i, pairs[i-1], pairs[i])
+		}
+	}
+	// Cheapest must be (S1,S1); the 6 cheapest must avoid S4 entirely
+	// and include only {S1,S2,S3} combos of low total energy.
+	if pairs[0] != [2]pcm.State{pcm.S1, pcm.S1} {
+		t.Errorf("cheapest pair = %v", pairs[0])
+	}
+	seen := map[[2]pcm.State]bool{}
+	for _, p := range pairs {
+		if seen[p] {
+			t.Errorf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPackUnpackBits(t *testing.T) {
+	bits := []uint8{1, 0, 1, 1, 0, 0, 1}
+	dst := make([]pcm.State, 4)
+	PackBitsToStates(bits, dst)
+	got := UnpackStatesToBits(dst, len(bits))
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d: got %d want %d", i, got[i], bits[i])
+		}
+	}
+	// Zero bits must land in S1 (cheap, most frequent per §IX.A).
+	PackBitsToStates([]uint8{0, 0}, dst)
+	if dst[0] != pcm.S1 {
+		t.Errorf("bits 00 stored as %v, want S1", dst[0])
+	}
+}
+
+func TestQuickPackUnpack(t *testing.T) {
+	r := prng.New(11)
+	f := func(n8 uint8) bool {
+		n := int(n8)%63 + 1
+		bits := make([]uint8, n)
+		for i := range bits {
+			bits[i] = uint8(r.Intn(2))
+		}
+		dst := make([]pcm.State, (n+1)/2)
+		PackBitsToStates(bits, dst)
+		got := UnpackStatesToBits(dst, n)
+		for i := range bits {
+			if got[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	s := C1.String()
+	if s != "S1<-00 S2<-10 S3<-11 S4<-01" {
+		t.Errorf("C1.String() = %q", s)
+	}
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"wlcrc/internal/core"
+	"wlcrc/internal/coset"
+	"wlcrc/internal/sim"
+	"wlcrc/internal/stats"
+	"wlcrc/internal/workload"
+)
+
+// Ablations quantify the design choices DESIGN.md calls out beyond what
+// the paper's own figures cover:
+//
+//  1. multi-objective threshold sweep (§VIII.D generalized),
+//  2. the write-disturbance-aware extension's lambda sweep (§XI future
+//     work),
+//  3. WLCRC against its own uncompressed restricted-coset core
+//     (3-r-cosets with external aux cells): how much of the win is the
+//     in-word embedding vs the restriction itself.
+
+// AblationMultiObjective sweeps the §VIII.D threshold T.
+func AblationMultiObjective(cfg Config, thresholds []float64) *stats.Table {
+	t := stats.NewTable("T", "pJ/write", "cells/write", "vs T=0 energy", "vs T=0 cells")
+	base := runWLCRCVariant(cfg, core.Config{Energy: cfg.Energy})
+	t.Row("0 (plain)", base.AvgEnergy(), base.AvgUpdated(), "-", "-")
+	for _, T := range thresholds {
+		cc := core.Config{Energy: cfg.Energy, MultiObjectiveT: T}
+		m := runWLCRCVariant(cfg, cc)
+		t.Row(stats.Percent(T), m.AvgEnergy(), m.AvgUpdated(),
+			stats.Percent(stats.Improvement(m.AvgEnergy(), base.AvgEnergy())),
+			stats.Percent(stats.Improvement(m.AvgUpdated(), base.AvgUpdated())))
+	}
+	return t
+}
+
+// AblationDisturbAware sweeps the §XI lambda (pJ per expected error).
+func AblationDisturbAware(cfg Config, lambdas []float64) *stats.Table {
+	t := stats.NewTable("lambda pJ/err", "pJ/write", "disturb/write", "vs l=0 energy", "vs l=0 disturb")
+	base := runWLCRCVariant(cfg, core.Config{Energy: cfg.Energy})
+	t.Row("0 (plain)", base.AvgEnergy(), base.AvgDisturb(), "-", "-")
+	for _, l := range lambdas {
+		cc := core.Config{Energy: cfg.Energy, DisturbAwareLambda: l}
+		m := runWLCRCVariant(cfg, cc)
+		t.Row(l, m.AvgEnergy(), m.AvgDisturb(),
+			stats.Percent(stats.Improvement(m.AvgEnergy(), base.AvgEnergy())),
+			stats.Percent(stats.Improvement(m.AvgDisturb(), base.AvgDisturb())))
+	}
+	return t
+}
+
+// AblationEmbedding compares WLCRC-16 against the same restricted coset
+// coding with auxiliary symbols stored in *extra* cells (3-r-cosets-16,
+// §V) and against unrestricted 3cosets-16: isolating (a) the value of
+// the coset restriction and (b) the value of embedding the aux bits into
+// WLC-reclaimed space.
+func AblationEmbedding(cfg Config) *stats.Table {
+	ccfg := core.Config{Energy: cfg.Energy}
+	wlcrc16, err := core.NewWLCRC(ccfg, 16)
+	if err != nil {
+		panic(err)
+	}
+	schemes := []core.Scheme{
+		core.NewLineCosets(ccfg, "3cosets-16(ext-aux)", coset.Table1[:3], 16),
+		core.NewRestrictedLineCosets(ccfg, 16),
+		wlcrc16,
+	}
+	results := runMatrix(cfg, workload.Profiles(), schemes)
+	t := stats.NewTable("variant", "pJ/write", "aux pJ", "cells/write", "aux cells")
+	for _, s := range schemes {
+		t.Row(s.Name(),
+			averages(results, s.Name(), "", sim.Metrics.AvgEnergy),
+			averages(results, s.Name(), "", sim.Metrics.AvgEnergyAux),
+			averages(results, s.Name(), "", sim.Metrics.AvgUpdated),
+			s.TotalCells()-256)
+	}
+	return t
+}
+
+// runWLCRCVariant runs a WLCRC-16 built from cc over all benchmarks and
+// returns the pooled metrics.
+func runWLCRCVariant(cfg Config, cc core.Config) sim.Metrics {
+	s, err := core.NewWLCRC(cc, 16)
+	if err != nil {
+		panic(err)
+	}
+	results := runMatrix(cfg, workload.Profiles(), []core.Scheme{s})
+	var pooled sim.Metrics
+	pooled.Scheme = s.Name()
+	for _, r := range results {
+		pooled.Writes += r.M.Writes
+		pooled.Energy.Add(r.M.Energy)
+		pooled.Disturb.Add(r.M.Disturb)
+	}
+	return pooled
+}

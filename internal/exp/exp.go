@@ -1,0 +1,161 @@
+// Package exp contains the experiment runners that regenerate every
+// table and figure of the paper's evaluation (Figures 1-5, 8-14, the
+// §VI.B hardware table and the §VIII.D multi-objective study). Each
+// runner returns structured results plus a formatted table; cmd/experiments
+// prints them and EXPERIMENTS.md records paper-vs-measured values.
+package exp
+
+import (
+	"fmt"
+
+	"wlcrc/internal/core"
+	"wlcrc/internal/coset"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/sim"
+	"wlcrc/internal/stats"
+	"wlcrc/internal/workload"
+)
+
+// Config scales the experiments. The paper uses 200M-line runs on a
+// farm; the defaults here reproduce the shapes in seconds on a laptop.
+// Crank WritesPerBenchmark up for tighter confidence intervals.
+type Config struct {
+	// WritesPerBenchmark is the number of write requests replayed per
+	// benchmark profile.
+	WritesPerBenchmark int
+	// RandomWrites is the number of writes for random-workload figures.
+	RandomWrites int
+	// Footprint overrides the per-profile working-set size (0 = default).
+	Footprint int
+	// WarmupWrites are replayed (per benchmark) before metrics start
+	// accumulating, so results reflect steady state rather than cold
+	// first writes. Negative disables; zero picks 2x the footprint.
+	WarmupWrites int
+	// Seed makes every experiment deterministic.
+	Seed uint64
+	// Energy is the device energy model (Fig 14 swaps it).
+	Energy pcm.EnergyModel
+}
+
+// DefaultConfig returns laptop-scale defaults.
+func DefaultConfig() Config {
+	return Config{
+		WritesPerBenchmark: 2000,
+		RandomWrites:       4000,
+		Seed:               1,
+		Energy:             pcm.DefaultEnergy(),
+	}
+}
+
+func (c Config) coreConfig() core.Config {
+	return core.Config{Energy: c.Energy}
+}
+
+// BenchResult holds one scheme's metrics on one benchmark.
+type BenchResult struct {
+	Benchmark string
+	HMI       bool
+	Scheme    string
+	M         sim.Metrics
+}
+
+// runMatrix replays every profile through every scheme and returns
+// results indexed [benchmark][scheme]. Each benchmark is warmed up so
+// metrics reflect steady state.
+func runMatrix(cfg Config, profiles []workload.Profile, schemes []core.Scheme) []BenchResult {
+	var out []BenchResult
+	for _, p := range profiles {
+		s := sim.New(simOptions(cfg), schemes...)
+		gen := workload.NewGenerator(p, cfg.Footprint, cfg.Seed)
+		if w := cfg.warmup(p); w > 0 {
+			if err := s.Run(&workload.Limited{Src: gen, N: w}, 0); err != nil {
+				panic(fmt.Sprintf("exp: %s warmup: %v", p.Name, err))
+			}
+			s.ResetMetrics()
+		}
+		src := &workload.Limited{Src: gen, N: cfg.WritesPerBenchmark}
+		if err := s.Run(src, 0); err != nil {
+			panic(fmt.Sprintf("exp: %s: %v", p.Name, err))
+		}
+		for _, m := range s.Metrics() {
+			out = append(out, BenchResult{Benchmark: p.Name, HMI: p.HMI, Scheme: m.Scheme, M: m})
+		}
+	}
+	return out
+}
+
+// warmup resolves the warm-up budget for one profile.
+func (c Config) warmup(p workload.Profile) int {
+	if c.WarmupWrites != 0 {
+		if c.WarmupWrites < 0 {
+			return 0
+		}
+		return c.WarmupWrites
+	}
+	fp := c.Footprint
+	if fp <= 0 {
+		fp = p.FootprintLines
+	}
+	return 2 * fp
+}
+
+func simOptions(cfg Config) sim.Options {
+	o := sim.DefaultOptions()
+	o.Energy = cfg.Energy
+	o.Seed = cfg.Seed
+	return o
+}
+
+// runRandom replays the random workload through the schemes.
+func runRandom(cfg Config, schemes []core.Scheme) []sim.Metrics {
+	s := sim.New(simOptions(cfg), schemes...)
+	p := workload.RandomProfile()
+	gen := workload.NewGenerator(p, cfg.Footprint, cfg.Seed)
+	if w := cfg.warmup(p); w > 0 {
+		if err := s.Run(&workload.Limited{Src: gen, N: w}, 0); err != nil {
+			panic(fmt.Sprintf("exp: random warmup: %v", err))
+		}
+		s.ResetMetrics()
+	}
+	if err := s.Run(&workload.Limited{Src: gen, N: cfg.RandomWrites}, 0); err != nil {
+		panic(fmt.Sprintf("exp: random: %v", err))
+	}
+	return s.Metrics()
+}
+
+// averages computes the mean of a metric over benchmarks for one scheme,
+// restricted by group: "HMI", "LMI" or "" for all.
+func averages(results []BenchResult, scheme, group string, metric func(sim.Metrics) float64) float64 {
+	var xs []float64
+	for _, r := range results {
+		if r.Scheme != scheme {
+			continue
+		}
+		if group == "HMI" && !r.HMI || group == "LMI" && r.HMI {
+			continue
+		}
+		xs = append(xs, metric(r.M))
+	}
+	return stats.Mean(xs)
+}
+
+// granularityCosetSchemes builds the unrestricted coset encoders used by
+// the sweep figures.
+func granularityCosetSchemes(cfg Config, name string, grans []int) []core.Scheme {
+	var cands []coset.Mapping
+	switch name {
+	case "6cosets":
+		cands = coset.SixCosets()
+	case "4cosets":
+		cands = coset.Table1[:]
+	case "3cosets":
+		cands = coset.Table1[:3]
+	default:
+		panic("exp: unknown coset family " + name)
+	}
+	var out []core.Scheme
+	for _, g := range grans {
+		out = append(out, core.NewLineCosets(cfg.coreConfig(), fmt.Sprintf("%s-%d", name, g), cands, g))
+	}
+	return out
+}

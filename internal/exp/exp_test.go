@@ -1,0 +1,212 @@
+package exp
+
+import (
+	"testing"
+
+	"wlcrc/internal/sim"
+	"wlcrc/internal/stats"
+)
+
+// smallConfig keeps the unit-test runs fast; TestHeadline* use a larger
+// budget and are skipped with -short.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WritesPerBenchmark = 300
+	cfg.RandomWrites = 400
+	cfg.Footprint = 256
+	return cfg
+}
+
+func TestFigure1Shapes(t *testing.T) {
+	cfg := smallConfig()
+	// Random workload (a): data energy must fall and aux energy must
+	// rise as granularity shrinks.
+	points, tbl := Figure1(cfg, true)
+	if len(points) != 7 {
+		t.Fatalf("got %d points", len(points))
+	}
+	if tbl.String() == "" {
+		t.Error("empty table")
+	}
+	first, last := points[0], points[len(points)-1] // 8-bit vs 512-bit
+	if first.Granularity != 8 || last.Granularity != 512 {
+		t.Fatalf("granularity order wrong: %v .. %v", first.Granularity, last.Granularity)
+	}
+	if first.EnergyBlk >= last.EnergyBlk {
+		t.Errorf("random: blk energy at 8b (%.0f) should be below 512b (%.0f)",
+			first.EnergyBlk, last.EnergyBlk)
+	}
+	if first.EnergyAux <= last.EnergyAux {
+		t.Errorf("random: aux energy at 8b (%.0f) should exceed 512b (%.0f)",
+			first.EnergyAux, last.EnergyAux)
+	}
+	// Biased workloads (b): same trend directions.
+	pointsB, _ := Figure1(cfg, false)
+	if pointsB[0].EnergyAux <= pointsB[len(pointsB)-1].EnergyAux {
+		t.Error("biased: aux energy should grow at fine granularity")
+	}
+	// Biased energy well below random energy (paper: data locality).
+	if pointsB[3].Total() >= points[3].Total() {
+		t.Errorf("biased total %.0f should be below random total %.0f",
+			pointsB[3].Total(), points[3].Total())
+	}
+}
+
+func TestFigure2AuxAdvantage(t *testing.T) {
+	// On random data, 6cosets' blk energy is lower than 4cosets' at
+	// every granularity (more candidates = more freedom).
+	points, _ := Figure2(smallConfig())
+	for i := range points["6cosets"] {
+		p6, p4 := points["6cosets"][i], points["4cosets"][i]
+		if p6.EnergyBlk > p4.EnergyBlk*1.02 {
+			t.Errorf("g=%d: 6cosets blk %.0f worse than 4cosets %.0f",
+				p6.Granularity, p6.EnergyBlk, p4.EnergyBlk)
+		}
+	}
+}
+
+func TestFigure3TotalsComparable(t *testing.T) {
+	// Paper: on biased data the totals are nearly equal ("the write
+	// energy of 4cosets is almost equal to that of 6cosets").
+	points, _ := Figure3(smallConfig())
+	for i := range points["6cosets"] {
+		p6, p4 := points["6cosets"][i], points["4cosets"][i]
+		lo, hi := p6.Total(), p4.Total()
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi/lo > 1.35 {
+			t.Errorf("g=%d: totals diverge: 6cosets %.0f vs 4cosets %.0f",
+				p6.Granularity, p6.Total(), p4.Total())
+		}
+	}
+}
+
+func TestFigure4AverageRow(t *testing.T) {
+	rows, tbl := Figure4(smallConfig())
+	if rows[len(rows)-1].Benchmark != "ave." {
+		t.Fatal("missing average row")
+	}
+	avg := rows[len(rows)-1]
+	if avg.WLC[6] < 0.85 {
+		t.Errorf("avg WLC k=6 = %.2f, want >= 0.85", avg.WLC[6])
+	}
+	if avg.FPCBDI > 0.45 {
+		t.Errorf("avg FPC+BDI = %.2f, want ~0.30", avg.FPCBDI)
+	}
+	if avg.COC < 0.85 {
+		t.Errorf("avg COC = %.2f", avg.COC)
+	}
+	if tbl.String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestFigure5RestrictedClose(t *testing.T) {
+	// §V: restricting the cosets "increases very little the write energy
+	// relative to 4cosets"; aux energy must be lower for 3-r-cosets.
+	points, _ := Figure5(smallConfig())
+	for i := range points["4cosets"] {
+		p4, pr := points["4cosets"][i], points["3-r-cosets"][i]
+		if pr.EnergyAux > p4.EnergyAux {
+			t.Errorf("g=%d: restricted aux %.0f exceeds 4cosets aux %.0f",
+				pr.Granularity, pr.EnergyAux, p4.EnergyAux)
+		}
+		if pr.Total() > p4.Total()*1.25 {
+			t.Errorf("g=%d: restricted total %.0f much worse than 4cosets %.0f",
+				pr.Granularity, pr.Total(), p4.Total())
+		}
+	}
+}
+
+func TestEvaluationOrderings(t *testing.T) {
+	// The Figure 8 ordering that defines the paper: WLCRC-16 wins, the
+	// WLC family beats the full-line schemes, everything beats Baseline.
+	e := RunEvaluation(smallConfig())
+	energy := func(s string) float64 { return e.Average(s, sim.Metrics.AvgEnergy) }
+	if energy("WLCRC-16") >= energy("WLC+4cosets") {
+		t.Errorf("WLCRC-16 %.0f should beat WLC+4cosets %.0f",
+			energy("WLCRC-16"), energy("WLC+4cosets"))
+	}
+	if energy("WLC+4cosets") >= energy("6cosets") {
+		t.Errorf("WLC+4cosets %.0f should beat 6cosets %.0f",
+			energy("WLC+4cosets"), energy("6cosets"))
+	}
+	for _, s := range []string{"FlipMin", "FNW", "DIN", "6cosets", "COC+4cosets", "WLC+4cosets", "WLCRC-16"} {
+		if energy(s) >= energy("Baseline") {
+			t.Errorf("%s %.0f should beat Baseline %.0f", s, energy(s), energy("Baseline"))
+		}
+	}
+	// Tables render.
+	for _, tbl := range []*stats.Table{e.Figure8(), e.Figure9(), e.Figure10()} {
+		if tbl.String() == "" {
+			t.Error("empty evaluation table")
+		}
+	}
+	if e.Headline() == "" {
+		t.Error("empty headline")
+	}
+}
+
+func TestGranularityStudyWLCRC16Wins(t *testing.T) {
+	points, tbl := GranularityStudy(smallConfig())
+	if tbl.String() == "" {
+		t.Error("empty table")
+	}
+	// Fig 11: WLCRC's minimum must be at 16-bit granularity and beat the
+	// unrestricted families' minima.
+	wl := points["WLCRC"]
+	best := wl[0]
+	for _, p := range wl {
+		if p.Total() < best.Total() {
+			best = p
+		}
+	}
+	if best.Granularity != 16 {
+		t.Errorf("WLCRC minimum at %d bits, want 16", best.Granularity)
+	}
+	for _, fam := range []string{"4cosets", "3cosets"} {
+		min := points[fam][0].Total()
+		for _, p := range points[fam] {
+			if p.Total() < min {
+				min = p.Total()
+			}
+		}
+		if best.Total() >= min {
+			t.Errorf("WLCRC-16 %.0f should beat %s minimum %.0f", best.Total(), fam, min)
+		}
+	}
+}
+
+func TestFigure14Monotonic(t *testing.T) {
+	points, tbl := Figure14(smallConfig())
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	if tbl.String() == "" {
+		t.Error("empty table")
+	}
+	// Improvement must shrink as intermediate-state energies shrink, but
+	// stay substantial (paper: 52% -> 32%).
+	if points[0].Improvement <= points[3].Improvement {
+		t.Errorf("improvement should shrink: %.2f .. %.2f",
+			points[0].Improvement, points[3].Improvement)
+	}
+	if points[3].Improvement < 0.15 {
+		t.Errorf("improvement at lowest energies %.2f, want >= 0.15 (paper: 32%%)",
+			points[3].Improvement)
+	}
+}
+
+func TestMultiObjectiveStudy(t *testing.T) {
+	res, tbl := MultiObjective(smallConfig())
+	if tbl.String() == "" {
+		t.Error("empty table")
+	}
+	if res.MultiUpdated > res.PlainUpdated {
+		t.Errorf("T=1%% updated %.1f exceeds plain %.1f", res.MultiUpdated, res.PlainUpdated)
+	}
+	if res.MultiEnergy > res.PlainEnergy*1.05 {
+		t.Errorf("T=1%% energy %.0f exceeds plain %.0f by >5%%", res.MultiEnergy, res.PlainEnergy)
+	}
+}

@@ -1,0 +1,452 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"wlcrc/internal/compress"
+	"wlcrc/internal/core"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/sim"
+	"wlcrc/internal/stats"
+	"wlcrc/internal/workload"
+)
+
+// SweepPoint is one granularity point of an energy sweep figure.
+type SweepPoint struct {
+	Scheme      string
+	Granularity int
+	EnergyBlk   float64 // pJ per write, data region
+	EnergyAux   float64 // pJ per write, aux region
+	UpdatedBlk  float64
+	UpdatedAux  float64
+	DisturbBlk  float64
+	DisturbAux  float64
+}
+
+// Total returns total energy per write.
+func (p SweepPoint) Total() float64 { return p.EnergyBlk + p.EnergyAux }
+
+// Figure1 reproduces Fig 1: 6cosets write energy (blk, aux, blk+aux)
+// versus data block granularity 8..512 bits, for the random workload
+// (variant (a)) or the biased SPEC/PARSEC workloads (variant (b)).
+func Figure1(cfg Config, random bool) ([]SweepPoint, *stats.Table) {
+	grans := []int{8, 16, 32, 64, 128, 256, 512}
+	schemes := granularityCosetSchemes(cfg, "6cosets", grans)
+	points := sweep(cfg, schemes, grans, random)
+	t := stats.NewTable("granularity", "blk pJ", "aux pJ", "blk+aux pJ")
+	for _, p := range points {
+		t.Row(p.Granularity, p.EnergyBlk, p.EnergyAux, p.Total())
+	}
+	return points, t
+}
+
+// Figure2 reproduces Fig 2 (random workload) and Figure3 reproduces
+// Fig 3 (biased workloads): 6cosets versus 4cosets across granularities
+// 8..128, reporting aux, blk and total energy.
+func Figure2(cfg Config) (map[string][]SweepPoint, *stats.Table) {
+	return cosetComparison(cfg, []string{"6cosets", "4cosets"}, true)
+}
+
+// Figure3 is the biased-workload companion of Figure2.
+func Figure3(cfg Config) (map[string][]SweepPoint, *stats.Table) {
+	return cosetComparison(cfg, []string{"6cosets", "4cosets"}, false)
+}
+
+func cosetComparison(cfg Config, families []string, random bool) (map[string][]SweepPoint, *stats.Table) {
+	grans := []int{8, 16, 32, 64, 128}
+	out := make(map[string][]SweepPoint)
+	for _, fam := range families {
+		schemes := granularityCosetSchemes(cfg, fam, grans)
+		out[fam] = sweep(cfg, schemes, grans, random)
+	}
+	t := stats.NewTable(append([]string{"granularity"}, tableCols(families)...)...)
+	for i, g := range grans {
+		row := []interface{}{g}
+		for _, fam := range families {
+			p := out[fam][i]
+			row = append(row, p.EnergyAux, p.EnergyBlk, p.Total())
+		}
+		t.Row(row...)
+	}
+	return out, t
+}
+
+func tableCols(families []string) []string {
+	var cols []string
+	for _, f := range families {
+		cols = append(cols, f+" aux", f+" blk", f+" total")
+	}
+	return cols
+}
+
+// Figure5 reproduces Fig 5: 4cosets vs 3cosets vs the line-level
+// restricted 3-r-cosets on the biased workloads, 8..128-bit blocks.
+func Figure5(cfg Config) (map[string][]SweepPoint, *stats.Table) {
+	grans := []int{8, 16, 32, 64, 128}
+	out := make(map[string][]SweepPoint)
+	for _, fam := range []string{"4cosets", "3cosets"} {
+		out[fam] = sweep(cfg, granularityCosetSchemes(cfg, fam, grans), grans, false)
+	}
+	var rSchemes []core.Scheme
+	for _, g := range grans {
+		rSchemes = append(rSchemes, core.NewRestrictedLineCosets(cfg.coreConfig(), g))
+	}
+	out["3-r-cosets"] = sweep(cfg, rSchemes, grans, false)
+	families := []string{"4cosets", "3cosets", "3-r-cosets"}
+	t := stats.NewTable(append([]string{"granularity"}, tableCols(families)...)...)
+	for i, g := range grans {
+		row := []interface{}{g}
+		for _, fam := range families {
+			p := out[fam][i]
+			row = append(row, p.EnergyAux, p.EnergyBlk, p.Total())
+		}
+		t.Row(row...)
+	}
+	return out, t
+}
+
+// sweep runs one scheme per granularity and averages metrics over the
+// workload set.
+func sweep(cfg Config, schemes []core.Scheme, grans []int, random bool) []SweepPoint {
+	var points []SweepPoint
+	if random {
+		ms := runRandom(cfg, schemes)
+		for i, m := range ms {
+			points = append(points, metricPoint(m, schemes[i].Name(), grans[i]))
+		}
+		return points
+	}
+	results := runMatrix(cfg, workload.Profiles(), schemes)
+	for i, s := range schemes {
+		points = append(points, SweepPoint{
+			Scheme:      s.Name(),
+			Granularity: grans[i],
+			EnergyBlk:   averages(results, s.Name(), "", sim.Metrics.AvgEnergyData),
+			EnergyAux:   averages(results, s.Name(), "", sim.Metrics.AvgEnergyAux),
+			UpdatedBlk:  averages(results, s.Name(), "", sim.Metrics.AvgUpdatedData),
+			UpdatedAux:  averages(results, s.Name(), "", sim.Metrics.AvgUpdatedAux),
+			DisturbBlk:  averages(results, s.Name(), "", sim.Metrics.AvgDisturbData),
+			DisturbAux:  averages(results, s.Name(), "", sim.Metrics.AvgDisturbAux),
+		})
+	}
+	return points
+}
+
+func metricPoint(m sim.Metrics, name string, gran int) SweepPoint {
+	return SweepPoint{
+		Scheme:      name,
+		Granularity: gran,
+		EnergyBlk:   m.AvgEnergyData(),
+		EnergyAux:   m.AvgEnergyAux(),
+		UpdatedBlk:  m.AvgUpdatedData(),
+		UpdatedAux:  m.AvgUpdatedAux(),
+		DisturbBlk:  m.AvgDisturbData(),
+		DisturbAux:  m.AvgDisturbAux(),
+	}
+}
+
+// Figure4Row is one benchmark's compression coverage.
+type Figure4Row struct {
+	Benchmark string
+	WLC       map[int]float64 // k -> fraction of lines compressed
+	COC       float64
+	FPCBDI    float64
+}
+
+// Figure4 reproduces Fig 4: percentage of memory lines compressed by WLC
+// (k = 4..9 MSBs), COC (448-bit gate) and FPC+BDI (DIN's 369-bit gate),
+// per benchmark plus the average.
+func Figure4(cfg Config) ([]Figure4Row, *stats.Table) {
+	var rows []Figure4Row
+	ks := []int{4, 5, 6, 7, 8, 9}
+	for _, p := range workload.Profiles() {
+		g := workload.NewGenerator(p, cfg.Footprint, cfg.Seed)
+		row := Figure4Row{Benchmark: p.Name, WLC: map[int]float64{}}
+		hits := map[int]int{}
+		coc, fb := 0, 0
+		n := cfg.WritesPerBenchmark
+		for i := 0; i < n; i++ {
+			req, _ := g.Next()
+			for _, k := range ks {
+				if (compress.WLC{K: k}).LineCompressible(&req.New) {
+					hits[k]++
+				}
+			}
+			if compress.COCSize(&req.New) <= 448 {
+				coc++
+			}
+			if compress.FPCBDISize(&req.New) <= 369 {
+				fb++
+			}
+		}
+		for _, k := range ks {
+			row.WLC[k] = float64(hits[k]) / float64(n)
+		}
+		row.COC = float64(coc) / float64(n)
+		row.FPCBDI = float64(fb) / float64(n)
+		rows = append(rows, row)
+	}
+	// Average row.
+	avg := Figure4Row{Benchmark: "ave.", WLC: map[int]float64{}}
+	for _, r := range rows {
+		for _, k := range ks {
+			avg.WLC[k] += r.WLC[k]
+		}
+		avg.COC += r.COC
+		avg.FPCBDI += r.FPCBDI
+	}
+	n := float64(len(rows))
+	for _, k := range ks {
+		avg.WLC[k] /= n
+	}
+	avg.COC /= n
+	avg.FPCBDI /= n
+	rows = append(rows, avg)
+
+	t := stats.NewTable("bench", "4-MSBs", "5-MSBs", "6-MSBs", "7-MSBs", "8-MSBs", "9-MSBs", "COC", "FPC+BDI")
+	for _, r := range rows {
+		t.Row(r.Benchmark,
+			stats.Percent(r.WLC[4]), stats.Percent(r.WLC[5]), stats.Percent(r.WLC[6]),
+			stats.Percent(r.WLC[7]), stats.Percent(r.WLC[8]), stats.Percent(r.WLC[9]),
+			stats.Percent(r.COC), stats.Percent(r.FPCBDI))
+	}
+	return rows, t
+}
+
+// Evaluation runs the Figure 8/9/10 matrix once: the eight §VIII schemes
+// across all benchmarks.
+type Evaluation struct {
+	Results []BenchResult
+	Schemes []string
+}
+
+// RunEvaluation executes the main evaluation matrix.
+func RunEvaluation(cfg Config) *Evaluation {
+	names := core.EvaluationSchemes()
+	var schemes []core.Scheme
+	for _, n := range names {
+		s, err := core.NewScheme(n, cfg.coreConfig())
+		if err != nil {
+			panic(err)
+		}
+		schemes = append(schemes, s)
+	}
+	return &Evaluation{
+		Results: runMatrix(cfg, workload.Profiles(), schemes),
+		Schemes: names,
+	}
+}
+
+// Table formats one metric of the evaluation matrix in the paper's
+// Figure 8/9/10 layout: benchmarks as rows (HMI then LMI), schemes as
+// columns, with HMI/LMI/overall average rows.
+func (e *Evaluation) Table(metric func(sim.Metrics) float64, unit string) *stats.Table {
+	t := stats.NewTable(append([]string{"bench (" + unit + ")"}, e.Schemes...)...)
+	writeGroup := func(hmi bool, label string) {
+		for _, p := range workload.Profiles() {
+			if p.HMI != hmi {
+				continue
+			}
+			row := []interface{}{p.Name}
+			for _, s := range e.Schemes {
+				row = append(row, e.metricFor(p.Name, s, metric))
+			}
+			t.Row(row...)
+		}
+		row := []interface{}{label}
+		for _, s := range e.Schemes {
+			group := "HMI"
+			if !hmi {
+				group = "LMI"
+			}
+			row = append(row, averages(e.Results, s, group, metric))
+		}
+		t.Row(row...)
+	}
+	writeGroup(true, "Ave.HMI")
+	writeGroup(false, "Ave.LMI")
+	row := []interface{}{"Ave."}
+	for _, s := range e.Schemes {
+		row = append(row, averages(e.Results, s, "", metric))
+	}
+	t.Row(row...)
+	return t
+}
+
+func (e *Evaluation) metricFor(bench, scheme string, metric func(sim.Metrics) float64) float64 {
+	for _, r := range e.Results {
+		if r.Benchmark == bench && r.Scheme == scheme {
+			return metric(r.M)
+		}
+	}
+	return 0
+}
+
+// Average returns the all-benchmark average of a metric for a scheme.
+func (e *Evaluation) Average(scheme string, metric func(sim.Metrics) float64) float64 {
+	return averages(e.Results, scheme, "", metric)
+}
+
+// Figure8 formats write energy; Figure9 updated cells; Figure10
+// disturbance errors.
+func (e *Evaluation) Figure8() *stats.Table {
+	return e.Table(sim.Metrics.AvgEnergy, "pJ")
+}
+
+// Figure9 formats the endurance metric.
+func (e *Evaluation) Figure9() *stats.Table {
+	return e.Table(sim.Metrics.AvgUpdated, "cells")
+}
+
+// Figure10 formats the disturbance metric.
+func (e *Evaluation) Figure10() *stats.Table {
+	return e.Table(sim.Metrics.AvgDisturb, "errors")
+}
+
+// Headline summarizes the paper's headline comparisons from an
+// evaluation run.
+func (e *Evaluation) Headline() string {
+	energy := func(s string) float64 { return e.Average(s, sim.Metrics.AvgEnergy) }
+	upd := func(s string) float64 { return e.Average(s, sim.Metrics.AvgUpdated) }
+	var b strings.Builder
+	fmt.Fprintf(&b, "WLCRC-16 energy vs Baseline:    %s (paper: 52%%)\n",
+		stats.Percent(stats.Improvement(energy("WLCRC-16"), energy("Baseline"))))
+	fmt.Fprintf(&b, "WLCRC-16 energy vs 6cosets:     %s (paper: 39%%)\n",
+		stats.Percent(stats.Improvement(energy("WLCRC-16"), energy("6cosets"))))
+	fmt.Fprintf(&b, "WLCRC-16 energy vs DIN:         %s (paper: 39%%)\n",
+		stats.Percent(stats.Improvement(energy("WLCRC-16"), energy("DIN"))))
+	fmt.Fprintf(&b, "WLCRC-16 energy vs FlipMin:     %s (paper: 48%%)\n",
+		stats.Percent(stats.Improvement(energy("WLCRC-16"), energy("FlipMin"))))
+	fmt.Fprintf(&b, "WLCRC-16 energy vs COC+4cosets: %s (paper: 39%%)\n",
+		stats.Percent(stats.Improvement(energy("WLCRC-16"), energy("COC+4cosets"))))
+	fmt.Fprintf(&b, "WLCRC-16 energy vs WLC+4cosets: %s (paper: 10%%)\n",
+		stats.Percent(stats.Improvement(energy("WLCRC-16"), energy("WLC+4cosets"))))
+	fmt.Fprintf(&b, "WLC+4cosets energy vs Baseline: %s (paper: 46%%)\n",
+		stats.Percent(stats.Improvement(energy("WLC+4cosets"), energy("Baseline"))))
+	fmt.Fprintf(&b, "WLCRC-16 updated cells vs Baseline: %s (paper: 20%%)\n",
+		stats.Percent(stats.Improvement(upd("WLCRC-16"), upd("Baseline"))))
+	fmt.Fprintf(&b, "WLCRC-16 updated cells vs 6cosets:  %s (paper: 11%%)\n",
+		stats.Percent(stats.Improvement(upd("WLCRC-16"), upd("6cosets"))))
+	return b.String()
+}
+
+// GranularityStudy runs the Figure 11/12/13 sweep: WLC+4cosets,
+// WLC+3cosets and WLCRC at 8/16/32/64-bit blocks on the biased
+// workloads.
+func GranularityStudy(cfg Config) (map[string][]SweepPoint, *stats.Table) {
+	grans := []int{8, 16, 32, 64}
+	families := []string{"4cosets", "3cosets", "WLCRC"}
+	out := make(map[string][]SweepPoint)
+	for _, fam := range families {
+		var schemes []core.Scheme
+		for _, g := range grans {
+			var s core.Scheme
+			var err error
+			switch fam {
+			case "4cosets":
+				s, err = core.NewWLCCosets(cfg.coreConfig(), 4, g)
+			case "3cosets":
+				s, err = core.NewWLCCosets(cfg.coreConfig(), 3, g)
+			default:
+				s, err = core.NewWLCRC(cfg.coreConfig(), g)
+			}
+			if err != nil {
+				panic(err)
+			}
+			schemes = append(schemes, s)
+		}
+		out[fam] = sweep(cfg, schemes, grans, false)
+	}
+	t := stats.NewTable("granularity",
+		"4cosets blk", "4cosets aux", "3cosets blk", "3cosets aux", "WLCRC blk", "WLCRC aux",
+		"4cosets upd", "3cosets upd", "WLCRC upd",
+		"4cosets dist", "3cosets dist", "WLCRC dist")
+	for i, g := range grans {
+		p4, p3, pw := out["4cosets"][i], out["3cosets"][i], out["WLCRC"][i]
+		t.Row(g,
+			p4.EnergyBlk, p4.EnergyAux, p3.EnergyBlk, p3.EnergyAux, pw.EnergyBlk, pw.EnergyAux,
+			p4.UpdatedBlk+p4.UpdatedAux, p3.UpdatedBlk+p3.UpdatedAux, pw.UpdatedBlk+pw.UpdatedAux,
+			p4.DisturbBlk+p4.DisturbAux, p3.DisturbBlk+p3.DisturbAux, pw.DisturbBlk+pw.DisturbAux)
+	}
+	return out, t
+}
+
+// Figure14Point is one energy-level sensitivity point.
+type Figure14Point struct {
+	S3, S4      float64 // SET energies in pJ
+	Improvement float64 // WLCRC-16 energy improvement over baseline
+}
+
+// Figure14 reproduces the §X sensitivity study: WLCRC-16's improvement
+// over the baseline as the intermediate state energies shrink.
+func Figure14(cfg Config) ([]Figure14Point, *stats.Table) {
+	levels := []struct{ s3, s4 float64 }{
+		{307, 547}, {152, 273}, {75, 135}, {50, 80},
+	}
+	var points []Figure14Point
+	t := stats.NewTable("S3 pJ", "S4 pJ", "improvement vs baseline")
+	for _, lv := range levels {
+		c := cfg
+		c.Energy = pcm.ScaledEnergy(lv.s3, lv.s4)
+		ccfg := c.coreConfig()
+		wl, err := core.NewWLCRC(ccfg, 16)
+		if err != nil {
+			panic(err)
+		}
+		schemes := []core.Scheme{core.NewBaseline(), wl}
+		results := runMatrix(c, workload.Profiles(), schemes)
+		base := averages(results, "Baseline", "", sim.Metrics.AvgEnergy)
+		wlE := averages(results, "WLCRC-16", "", sim.Metrics.AvgEnergy)
+		imp := stats.Improvement(wlE, base)
+		points = append(points, Figure14Point{S3: lv.s3, S4: lv.s4, Improvement: imp})
+		t.Row(36+lv.s3, 36+lv.s4, stats.Percent(imp))
+	}
+	return points, t
+}
+
+// MultiObjectiveResult holds the §VIII.D study numbers.
+type MultiObjectiveResult struct {
+	PlainEnergy, MultiEnergy   float64
+	PlainUpdated, MultiUpdated float64
+	PerBench                   map[string][2]float64 // bench -> [plain updated, multi updated]
+}
+
+// MultiObjective reproduces §VIII.D: WLCRC-16 with the T=1% threshold
+// trades a sliver of energy for fewer updated cells.
+func MultiObjective(cfg Config) (MultiObjectiveResult, *stats.Table) {
+	ccfgPlain := cfg.coreConfig()
+	ccfgMulti := cfg.coreConfig()
+	ccfgMulti.MultiObjectiveT = 0.01
+	plain, err := core.NewWLCRC(ccfgPlain, 16)
+	if err != nil {
+		panic(err)
+	}
+	multi, err := core.NewWLCRC(ccfgMulti, 16)
+	if err != nil {
+		panic(err)
+	}
+	results := runMatrix(cfg, workload.Profiles(), []core.Scheme{plain, multi})
+	res := MultiObjectiveResult{PerBench: map[string][2]float64{}}
+	res.PlainEnergy = averages(results, plain.Name(), "", sim.Metrics.AvgEnergy)
+	res.MultiEnergy = averages(results, multi.Name(), "", sim.Metrics.AvgEnergy)
+	res.PlainUpdated = averages(results, plain.Name(), "", sim.Metrics.AvgUpdated)
+	res.MultiUpdated = averages(results, multi.Name(), "", sim.Metrics.AvgUpdated)
+	for _, r := range results {
+		e := res.PerBench[r.Benchmark]
+		if r.Scheme == plain.Name() {
+			e[0] = r.M.AvgUpdated()
+		} else {
+			e[1] = r.M.AvgUpdated()
+		}
+		res.PerBench[r.Benchmark] = e
+	}
+	t := stats.NewTable("metric", "WLCRC-16", "WLCRC-16(T=1%)")
+	t.Row("avg energy pJ", res.PlainEnergy, res.MultiEnergy)
+	t.Row("avg updated cells", res.PlainUpdated, res.MultiUpdated)
+	for _, b := range []string{"lesl", "lbm"} {
+		e := res.PerBench[b]
+		t.Row("updated cells "+b, e[0], e[1])
+	}
+	return res, t
+}

@@ -1,0 +1,172 @@
+// Package gf2 implements arithmetic in the binary extension fields
+// GF(2^m) using log/antilog tables. It is the foundation of the BCH
+// codec in internal/bch, which DIN [16] uses to correct up to two write
+// disturbance errors per memory line.
+package gf2
+
+import "fmt"
+
+// DefaultPrimitive returns a primitive polynomial (including the x^m and
+// constant terms, so bit m and bit 0 are set) for GF(2^m), for m in
+// [2, 16]. These are the standard minimum-weight primitive polynomials.
+func DefaultPrimitive(m int) uint32 {
+	polys := map[int]uint32{
+		2:  0x7,     // x^2+x+1
+		3:  0xb,     // x^3+x+1
+		4:  0x13,    // x^4+x+1
+		5:  0x25,    // x^5+x^2+1
+		6:  0x43,    // x^6+x+1
+		7:  0x89,    // x^7+x^3+1
+		8:  0x11d,   // x^8+x^4+x^3+x^2+1
+		9:  0x211,   // x^9+x^4+1
+		10: 0x409,   // x^10+x^3+1
+		11: 0x805,   // x^11+x^2+1
+		12: 0x1053,  // x^12+x^6+x^4+x+1
+		13: 0x201b,  // x^13+x^4+x^3+x+1
+		14: 0x4443,  // x^14+x^10+x^6+x+1
+		15: 0x8003,  // x^15+x+1
+		16: 0x1100b, // x^16+x^12+x^3+x+1
+	}
+	p, ok := polys[m]
+	if !ok {
+		panic(fmt.Sprintf("gf2: no default primitive polynomial for m=%d", m))
+	}
+	return p
+}
+
+// Field is GF(2^m) represented with exponential and logarithm tables over
+// a primitive element alpha.
+type Field struct {
+	M    int    // extension degree
+	N    int    // multiplicative group order, 2^m - 1
+	poly uint32 // primitive polynomial
+	exp  []uint16
+	log  []uint16
+}
+
+// NewField constructs GF(2^m) using the given primitive polynomial, or
+// the default for m if poly is zero.
+func NewField(m int, poly uint32) *Field {
+	if m < 2 || m > 16 {
+		panic("gf2: m out of range [2,16]")
+	}
+	if poly == 0 {
+		poly = DefaultPrimitive(m)
+	}
+	n := (1 << uint(m)) - 1
+	f := &Field{M: m, N: n, poly: poly}
+	f.exp = make([]uint16, 2*n)
+	f.log = make([]uint16, n+1)
+	x := uint32(1)
+	for i := 0; i < n; i++ {
+		f.exp[i] = uint16(x)
+		f.log[x] = uint16(i)
+		x <<= 1
+		if x>>uint(m)&1 == 1 {
+			x ^= poly
+		}
+	}
+	if x != 1 {
+		panic(fmt.Sprintf("gf2: polynomial %#x is not primitive for m=%d", poly, m))
+	}
+	// Duplicate the exp table so Mul can skip a modulo.
+	copy(f.exp[n:], f.exp[:n])
+	return f
+}
+
+// Add returns a+b (XOR in characteristic 2).
+func (f *Field) Add(a, b uint16) uint16 { return a ^ b }
+
+// Mul returns the product of a and b.
+func (f *Field) Mul(a, b uint16) uint16 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+int(f.log[b])]
+}
+
+// Inv returns the multiplicative inverse of a. It panics on zero.
+func (f *Field) Inv(a uint16) uint16 {
+	if a == 0 {
+		panic("gf2: inverse of zero")
+	}
+	return f.exp[f.N-int(f.log[a])]
+}
+
+// Div returns a/b. It panics if b is zero.
+func (f *Field) Div(a, b uint16) uint16 {
+	if b == 0 {
+		panic("gf2: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[(int(f.log[a])+f.N-int(f.log[b]))%f.N]
+}
+
+// Pow returns a^e for e >= 0.
+func (f *Field) Pow(a uint16, e int) uint16 {
+	if a == 0 {
+		if e == 0 {
+			return 1
+		}
+		return 0
+	}
+	le := (int(f.log[a]) * e) % f.N
+	if le < 0 {
+		le += f.N
+	}
+	return f.exp[le]
+}
+
+// Exp returns alpha^e (e may be any integer).
+func (f *Field) Exp(e int) uint16 {
+	e %= f.N
+	if e < 0 {
+		e += f.N
+	}
+	return f.exp[e]
+}
+
+// Log returns the discrete log base alpha of a. It panics on zero.
+func (f *Field) Log(a uint16) int {
+	if a == 0 {
+		panic("gf2: log of zero")
+	}
+	return int(f.log[a])
+}
+
+// MinimalPoly returns the coefficients (ascending degree, values 0/1) of
+// the minimal polynomial over GF(2) of alpha^e: the product of
+// (x - alpha^(e*2^i)) over the conjugacy class of e.
+func (f *Field) MinimalPoly(e int) []uint8 {
+	// Collect the cyclotomic coset of e modulo N.
+	coset := []int{}
+	seen := map[int]bool{}
+	c := e % f.N
+	for !seen[c] {
+		seen[c] = true
+		coset = append(coset, c)
+		c = c * 2 % f.N
+	}
+	// Multiply out (x + alpha^c) for each c, with coefficients in GF(2^m);
+	// the result is guaranteed to have 0/1 coefficients.
+	poly := []uint16{1} // constant polynomial 1
+	for _, c := range coset {
+		root := f.Exp(c)
+		next := make([]uint16, len(poly)+1)
+		for i, coef := range poly {
+			next[i+1] ^= coef            // x * poly
+			next[i] ^= f.Mul(coef, root) // root * poly
+		}
+		poly = next
+	}
+	out := make([]uint8, len(poly))
+	for i, coef := range poly {
+		if coef > 1 {
+			panic("gf2: minimal polynomial has non-binary coefficient")
+		}
+		out[i] = uint8(coef)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldConstruction(t *testing.T) {
+	for m := 2; m <= 12; m++ {
+		f := NewField(m, 0)
+		if f.N != (1<<uint(m))-1 {
+			t.Errorf("m=%d: N = %d", m, f.N)
+		}
+	}
+}
+
+func TestNonPrimitivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for reducible polynomial")
+		}
+	}()
+	// x^4 + 1 is not primitive.
+	NewField(4, 0x11)
+}
+
+func TestMulProperties(t *testing.T) {
+	f := NewField(10, 0)
+	if f.Mul(0, 5) != 0 || f.Mul(5, 0) != 0 {
+		t.Error("multiplication by zero")
+	}
+	if f.Mul(1, 777) != 777 {
+		t.Error("multiplication by one")
+	}
+	// alpha * alpha = alpha^2.
+	a := f.Exp(1)
+	if f.Mul(a, a) != f.Exp(2) {
+		t.Error("alpha^2 mismatch")
+	}
+}
+
+func TestQuickMulCommutativeAssociative(t *testing.T) {
+	f := NewField(10, 0)
+	g := func(a, b, c uint16) bool {
+		a %= uint16(f.N + 1)
+		b %= uint16(f.N + 1)
+		c %= uint16(f.N + 1)
+		if f.Mul(a, b) != f.Mul(b, a) {
+			return false
+		}
+		return f.Mul(f.Mul(a, b), c) == f.Mul(a, f.Mul(b, c))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistributive(t *testing.T) {
+	f := NewField(10, 0)
+	g := func(a, b, c uint16) bool {
+		a %= uint16(f.N + 1)
+		b %= uint16(f.N + 1)
+		c %= uint16(f.N + 1)
+		return f.Mul(a, f.Add(b, c)) == f.Add(f.Mul(a, b), f.Mul(a, c))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvDiv(t *testing.T) {
+	f := NewField(10, 0)
+	for a := uint16(1); a <= uint16(f.N); a++ {
+		if f.Mul(a, f.Inv(a)) != 1 {
+			t.Fatalf("a * a^-1 != 1 for a=%d", a)
+		}
+	}
+	if f.Div(0, 3) != 0 {
+		t.Error("0/3 != 0")
+	}
+	if f.Div(6, 3) != f.Mul(6, f.Inv(3)) {
+		t.Error("Div inconsistent with Mul/Inv")
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewField(4, 0).Inv(0)
+}
+
+func TestPowExpLog(t *testing.T) {
+	f := NewField(10, 0)
+	if f.Pow(0, 0) != 1 || f.Pow(0, 5) != 0 {
+		t.Error("Pow with zero base")
+	}
+	a := f.Exp(7)
+	if f.Pow(a, 3) != f.Exp(21) {
+		t.Error("Pow mismatch")
+	}
+	if f.Log(f.Exp(123)) != 123 {
+		t.Error("Log(Exp) mismatch")
+	}
+	if f.Exp(-1) != f.Exp(f.N-1) {
+		t.Error("negative Exp")
+	}
+	if f.Exp(f.N) != 1 {
+		t.Error("Exp(N) != 1")
+	}
+}
+
+func TestMinimalPolyAlpha(t *testing.T) {
+	// The minimal polynomial of alpha is the primitive polynomial itself.
+	f := NewField(10, 0)
+	mp := f.MinimalPoly(1)
+	want := []uint8{1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 1} // x^10+x^3+1
+	if len(mp) != len(want) {
+		t.Fatalf("degree = %d", len(mp)-1)
+	}
+	for i := range want {
+		if mp[i] != want[i] {
+			t.Fatalf("coefficient %d = %d, want %d", i, mp[i], want[i])
+		}
+	}
+}
+
+func TestMinimalPolyRoots(t *testing.T) {
+	// Every element of the conjugacy class of alpha^3 must be a root of
+	// MinimalPoly(3).
+	f := NewField(10, 0)
+	mp := f.MinimalPoly(3)
+	if len(mp)-1 != 10 {
+		t.Fatalf("m3 degree = %d, want 10", len(mp)-1)
+	}
+	e := 3
+	for i := 0; i < 10; i++ {
+		root := f.Exp(e)
+		var acc uint16
+		for d := len(mp) - 1; d >= 0; d-- {
+			acc = f.Add(f.Mul(acc, root), uint16(mp[d]))
+		}
+		if acc != 0 {
+			t.Errorf("alpha^%d is not a root of m3", e)
+		}
+		e = e * 2 % f.N
+	}
+}

@@ -1,0 +1,59 @@
+package hw
+
+import "testing"
+
+func TestEstimateOrdersOfMagnitude(t *testing.T) {
+	rep := Estimate(FreePDK45(), WLCRCDesign())
+	// The model stands in for synthesis; it must land in the paper's
+	// neighborhood, not match it exactly.
+	if rep.AreaMM2 < 0.005 || rep.AreaMM2 > 0.5 {
+		t.Errorf("area = %.4f mm^2, want within [0.005, 0.5] around 0.0498", rep.AreaMM2)
+	}
+	if rep.WriteNS < 0.2 || rep.WriteNS > 10 {
+		t.Errorf("write delay = %.2f ns, want around 2.63", rep.WriteNS)
+	}
+	if rep.ReadNS >= rep.WriteNS {
+		t.Errorf("decode (%.2f ns) must be faster than encode (%.2f ns)", rep.ReadNS, rep.WriteNS)
+	}
+	if rep.ReadPJ >= rep.WritePJ {
+		t.Errorf("read energy (%.2f pJ) must be below write energy (%.2f)", rep.ReadPJ, rep.WritePJ)
+	}
+	if rep.WritePJ < 0.05 || rep.WritePJ > 20 {
+		t.Errorf("write energy = %.2f pJ, want around 0.94", rep.WritePJ)
+	}
+}
+
+func TestWLCIsSmallShare(t *testing.T) {
+	// §VI.B: the WLC compression/decompression portion is very small
+	// compared to the encoders (paper: 0.0002 of 0.0498 mm^2).
+	rep := Estimate(FreePDK45(), WLCRCDesign())
+	if rep.WLCSharePct > 10 {
+		t.Errorf("WLC share = %.1f%%, should be a small fraction", rep.WLCSharePct)
+	}
+}
+
+func TestDesignInventory(t *testing.T) {
+	design := WLCRCDesign()
+	if len(design) != 5 {
+		t.Fatalf("got %d modules", len(design))
+	}
+	encoders := 0
+	for _, m := range design {
+		if m.Gates <= 0 || m.Count <= 0 {
+			t.Errorf("module %q has non-positive size", m.Name)
+		}
+		if m.Name == "Restricted coset encoder (per word)" {
+			encoders = m.Count
+		}
+	}
+	if encoders != 8 {
+		t.Errorf("encoder instances = %d, want 8 (Figure 7)", encoders)
+	}
+}
+
+func TestTableRenders(t *testing.T) {
+	rep := Estimate(FreePDK45(), WLCRCDesign())
+	if rep.Table().String() == "" {
+		t.Error("empty table")
+	}
+}

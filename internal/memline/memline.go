@@ -1,0 +1,178 @@
+// Package memline defines the 512-bit memory line abstraction used by all
+// encoders, and the bit / symbol / word accessors the paper's schemes are
+// built from.
+//
+// Conventions (see DESIGN.md §3):
+//   - A line is 64 bytes. Bit i of the line is bit (i&7) of byte (i>>3),
+//     i.e. LSB-first within each byte.
+//   - Cell c (c in [0,256)) stores the bit pair (2c, 2c+1). Its symbol
+//     value is bit(2c+1)<<1 | bit(2c), matching the paper's textual
+//     notation: symbol "01" has high bit 0 and low bit 1, value 1.
+//   - Word w (w in [0,8)) is the little-endian uint64 of bytes 8w..8w+7,
+//     so bit j of the word is line bit 64w+j. This matches Figure 6 where
+//     b63..b0 index a word's bits.
+package memline
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Constants describing the fixed geometry of a PCM memory line.
+const (
+	LineBits    = 512 // bits per memory line
+	LineBytes   = 64  // bytes per memory line
+	LineCells   = 256 // MLC cells (2-bit symbols) per line
+	LineWords   = 8   // 64-bit words per line
+	WordBits    = 64  // bits per word
+	WordCells   = 32  // cells per word
+	SymbolStats = 4   // distinct 2-bit symbol values
+)
+
+// Line is one 512-bit memory line.
+type Line [LineBytes]byte
+
+// Bit returns bit i of the line (0 or 1).
+func (l *Line) Bit(i int) int {
+	return int(l[i>>3]>>(uint(i)&7)) & 1
+}
+
+// SetBit sets bit i of the line to v (0 or 1).
+func (l *Line) SetBit(i, v int) {
+	if v&1 == 1 {
+		l[i>>3] |= 1 << (uint(i) & 7)
+	} else {
+		l[i>>3] &^= 1 << (uint(i) & 7)
+	}
+}
+
+// Symbol returns the 2-bit symbol stored in cell c.
+func (l *Line) Symbol(c int) uint8 {
+	b := l[c>>2] >> ((uint(c) & 3) * 2)
+	// b holds (lo, hi) in its two low bits: bit0 = line bit 2c (lo),
+	// bit1 = line bit 2c+1 (hi). Symbol value = hi<<1 | lo, which is
+	// exactly those two bits.
+	return uint8(b & 3)
+}
+
+// SetSymbol stores the 2-bit symbol v in cell c.
+func (l *Line) SetSymbol(c int, v uint8) {
+	shift := (uint(c) & 3) * 2
+	l[c>>2] = l[c>>2]&^(3<<shift) | (v&3)<<shift
+}
+
+// Word returns 64-bit word w of the line.
+func (l *Line) Word(w int) uint64 {
+	return binary.LittleEndian.Uint64(l[w*8 : w*8+8])
+}
+
+// SetWord stores v into 64-bit word w of the line.
+func (l *Line) SetWord(w int, v uint64) {
+	binary.LittleEndian.PutUint64(l[w*8:w*8+8], v)
+}
+
+// Words returns all eight words of the line.
+func (l *Line) Words() [LineWords]uint64 {
+	var ws [LineWords]uint64
+	for i := range ws {
+		ws[i] = l.Word(i)
+	}
+	return ws
+}
+
+// FromWords builds a line from eight 64-bit words.
+func FromWords(ws [LineWords]uint64) Line {
+	var l Line
+	for i, w := range ws {
+		l.SetWord(i, w)
+	}
+	return l
+}
+
+// Equal reports whether two lines hold identical content.
+func (l *Line) Equal(o *Line) bool { return *l == *o }
+
+// String renders the line as 8 hex words, most-significant word last,
+// matching the word order used throughout the package.
+func (l *Line) String() string {
+	s := ""
+	for w := 0; w < LineWords; w++ {
+		if w > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%016x", l.Word(w))
+	}
+	return s
+}
+
+// CountDiffSymbols returns the number of cells whose symbols differ
+// between l and o. Under the default mapping this is the number of cells
+// a differential write would program.
+func (l *Line) CountDiffSymbols(o *Line) int {
+	n := 0
+	for c := 0; c < LineCells; c++ {
+		if l.Symbol(c) != o.Symbol(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// SymbolHistogram counts occurrences of each of the four symbol values.
+func (l *Line) SymbolHistogram() [SymbolStats]int {
+	var h [SymbolStats]int
+	for c := 0; c < LineCells; c++ {
+		h[l.Symbol(c)]++
+	}
+	return h
+}
+
+// BitField extracts bits [lo, lo+width) of word w as a uint64.
+// width must be in [0, 64].
+func BitField(word uint64, lo, width int) uint64 {
+	if width == 64 {
+		return word >> uint(lo)
+	}
+	return (word >> uint(lo)) & (1<<uint(width) - 1)
+}
+
+// SetBitField returns word with bits [lo, lo+width) replaced by the low
+// bits of v.
+func SetBitField(word uint64, lo, width int, v uint64) uint64 {
+	if width == 64 {
+		return v << uint(lo) // lo must be 0 in this case
+	}
+	mask := (uint64(1)<<uint(width) - 1) << uint(lo)
+	return word&^mask | (v<<uint(lo))&mask
+}
+
+// MSBRun returns the length of the run of identical bits starting at the
+// most significant bit of word. For example MSBRun(0) = 64 and
+// MSBRun(0x4000000000000000) = 1.
+func MSBRun(word uint64) int {
+	top := word >> 63
+	run := 0
+	for i := 63; i >= 0; i-- {
+		if (word>>uint(i))&1 != top {
+			break
+		}
+		run++
+	}
+	return run
+}
+
+// SignExtend returns v (a value occupying the low `bits` bits) sign
+// extended to 64 bits.
+func SignExtend(v uint64, bits int) uint64 {
+	if bits <= 0 || bits >= 64 {
+		return v
+	}
+	shift := uint(64 - bits)
+	return uint64(int64(v<<shift) >> shift)
+}
+
+// FitsSigned reports whether the 64-bit two's-complement value v is
+// representable in `bits` bits (sign-extended).
+func FitsSigned(v uint64, bits int) bool {
+	return SignExtend(v, bits) == v
+}

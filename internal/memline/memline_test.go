@@ -1,0 +1,233 @@
+package memline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetGet(t *testing.T) {
+	var l Line
+	for _, i := range []int{0, 1, 7, 8, 63, 64, 255, 510, 511} {
+		l.SetBit(i, 1)
+		if l.Bit(i) != 1 {
+			t.Errorf("bit %d: got 0 after SetBit(1)", i)
+		}
+		l.SetBit(i, 0)
+		if l.Bit(i) != 0 {
+			t.Errorf("bit %d: got 1 after SetBit(0)", i)
+		}
+	}
+}
+
+func TestSymbolBitConsistency(t *testing.T) {
+	// Symbol value must be hi<<1 | lo where lo = bit 2c, hi = bit 2c+1.
+	var l Line
+	l.SetBit(0, 1) // cell 0 lo bit
+	if got := l.Symbol(0); got != 1 {
+		t.Errorf("cell 0 after setting bit 0: symbol = %d, want 1 (\"01\")", got)
+	}
+	l.SetBit(0, 0)
+	l.SetBit(1, 1) // cell 0 hi bit
+	if got := l.Symbol(0); got != 2 {
+		t.Errorf("cell 0 after setting bit 1: symbol = %d, want 2 (\"10\")", got)
+	}
+	l.SetBit(511, 1)
+	l.SetBit(510, 1)
+	if got := l.Symbol(255); got != 3 {
+		t.Errorf("cell 255 = %d, want 3", got)
+	}
+}
+
+func TestSetSymbolRoundTrip(t *testing.T) {
+	var l Line
+	for c := 0; c < LineCells; c++ {
+		v := uint8((c*7 + 3) % 4)
+		l.SetSymbol(c, v)
+	}
+	for c := 0; c < LineCells; c++ {
+		want := uint8((c*7 + 3) % 4)
+		if got := l.Symbol(c); got != want {
+			t.Fatalf("cell %d = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestSetSymbolDoesNotDisturbNeighbors(t *testing.T) {
+	var l Line
+	for c := 0; c < LineCells; c++ {
+		l.SetSymbol(c, 3)
+	}
+	l.SetSymbol(100, 0)
+	if l.Symbol(99) != 3 || l.Symbol(101) != 3 {
+		t.Error("SetSymbol disturbed neighboring cells")
+	}
+	if l.Symbol(100) != 0 {
+		t.Error("SetSymbol(100, 0) failed")
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	var l Line
+	for w := 0; w < LineWords; w++ {
+		l.SetWord(w, uint64(w)*0x0123456789abcdef)
+	}
+	for w := 0; w < LineWords; w++ {
+		if got := l.Word(w); got != uint64(w)*0x0123456789abcdef {
+			t.Fatalf("word %d mismatch", w)
+		}
+	}
+	ws := l.Words()
+	l2 := FromWords(ws)
+	if !l.Equal(&l2) {
+		t.Error("FromWords(Words()) != original")
+	}
+}
+
+func TestWordBitCorrespondence(t *testing.T) {
+	// Bit j of word w must be line bit 64w+j.
+	var l Line
+	l.SetWord(3, 1<<63)
+	if l.Bit(3*64+63) != 1 {
+		t.Error("word bit 63 of word 3 is not line bit 255")
+	}
+	if l.Bit(3*64+62) != 0 {
+		t.Error("unexpected set bit")
+	}
+}
+
+func TestCountDiffSymbols(t *testing.T) {
+	var a, b Line
+	if a.CountDiffSymbols(&b) != 0 {
+		t.Error("identical lines differ")
+	}
+	b.SetSymbol(0, 1)
+	b.SetSymbol(255, 2)
+	if got := a.CountDiffSymbols(&b); got != 2 {
+		t.Errorf("diff = %d, want 2", got)
+	}
+}
+
+func TestSymbolHistogram(t *testing.T) {
+	var l Line
+	h := l.SymbolHistogram()
+	if h[0] != LineCells {
+		t.Errorf("all-zero line histogram[0] = %d", h[0])
+	}
+	for c := 0; c < 10; c++ {
+		l.SetSymbol(c, 3)
+	}
+	h = l.SymbolHistogram()
+	if h[3] != 10 || h[0] != LineCells-10 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestBitField(t *testing.T) {
+	w := uint64(0xdeadbeefcafe1234)
+	if got := BitField(w, 0, 16); got != 0x1234 {
+		t.Errorf("BitField(.., 0, 16) = %#x", got)
+	}
+	if got := BitField(w, 48, 16); got != 0xdead {
+		t.Errorf("BitField(.., 48, 16) = %#x", got)
+	}
+	if got := BitField(w, 0, 64); got != w {
+		t.Errorf("BitField(.., 0, 64) = %#x", got)
+	}
+	w2 := SetBitField(w, 16, 16, 0xffff)
+	if got := BitField(w2, 16, 16); got != 0xffff {
+		t.Errorf("SetBitField failed: %#x", got)
+	}
+	if BitField(w2, 0, 16) != 0x1234 || BitField(w2, 32, 32) != 0xdeadbeef {
+		t.Error("SetBitField disturbed other bits")
+	}
+}
+
+func TestMSBRun(t *testing.T) {
+	cases := []struct {
+		w    uint64
+		want int
+	}{
+		{0, 64},
+		{^uint64(0), 64},
+		{1, 63},
+		{1 << 62, 1},
+		{0xffff000000000000, 16},
+		{0x00ffffffffffffff, 8},
+		{0x8000000000000000, 1},
+		{0xc000000000000000, 2},
+	}
+	for _, c := range cases {
+		if got := MSBRun(c.w); got != c.want {
+			t.Errorf("MSBRun(%#x) = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	if got := SignExtend(0xff, 8); got != ^uint64(0) {
+		t.Errorf("SignExtend(0xff, 8) = %#x", got)
+	}
+	if got := SignExtend(0x7f, 8); got != 0x7f {
+		t.Errorf("SignExtend(0x7f, 8) = %#x", got)
+	}
+	if !FitsSigned(^uint64(0), 1) {
+		t.Error("-1 should fit in 1 bit")
+	}
+	if FitsSigned(0x80, 8) {
+		t.Error("0x80 should not fit signed in 8 bits")
+	}
+	if !FitsSigned(0x7f, 8) {
+		t.Error("0x7f should fit signed in 8 bits")
+	}
+}
+
+func TestQuickSymbolWordConsistency(t *testing.T) {
+	// Property: for any words, the symbol view and word view agree bit
+	// by bit.
+	f := func(ws [LineWords]uint64) bool {
+		l := FromWords(ws)
+		for c := 0; c < LineCells; c++ {
+			w := ws[c/WordCells]
+			in := c % WordCells
+			lo := (w >> uint(2*in)) & 1
+			hi := (w >> uint(2*in+1)) & 1
+			if l.Symbol(c) != uint8(hi<<1|lo) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitFieldRoundTrip(t *testing.T) {
+	f := func(w, v uint64, lo8, width8 uint8) bool {
+		lo := int(lo8) % 64
+		width := int(width8) % (64 - lo + 1)
+		got := SetBitField(w, lo, width, v)
+		want := v & (func() uint64 {
+			if width == 64 {
+				return ^uint64(0)
+			}
+			return 1<<uint(width) - 1
+		}())
+		return BitField(got, lo, width) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	var l Line
+	l.SetWord(0, 0xdead)
+	s := l.String()
+	if len(s) == 0 {
+		t.Fatal("empty string")
+	}
+	if s[:16] != "000000000000dead" {
+		t.Errorf("String() starts %q", s[:16])
+	}
+}

@@ -1,0 +1,146 @@
+package memsys
+
+import (
+	"testing"
+
+	"wlcrc/internal/prng"
+)
+
+func TestTableIIConfig(t *testing.T) {
+	cfg := TableII()
+	if cfg.Banks() != 64 {
+		t.Errorf("banks = %d, want 64 (2ch x 2DIMM x 16)", cfg.Banks())
+	}
+	if cfg.WriteQueueCap != 32 {
+		t.Errorf("write queue = %d, want 32", cfg.WriteQueueCap)
+	}
+	if cfg.DrainThreshold != 0.8 {
+		t.Errorf("drain threshold = %v, want 0.8", cfg.DrainThreshold)
+	}
+	if cfg.String() == "" {
+		t.Error("empty config string")
+	}
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	c := New(TableII())
+	c.Enqueue(Access{Kind: Read, Addr: 0})
+	c.Drain()
+	st := c.Stats()
+	if st.Reads != 1 {
+		t.Fatalf("reads = %d", st.Reads)
+	}
+	// One idle bank: latency = issue delay (1 tick) + ReadCycles.
+	if st.AvgReadLatency() > float64(TableII().ReadCycles+2) {
+		t.Errorf("read latency = %v, want ~%d", st.AvgReadLatency(), TableII().ReadCycles)
+	}
+}
+
+func TestReadPriorityOverWrites(t *testing.T) {
+	cfg := TableII()
+	c := New(cfg)
+	// A few writes then a read to the same bank; the read must not wait
+	// behind all writes.
+	for i := 0; i < 5; i++ {
+		c.Enqueue(Access{Kind: Write, Addr: 0})
+	}
+	c.Step(2) // let the first write start
+	c.Enqueue(Access{Kind: Read, Addr: 0})
+	c.Drain()
+	st := c.Stats()
+	if st.Reads != 1 || st.Writes != 5 {
+		t.Fatalf("reads=%d writes=%d", st.Reads, st.Writes)
+	}
+	// If the read had waited for all five 750-cycle writes it would see
+	// ~3750 cycles; with priority and pausing it should be far less.
+	if st.AvgReadLatency() > float64(cfg.WriteCycles) {
+		t.Errorf("read latency %v suggests no read priority", st.AvgReadLatency())
+	}
+	if st.WritePauses == 0 {
+		t.Error("expected at least one write pause")
+	}
+}
+
+func TestDrainThresholdTriggersWriteBurst(t *testing.T) {
+	cfg := TableII()
+	c := New(cfg)
+	// Fill one bank's write queue past 80%.
+	for i := 0; i < 27; i++ {
+		c.Enqueue(Access{Kind: Write, Addr: 0})
+	}
+	c.Step(1)
+	if c.Stats().DrainEvents == 0 {
+		t.Error("expected a drain event at >80% occupancy")
+	}
+	// During draining, a read must wait (writes go ahead of reads).
+	c.Enqueue(Access{Kind: Read, Addr: 0})
+	c.Drain()
+	st := c.Stats()
+	if st.AvgReadLatency() < float64(cfg.ReadCycles) {
+		t.Errorf("read finished implausibly fast: %v", st.AvgReadLatency())
+	}
+}
+
+func TestBackPressureOnFullQueue(t *testing.T) {
+	cfg := TableII()
+	c := New(cfg)
+	for i := 0; i < cfg.WriteQueueCap+4; i++ {
+		c.Enqueue(Access{Kind: Write, Addr: 0})
+	}
+	if c.Stats().StallsQueueFull == 0 {
+		t.Error("expected stalls when overfilling a queue")
+	}
+	c.Drain()
+	if got := c.Stats().Writes; got != uint64(cfg.WriteQueueCap+4) {
+		t.Errorf("writes = %d", got)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	cfg := TableII()
+	// Writes to different banks overlap; same bank serializes.
+	same := New(cfg)
+	for i := 0; i < 4; i++ {
+		same.Enqueue(Access{Kind: Write, Addr: 0})
+	}
+	same.Drain()
+	spread := New(cfg)
+	for i := 0; i < 4; i++ {
+		spread.Enqueue(Access{Kind: Write, Addr: uint64(i)})
+	}
+	spread.Drain()
+	if spread.Now() >= same.Now() {
+		t.Errorf("spread banks took %d cycles, same bank %d; expected parallelism",
+			spread.Now(), same.Now())
+	}
+}
+
+func TestMixedWorkloadCompletes(t *testing.T) {
+	cfg := TableII()
+	c := New(cfg)
+	r := prng.New(6)
+	reads, writes := 0, 0
+	for i := 0; i < 3000; i++ {
+		if r.Bool(0.6) {
+			c.Enqueue(Access{Kind: Read, Addr: uint64(r.Intn(4096))})
+			reads++
+		} else {
+			c.Enqueue(Access{Kind: Write, Addr: uint64(r.Intn(4096))})
+			writes++
+		}
+		if i%4 == 0 {
+			c.Step(30)
+		}
+	}
+	c.Drain()
+	st := c.Stats()
+	if st.Reads != uint64(reads) || st.Writes != uint64(writes) {
+		t.Fatalf("completed %d/%d, want %d/%d", st.Reads, st.Writes, reads, writes)
+	}
+	if st.Utilization() <= 0 || st.Utilization() > 1 {
+		t.Errorf("utilization = %v", st.Utilization())
+	}
+	if st.AvgWriteLatency() < float64(cfg.WriteCycles) {
+		t.Errorf("write latency %v below the device write time", st.AvgWriteLatency())
+	}
+}

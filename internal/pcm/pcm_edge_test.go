@@ -1,0 +1,94 @@
+package pcm
+
+import (
+	"testing"
+
+	"wlcrc/internal/prng"
+)
+
+func TestChangedMaskPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ChangedMask([]State{S1}, []State{S1, S2})
+}
+
+func TestCountDisturbPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d := DefaultDisturb()
+	d.CountDisturb([]State{S1, S2}, []bool{true}, 2, nil)
+}
+
+func TestDisturbedCellsRequiresSampler(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d := DefaultDisturb()
+	d.DisturbedCells([]State{S1}, []bool{false}, nil)
+}
+
+func TestDisturbedCellsEdgeCells(t *testing.T) {
+	// First and last cells have only one neighbor; writing cell 0 must
+	// be able to disturb cell 1 but nothing else.
+	d := DisturbModel{DER: [NumStates]float64{1, 1, 1, 1}} // always disturb
+	r := prng.New(1)
+	states := []State{S1, S3, S4}
+	hits := d.DisturbedCells(states, []bool{true, false, false}, r)
+	if len(hits) != 1 || hits[0] != 1 {
+		t.Errorf("hits = %v, want [1]", hits)
+	}
+	hits = d.DisturbedCells(states, []bool{false, false, true}, r)
+	if len(hits) != 1 || hits[0] != 1 {
+		t.Errorf("hits = %v, want [1]", hits)
+	}
+}
+
+func TestDisturbedCellsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d := DefaultDisturb()
+	d.DisturbedCells([]State{S1, S2}, []bool{true}, prng.New(1))
+}
+
+func TestCountDisturbSingleCellArray(t *testing.T) {
+	// Degenerate geometry: one cell, written — no neighbors, no errors.
+	d := DefaultDisturb()
+	st := d.CountDisturb([]State{S4}, []bool{true}, 1, nil)
+	if st.Errors() != 0 {
+		t.Errorf("errors = %v", st.Errors())
+	}
+	// One idle cell, nothing written: no exposure.
+	st = d.CountDisturb([]State{S4}, []bool{false}, 1, nil)
+	if st.Errors() != 0 {
+		t.Errorf("errors = %v", st.Errors())
+	}
+}
+
+func TestWriteEnergyAllStates(t *testing.T) {
+	m := DefaultEnergy()
+	want := map[State]float64{S1: 36, S2: 56, S3: 343, S4: 583}
+	for s, w := range want {
+		if got := m.WriteEnergy(s); got != w {
+			t.Errorf("WriteEnergy(%v) = %v, want %v", s, got, w)
+		}
+	}
+}
+
+func TestDisturbStatsAdd(t *testing.T) {
+	a := DisturbStats{ErrorsData: 1, ErrorsAux: 2}
+	a.Add(DisturbStats{ErrorsData: 3, ErrorsAux: 4})
+	if a.ErrorsData != 4 || a.ErrorsAux != 6 || a.Errors() != 10 {
+		t.Errorf("Add: %+v", a)
+	}
+}

@@ -1,0 +1,245 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wlcrc/internal/prng"
+)
+
+func TestDefaultEnergyTableII(t *testing.T) {
+	m := DefaultEnergy()
+	if m.Reset != 36 {
+		t.Errorf("Reset = %v, want 36", m.Reset)
+	}
+	want := [NumStates]float64{0, 20, 307, 547}
+	if m.Set != want {
+		t.Errorf("Set = %v, want %v", m.Set, want)
+	}
+	// Energy ordering S1 < S2 < S3 < S4 must hold: states are numbered by
+	// programming energy (paper §III).
+	for s := S1; s < S4; s++ {
+		if m.WriteEnergy(s) >= m.WriteEnergy(s+1) {
+			t.Errorf("WriteEnergy(%v) >= WriteEnergy(%v)", s, s+1)
+		}
+	}
+	if got := m.WriteEnergy(S1); got != 36 {
+		t.Errorf("WriteEnergy(S1) = %v, want 36", got)
+	}
+	if got := m.WriteEnergy(S4); got != 583 {
+		t.Errorf("WriteEnergy(S4) = %v, want 583", got)
+	}
+}
+
+func TestScaledEnergy(t *testing.T) {
+	m := ScaledEnergy(75, 135)
+	if m.Set[S3] != 75 || m.Set[S4] != 135 {
+		t.Errorf("ScaledEnergy Set = %v", m.Set)
+	}
+	if m.Set[S1] != 0 || m.Set[S2] != 20 {
+		t.Error("ScaledEnergy must not change S1/S2")
+	}
+}
+
+func TestDefaultDisturbTableII(t *testing.T) {
+	d := DefaultDisturb()
+	want := [NumStates]float64{0.123, 0, 0.276, 0.152}
+	if d.DER != want {
+		t.Errorf("DER = %v, want %v", d.DER, want)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if S1.String() != "S1" || S4.String() != "S4" {
+		t.Error("State.String broken")
+	}
+	if State(9).String() != "State(9)" {
+		t.Error("out-of-range State.String broken")
+	}
+}
+
+func TestDiffWriteIdentical(t *testing.T) {
+	m := DefaultEnergy()
+	cells := []State{S1, S2, S3, S4, S1}
+	st := m.DiffWrite(cells, cells, len(cells))
+	if st.Energy() != 0 || st.Updated() != 0 {
+		t.Errorf("rewriting identical data: %+v, want zero", st)
+	}
+}
+
+func TestDiffWriteAccounting(t *testing.T) {
+	m := DefaultEnergy()
+	old := []State{S1, S1, S1, S1}
+	new := []State{S2, S1, S4, S3}
+	st := m.DiffWrite(old, new, 2)
+	// data region: cell0 S1->S2 (56), cell1 unchanged.
+	if st.EnergyData != 56 || st.UpdatedData != 1 {
+		t.Errorf("data: %+v", st)
+	}
+	// aux region: cell2 S1->S4 (583), cell3 S1->S3 (343).
+	if st.EnergyAux != 583+343 || st.UpdatedAux != 2 {
+		t.Errorf("aux: %+v", st)
+	}
+	if st.Energy() != 56+583+343 {
+		t.Errorf("total energy %v", st.Energy())
+	}
+	if st.Updated() != 3 {
+		t.Errorf("updated %v", st.Updated())
+	}
+}
+
+func TestDiffWritePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m := DefaultEnergy()
+	m.DiffWrite([]State{S1}, []State{S1, S2}, 1)
+}
+
+func TestWriteStatsAdd(t *testing.T) {
+	a := WriteStats{EnergyData: 1, EnergyAux: 2, UpdatedData: 3, UpdatedAux: 4}
+	b := WriteStats{EnergyData: 10, EnergyAux: 20, UpdatedData: 30, UpdatedAux: 40}
+	a.Add(b)
+	if a.EnergyData != 11 || a.EnergyAux != 22 || a.UpdatedData != 33 || a.UpdatedAux != 44 {
+		t.Errorf("Add: %+v", a)
+	}
+}
+
+func TestChangedMask(t *testing.T) {
+	old := []State{S1, S2, S3}
+	new := []State{S1, S3, S3}
+	mask := ChangedMask(old, new)
+	want := []bool{false, true, false}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Errorf("mask[%d] = %v", i, mask[i])
+		}
+	}
+}
+
+func TestCountDisturbExpectedValue(t *testing.T) {
+	d := DefaultDisturb()
+	// Layout: cell1 is written; idle neighbors cell0 (S1) and cell2 (S3)
+	// are exposed; cell3 (S4) is not adjacent to a written cell.
+	states := []State{S1, S2, S3, S4}
+	changed := []bool{false, true, false, false}
+	st := d.CountDisturb(states, changed, 4, nil)
+	want := 0.123 + 0.276
+	if math.Abs(st.Errors()-want) > 1e-12 {
+		t.Errorf("expected errors = %v, want %v", st.Errors(), want)
+	}
+	if st.ErrorsAux != 0 {
+		t.Errorf("aux errors = %v, want 0", st.ErrorsAux)
+	}
+}
+
+func TestCountDisturbS2Immune(t *testing.T) {
+	d := DefaultDisturb()
+	states := []State{S2, S1, S2}
+	changed := []bool{false, true, false}
+	st := d.CountDisturb(states, changed, 3, nil)
+	if st.Errors() != 0 {
+		t.Errorf("S2 neighbors must be immune, got %v", st.Errors())
+	}
+}
+
+func TestCountDisturbWrittenCellsNotDisturbed(t *testing.T) {
+	d := DefaultDisturb()
+	states := []State{S1, S1, S1}
+	changed := []bool{true, true, true}
+	st := d.CountDisturb(states, changed, 3, nil)
+	if st.Errors() != 0 {
+		t.Errorf("written cells are not idle; got %v errors", st.Errors())
+	}
+}
+
+func TestCountDisturbRegionSplit(t *testing.T) {
+	d := DefaultDisturb()
+	// cell0 data idle S1, cell1 data written, cell2 aux idle S3 exposed
+	// by written cell1.
+	states := []State{S1, S2, S3}
+	changed := []bool{false, true, false}
+	st := d.CountDisturb(states, changed, 2, nil)
+	if math.Abs(st.ErrorsData-0.123) > 1e-12 {
+		t.Errorf("ErrorsData = %v", st.ErrorsData)
+	}
+	if math.Abs(st.ErrorsAux-0.276) > 1e-12 {
+		t.Errorf("ErrorsAux = %v", st.ErrorsAux)
+	}
+}
+
+func TestCountDisturbSampledMatchesExpectation(t *testing.T) {
+	d := DefaultDisturb()
+	states := []State{S1, S2, S3, S1, S4, S1, S3, S2}
+	changed := []bool{false, true, false, true, false, false, true, false}
+	exp := d.CountDisturb(states, changed, len(states), nil).Errors()
+	rnd := prng.New(99)
+	var total float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		total += d.CountDisturb(states, changed, len(states), rnd).Errors()
+	}
+	got := total / n
+	if math.Abs(got-exp) > 0.01 {
+		t.Errorf("sampled mean = %v, expected-value mode = %v", got, exp)
+	}
+}
+
+func TestQuickDisturbOnlyIdleNeighbors(t *testing.T) {
+	// Property: with all cells in S4 (max DER), expected errors equal
+	// DER[S4] times the number of idle cells adjacent to a changed cell.
+	d := DefaultDisturb()
+	f := func(pattern uint16) bool {
+		n := 16
+		states := make([]State, n)
+		changed := make([]bool, n)
+		idleExposed := 0
+		for i := 0; i < n; i++ {
+			states[i] = S4
+			changed[i] = pattern>>uint(i)&1 == 1
+		}
+		for i := 0; i < n; i++ {
+			if changed[i] {
+				continue
+			}
+			if (i > 0 && changed[i-1]) || (i < n-1 && changed[i+1]) {
+				idleExposed++
+			}
+		}
+		st := d.CountDisturb(states, changed, n, nil)
+		return math.Abs(st.Errors()-0.152*float64(idleExposed)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDiffWriteEnergyNonNegative(t *testing.T) {
+	m := DefaultEnergy()
+	f := func(oldRaw, newRaw [16]uint8) bool {
+		old := make([]State, 16)
+		new := make([]State, 16)
+		for i := range old {
+			old[i] = State(oldRaw[i] % NumStates)
+			new[i] = State(newRaw[i] % NumStates)
+		}
+		st := m.DiffWrite(old, new, 8)
+		if st.EnergyData < 0 || st.EnergyAux < 0 {
+			return false
+		}
+		// Updated count equals number of differing cells.
+		diff := 0
+		for i := range old {
+			if old[i] != new[i] {
+				diff++
+			}
+		}
+		return st.Updated() == diff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package prng provides small, fast, deterministic pseudo-random number
+// generators used throughout the simulator. Experiments must be exactly
+// reproducible across runs and platforms, so all randomness in the
+// repository flows through this package instead of math/rand.
+package prng
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. It is
+// used to seed Xoshiro and as a cheap standalone stream.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 implements xoshiro256** 1.0 (Blackman & Vigna). It has a
+// 256-bit state, passes BigCrush, and is far faster than crypto-grade
+// generators, which matters when generating hundreds of millions of lines.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// New returns a Xoshiro256 seeded from seed via SplitMix64, as recommended
+// by the xoshiro authors.
+func New(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Uint64()
+	}
+	// An all-zero state would be a fixed point; splitmix makes that
+	// astronomically unlikely, but guard anyway.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next value in the stream.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (x *Xoshiro256) Uint32() uint32 { return uint32(x.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation. The bias for
+	// n << 2^64 is negligible for simulation purposes.
+	return int((uint64(x.Uint32()) * uint64(n)) >> 32)
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (x *Xoshiro256) Bool(p float64) bool { return x.Float64() < p }
+
+// Fill fills b with random bytes.
+func (x *Xoshiro256) Fill(b []byte) {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		v := x.Uint64()
+		b[i] = byte(v)
+		b[i+1] = byte(v >> 8)
+		b[i+2] = byte(v >> 16)
+		b[i+3] = byte(v >> 24)
+		b[i+4] = byte(v >> 32)
+		b[i+5] = byte(v >> 40)
+		b[i+6] = byte(v >> 48)
+		b[i+7] = byte(v >> 56)
+	}
+	if i < len(b) {
+		v := x.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// Pick returns an index in [0, len(weights)) with probability proportional
+// to weights[i]. Zero or negative weights are treated as zero. If all
+// weights are zero it returns 0.
+func (x *Xoshiro256) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	r := x.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if r < w {
+			return i
+		}
+		r -= w
+	}
+	return len(weights) - 1
+}

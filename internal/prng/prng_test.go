@@ -1,0 +1,159 @@
+package prng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the splitmix64 reference
+	// implementation (Vigna).
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	s := NewSplitMix64(0)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	c := New(8)
+	same := 0
+	a2 := New(7)
+	for i := 0; i < 100; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("Intn(10): value %d appeared %d times, want ~10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(2)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of Float64 = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(3)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.123) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.123) > 0.01 {
+		t.Errorf("Bool(0.123) rate = %v", got)
+	}
+}
+
+func TestFill(t *testing.T) {
+	r := New(4)
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 65} {
+		b := make([]byte, n)
+		r.Fill(b)
+		if n >= 16 {
+			zero := 0
+			for _, v := range b {
+				if v == 0 {
+					zero++
+				}
+			}
+			if zero == n {
+				t.Errorf("Fill(%d) produced all zeros", n)
+			}
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(5)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index picked %d times", counts[1])
+	}
+	r0 := float64(counts[0]) / n
+	if math.Abs(r0-0.25) > 0.01 {
+		t.Errorf("index 0 rate = %v, want ~0.25", r0)
+	}
+	if got := r.Pick([]float64{0, 0}); got != 0 {
+		t.Errorf("all-zero weights: Pick = %d, want 0", got)
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}

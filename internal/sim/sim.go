@@ -1,0 +1,308 @@
+// Package sim is the trace-driven write simulator of §VII: it replays a
+// write stream through one or more encoding schemes, maintaining each
+// scheme's independent view of the PCM array (its own cell states,
+// because different encodings store different states for the same data),
+// and charges the differential-write energy, endurance (updated cells)
+// and write-disturbance models on every request.
+package sim
+
+import (
+	"fmt"
+
+	"wlcrc/internal/core"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/prng"
+	"wlcrc/internal/trace"
+)
+
+// Metrics aggregates per-scheme results over a run.
+type Metrics struct {
+	Scheme string
+	Writes int
+
+	Energy  pcm.WriteStats   // accumulated energy / updated cells
+	Disturb pcm.DisturbStats // accumulated disturbance errors
+
+	// MaxDisturb tracks the worst single write (§VIII.C reports the
+	// maximum changes little across schemes).
+	MaxDisturb float64
+
+	// CompressedWrites counts writes that took a scheme's encoded
+	// (compressed) path, for coverage reporting.
+	CompressedWrites int
+
+	// DecodeErrors counts writes after which the stored line failed to
+	// decode back to the written data. Always zero for a correct scheme;
+	// the simulator checks when Verify is enabled.
+	DecodeErrors int
+
+	// VnR reports fault-injection / Verify-and-Restore activity when
+	// Options.InjectFaults is set.
+	VnR VnRStats
+}
+
+// AvgVnRIterations returns mean restore iterations per write.
+func (m Metrics) AvgVnRIterations() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return float64(m.VnR.Iterations) / float64(m.Writes)
+}
+
+// AvgEnergy returns mean pJ per write (data+aux).
+func (m Metrics) AvgEnergy() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return m.Energy.Energy() / float64(m.Writes)
+}
+
+// AvgEnergyData returns mean data-region pJ per write.
+func (m Metrics) AvgEnergyData() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return m.Energy.EnergyData / float64(m.Writes)
+}
+
+// AvgEnergyAux returns mean aux-region pJ per write.
+func (m Metrics) AvgEnergyAux() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return m.Energy.EnergyAux / float64(m.Writes)
+}
+
+// AvgUpdated returns mean programmed cells per write.
+func (m Metrics) AvgUpdated() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return float64(m.Energy.Updated()) / float64(m.Writes)
+}
+
+// AvgUpdatedData returns mean programmed data cells per write.
+func (m Metrics) AvgUpdatedData() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return float64(m.Energy.UpdatedData) / float64(m.Writes)
+}
+
+// AvgUpdatedAux returns mean programmed aux cells per write.
+func (m Metrics) AvgUpdatedAux() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return float64(m.Energy.UpdatedAux) / float64(m.Writes)
+}
+
+// AvgDisturb returns mean disturbance errors per write.
+func (m Metrics) AvgDisturb() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return m.Disturb.Errors() / float64(m.Writes)
+}
+
+// AvgDisturbData returns mean data-region disturbance errors per write.
+func (m Metrics) AvgDisturbData() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return m.Disturb.ErrorsData / float64(m.Writes)
+}
+
+// AvgDisturbAux returns mean aux-region disturbance errors per write.
+func (m Metrics) AvgDisturbAux() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return m.Disturb.ErrorsAux / float64(m.Writes)
+}
+
+// CompressedFraction returns the fraction of writes that used the
+// encoded path.
+func (m Metrics) CompressedFraction() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return float64(m.CompressedWrites) / float64(m.Writes)
+}
+
+// Options configures a Simulator.
+type Options struct {
+	Energy  pcm.EnergyModel
+	Disturb pcm.DisturbModel
+	// SampleDisturb switches the disturbance model from deterministic
+	// expected-value accounting to Monte-Carlo sampling with Seed.
+	SampleDisturb bool
+	Seed          uint64
+	// Verify makes the simulator decode after every write and compare
+	// against the written data — a continuous correctness audit.
+	Verify bool
+	// InjectFaults corrupts disturbed cells after each write and runs
+	// the §VIII.C Verify-and-Restore loop (implies sampled disturbance).
+	InjectFaults bool
+	// MaxVnRIterations is a safety cap on the restore loop (0 = 16). In
+	// practice the loop converges in the paper's 3-5 iterations; the cap
+	// only guards against pathological restore-disturb ping-pong.
+	MaxVnRIterations int
+}
+
+// DefaultOptions returns the Table II configuration with deterministic
+// disturbance accounting and verification enabled.
+func DefaultOptions() Options {
+	return Options{
+		Energy:  pcm.DefaultEnergy(),
+		Disturb: pcm.DefaultDisturb(),
+		Verify:  true,
+	}
+}
+
+// Simulator replays write requests through a set of schemes.
+type Simulator struct {
+	opts    Options
+	schemes []core.Scheme
+	metrics []Metrics
+	// mem[i] is scheme i's cell-state view of the array.
+	mem []map[uint64][]pcm.State
+	rnd *prng.Xoshiro256
+}
+
+// New builds a simulator for the given schemes.
+func New(opts Options, schemes ...core.Scheme) *Simulator {
+	s := &Simulator{
+		opts:    opts,
+		schemes: schemes,
+		metrics: make([]Metrics, len(schemes)),
+		mem:     make([]map[uint64][]pcm.State, len(schemes)),
+	}
+	for i, sch := range schemes {
+		s.metrics[i].Scheme = sch.Name()
+		s.mem[i] = make(map[uint64][]pcm.State)
+	}
+	if opts.SampleDisturb || opts.InjectFaults {
+		s.rnd = prng.New(opts.Seed)
+	}
+	if s.opts.MaxVnRIterations == 0 {
+		s.opts.MaxVnRIterations = 16
+	}
+	return s
+}
+
+// Write replays one request through every scheme.
+func (s *Simulator) Write(req trace.Request) error {
+	for i, sch := range s.schemes {
+		old, ok := s.mem[i][req.Addr]
+		if !ok {
+			old = core.InitialCells(sch.TotalCells())
+		}
+		newCells := sch.Encode(old, &req.New)
+		m := &s.metrics[i]
+		m.Writes++
+		m.Energy.Add(s.opts.Energy.DiffWrite(old, newCells, sch.DataCells()))
+		changed := pcm.ChangedMask(old, newCells)
+		var sampler pcm.Sampler
+		if s.rnd != nil {
+			sampler = s.rnd
+		}
+		d := s.opts.Disturb.CountDisturb(newCells, changed, sch.DataCells(), sampler)
+		m.Disturb.Add(d)
+		if e := d.Errors(); e > m.MaxDisturb {
+			m.MaxDisturb = e
+		}
+		if isCompressedWrite(sch, newCells) {
+			m.CompressedWrites++
+		}
+		if s.opts.InjectFaults {
+			s.runVnR(m, newCells, changed, s.opts.MaxVnRIterations)
+		}
+		s.mem[i][req.Addr] = newCells
+		if s.opts.Verify {
+			got := sch.Decode(newCells)
+			if !got.Equal(&req.New) {
+				m.DecodeErrors++
+				return fmt.Errorf("sim: %s: decode mismatch at addr %#x", sch.Name(), req.Addr)
+			}
+		}
+	}
+	return nil
+}
+
+// isCompressedWrite inspects the flag cell of compression-gated schemes.
+// Schemes without a gate count every write as encoded.
+func isCompressedWrite(sch core.Scheme, cells []pcm.State) bool {
+	type gated interface{ Compressible(*memline.Line) bool }
+	if _, ok := sch.(gated); !ok {
+		return true
+	}
+	if sch.TotalCells() <= memline.LineCells {
+		return true
+	}
+	// The flag-cell convention: S1 = compressed. COC+4cosets also uses
+	// S2 for its 32-bit mode; only S3+ (or S2 for two-state flags) means
+	// raw. Checking "not raw" per scheme family:
+	flag := cells[memline.LineCells]
+	switch sch.Name() {
+	case "COC+4cosets":
+		return flag == pcm.S1 || flag == pcm.S2
+	default:
+		return flag == pcm.S1
+	}
+}
+
+// Run drains a source through the simulator, stopping after max requests
+// when max > 0.
+func (s *Simulator) Run(src trace.Source, max int) error {
+	n := 0
+	for {
+		if max > 0 && n >= max {
+			return nil
+		}
+		req, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if err := s.Write(req); err != nil {
+			return err
+		}
+		n++
+	}
+}
+
+// Metrics returns the accumulated per-scheme metrics, index-aligned with
+// the schemes passed to New.
+func (s *Simulator) Metrics() []Metrics {
+	out := make([]Metrics, len(s.metrics))
+	copy(out, s.metrics)
+	return out
+}
+
+// MetricsFor returns the metrics of the named scheme.
+func (s *Simulator) MetricsFor(name string) (Metrics, bool) {
+	for _, m := range s.metrics {
+		if m.Scheme == name {
+			return m, true
+		}
+	}
+	return Metrics{}, false
+}
+
+// ResetMetrics clears the accumulated metrics but keeps every scheme's
+// memory state — used after a warm-up phase so reported numbers reflect
+// steady-state behavior rather than cold first writes.
+func (s *Simulator) ResetMetrics() {
+	for i := range s.metrics {
+		s.metrics[i] = Metrics{Scheme: s.schemes[i].Name()}
+	}
+}
+
+// Reset clears metrics and memory state (schemes are kept).
+func (s *Simulator) Reset() {
+	for i := range s.metrics {
+		s.metrics[i] = Metrics{Scheme: s.schemes[i].Name()}
+		s.mem[i] = make(map[uint64][]pcm.State)
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"wlcrc/internal/pcm"
+)
+
+// VnRStats aggregates the Verify-and-Restore behavior of one run
+// (§VIII.C): with fault injection enabled, every write may disturb idle
+// neighbor cells toward S2; a read-after-write detects the corruption
+// and restore iterations rewrite the affected cells, each iteration
+// itself risking new disturbance. The paper reports that 3–5 iterations
+// remove all disturbance errors; the stats below let that be checked.
+type VnRStats struct {
+	InjectedErrors  uint64 // cells corrupted by disturbance
+	RestoreWrites   uint64 // cells rewritten by VnR
+	RestoreEnergyPJ float64
+	Iterations      uint64 // total VnR iterations across writes
+	MaxIterations   int    // worst single write
+	Residual        uint64 // errors left when the iteration cap was hit
+}
+
+// runVnR injects disturbance faults for a completed write and repairs
+// them. cells is the freshly-programmed state vector (the intended
+// content); changed marks the cells this write programmed. The array's
+// stored state is corrupted in place and then restored; the returned
+// stats describe the repair effort. maxIter caps the restore loop.
+func (s *Simulator) runVnR(m *Metrics, cells []pcm.State, changed []bool, maxIter int) {
+	stored := append([]pcm.State(nil), cells...)
+	// Initial disturbance from the write itself.
+	hits := s.opts.Disturb.DisturbedCells(stored, changed, s.rnd)
+	m.VnR.InjectedErrors += uint64(len(hits))
+	iter := 0
+	for len(hits) > 0 && iter < maxIter {
+		iter++
+		// Corrupt: disturbance drives cells to the SET state.
+		for _, i := range hits {
+			stored[i] = pcm.S2
+		}
+		// Verify (read-after-write) finds every mismatch vs the
+		// intended content; restore rewrites those cells.
+		restore := make([]bool, len(stored))
+		nRestore := 0
+		for i := range stored {
+			if stored[i] != cells[i] {
+				restore[i] = true
+				stored[i] = cells[i]
+				nRestore++
+				m.VnR.RestoreEnergyPJ += s.opts.Energy.WriteEnergy(cells[i])
+			}
+		}
+		m.VnR.RestoreWrites += uint64(nRestore)
+		// The restore writes are RESET events of their own: they may
+		// disturb idle neighbors again.
+		hits = s.opts.Disturb.DisturbedCells(stored, restore, s.rnd)
+		m.VnR.InjectedErrors += uint64(len(hits))
+	}
+	m.VnR.Iterations += uint64(iter)
+	if iter > m.VnR.MaxIterations {
+		m.VnR.MaxIterations = iter
+	}
+	if len(hits) > 0 {
+		m.VnR.Residual += uint64(len(hits))
+	}
+}

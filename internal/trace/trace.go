@@ -1,0 +1,155 @@
+// Package trace defines the write-trace format the simulator consumes,
+// mirroring the paper's methodology (§VII.A): traces carry, for every
+// memory write transaction, the line address, the value to be stored and
+// the value being overwritten (so differential write can be evaluated
+// without replaying the whole history).
+//
+// The on-disk format is a fixed header followed by fixed-size records:
+//
+//	magic   "WLCT"            4 bytes
+//	version uint32 LE         4 bytes
+//	count   uint64 LE         8 bytes (0 if unknown/streamed)
+//	record: addr uint64 LE, old [64]byte, new [64]byte
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"wlcrc/internal/memline"
+)
+
+// Magic identifies trace files.
+const Magic = "WLCT"
+
+// Version is the current format version.
+const Version = 1
+
+// Request is one memory write transaction.
+type Request struct {
+	Addr uint64       // line address (line index, not byte address)
+	Old  memline.Line // content being overwritten
+	New  memline.Line // content to store
+}
+
+// Writer streams requests to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewWriter writes a header (with unknown count) and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], Version)
+	binary.LittleEndian.PutUint64(hdr[4:12], 0)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one request.
+func (w *Writer) Write(r Request) error {
+	var addr [8]byte
+	binary.LittleEndian.PutUint64(addr[:], r.Addr)
+	if _, err := w.w.Write(addr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(r.Old[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(r.New[:]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of requests written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams requests from an io.Reader.
+type Reader struct {
+	r     *bufio.Reader
+	count uint64 // from header; 0 = unknown
+	read  uint64
+}
+
+// ErrBadMagic is returned when the stream is not a trace file.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{r: br, count: binary.LittleEndian.Uint64(hdr[8:16])}, nil
+}
+
+// Read returns the next request, or io.EOF at end of stream.
+func (r *Reader) Read() (Request, error) {
+	var rec [8 + 2*memline.LineBytes]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if err == io.EOF {
+			return Request{}, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Request{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Request{}, err
+	}
+	var req Request
+	req.Addr = binary.LittleEndian.Uint64(rec[0:8])
+	copy(req.Old[:], rec[8:8+memline.LineBytes])
+	copy(req.New[:], rec[8+memline.LineBytes:])
+	r.read++
+	return req, nil
+}
+
+// Source is anything that yields a stream of write requests: a trace
+// file reader or a synthetic workload generator.
+type Source interface {
+	// Next returns the next request; ok=false at end of stream.
+	Next() (Request, bool)
+}
+
+// ReaderSource adapts a Reader to the Source interface, stopping at EOF
+// or on the first error (exposed via Err).
+type ReaderSource struct {
+	R   *Reader
+	err error
+}
+
+// Next implements Source.
+func (s *ReaderSource) Next() (Request, bool) {
+	req, err := s.R.Read()
+	if err != nil {
+		if err != io.EOF {
+			s.err = err
+		}
+		return Request{}, false
+	}
+	return req, true
+}
+
+// Err reports a non-EOF read error, if any occurred.
+func (s *ReaderSource) Err() error { return s.err }

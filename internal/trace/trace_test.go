@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"wlcrc/internal/memline"
+	"wlcrc/internal/prng"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(1)
+	var reqs []Request
+	for i := 0; i < 100; i++ {
+		var req Request
+		req.Addr = uint64(r.Intn(1 << 20))
+		r.Fill(req.Old[:])
+		r.Fill(req.New[:])
+		reqs = append(reqs, req)
+		if err := w.Write(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 100 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range reqs {
+		got, err := rd.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := rd.Read(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	buf := bytes.NewBufferString("NOPE0000000000000000")
+	if _, err := NewReader(buf); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	buf := bytes.NewBufferString("WL")
+	if _, err := NewReader(buf); err == nil {
+		t.Error("expected error on truncated header")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	var req Request
+	req.Addr = 42
+	w.Write(req)
+	w.Flush()
+	data := buf.Bytes()
+	rd, err := NewReader(bytes.NewReader(data[:len(data)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Read(); err == nil {
+		t.Error("expected error on truncated record")
+	}
+}
+
+func TestReaderSource(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		var req Request
+		req.Addr = uint64(i)
+		req.New[0] = byte(i)
+		w.Write(req)
+	}
+	w.Flush()
+	rd, _ := NewReader(&buf)
+	src := &ReaderSource{R: rd}
+	n := 0
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		if req.Addr != uint64(n) {
+			t.Errorf("record %d addr = %d", n, req.Addr)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("read %d records", n)
+	}
+	if src.Err() != nil {
+		t.Errorf("Err = %v", src.Err())
+	}
+}
+
+func TestRecordSizeMatchesLineGeometry(t *testing.T) {
+	var req Request
+	if len(req.Old) != memline.LineBytes || len(req.New) != memline.LineBytes {
+		t.Error("trace record payload does not match the 64-byte line")
+	}
+}

@@ -1,0 +1,151 @@
+// Package wear tracks per-cell program counts and projects array
+// lifetime. The paper evaluates endurance as the average number of
+// updated cells per write (Figure 9) because PCM cells wear out with
+// programming; this module extends that metric to the distributions a
+// lifetime analysis needs: per-cell wear, worst-cell wear, and a
+// first-cell-failure projection under a given cell endurance budget.
+package wear
+
+import (
+	"math"
+	"sort"
+
+	"wlcrc/internal/pcm"
+)
+
+// DefaultCellEndurance is a representative MLC PCM cell endurance
+// (program cycles to failure); PCM literature reports 1e6..1e8 for MLC.
+const DefaultCellEndurance = 1e7
+
+// Tracker accumulates per-cell program counts for a set of lines.
+type Tracker struct {
+	cellsPerLine int
+	counts       map[uint64][]uint32
+	totalWrites  uint64
+	totalUpdates uint64
+}
+
+// NewTracker builds a tracker for lines of the given cell count.
+func NewTracker(cellsPerLine int) *Tracker {
+	if cellsPerLine <= 0 {
+		panic("wear: cellsPerLine must be positive")
+	}
+	return &Tracker{
+		cellsPerLine: cellsPerLine,
+		counts:       make(map[uint64][]uint32),
+	}
+}
+
+// Record registers one write: every cell whose state changed between old
+// and new is counted as programmed.
+func (t *Tracker) Record(addr uint64, old, new []pcm.State) {
+	if len(old) != len(new) {
+		panic("wear: Record length mismatch")
+	}
+	c, ok := t.counts[addr]
+	if !ok {
+		c = make([]uint32, t.cellsPerLine)
+		t.counts[addr] = c
+	}
+	t.totalWrites++
+	for i := range new {
+		if old[i] != new[i] && i < len(c) {
+			c[i]++
+			t.totalUpdates++
+		}
+	}
+}
+
+// Writes returns the number of recorded line writes.
+func (t *Tracker) Writes() uint64 { return t.totalWrites }
+
+// AvgUpdatedCells returns the Figure 9 metric over the recorded history.
+func (t *Tracker) AvgUpdatedCells() float64 {
+	if t.totalWrites == 0 {
+		return 0
+	}
+	return float64(t.totalUpdates) / float64(t.totalWrites)
+}
+
+// MaxWear returns the largest per-cell program count seen.
+func (t *Tracker) MaxWear() uint32 {
+	var max uint32
+	for _, line := range t.counts {
+		for _, c := range line {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}
+
+// WearImbalance returns max wear divided by mean wear over cells that
+// were programmed at least once (1.0 = perfectly even). Higher values
+// mean hot cells will fail far earlier than the array average.
+func (t *Tracker) WearImbalance() float64 {
+	var sum float64
+	var n int
+	for _, line := range t.counts {
+		for _, c := range line {
+			if c > 0 {
+				sum += float64(c)
+				n++
+			}
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return float64(t.MaxWear()) / (sum / float64(n))
+}
+
+// Percentile returns the p-th percentile (0..100) of per-cell wear over
+// all tracked cells, including never-programmed ones.
+func (t *Tracker) Percentile(p float64) uint32 {
+	var all []uint32
+	for _, line := range t.counts {
+		all = append(all, line...)
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	idx := int(math.Ceil(p/100*float64(len(all)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(all) {
+		idx = len(all) - 1
+	}
+	return all[idx]
+}
+
+// LifetimeWrites projects how many more writes (with the recorded
+// workload's wear pattern) the array survives before the hottest cell
+// exhausts cellEndurance program cycles. It scales the observed
+// worst-cell wear rate linearly, the standard first-failure model.
+func (t *Tracker) LifetimeWrites(cellEndurance float64) float64 {
+	max := float64(t.MaxWear())
+	if max == 0 || t.totalWrites == 0 {
+		return math.Inf(1)
+	}
+	perWrite := max / float64(t.totalWrites)
+	return cellEndurance / perWrite
+}
+
+// RelativeLifetime returns how much longer (>1) or shorter (<1) this
+// tracker's projected lifetime is versus other, under the same cell
+// endurance. Useful for scheme-vs-scheme endurance comparisons beyond
+// the average-updates metric.
+func (t *Tracker) RelativeLifetime(other *Tracker) float64 {
+	a := t.LifetimeWrites(DefaultCellEndurance)
+	b := other.LifetimeWrites(DefaultCellEndurance)
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return 1
+	}
+	if b == 0 || math.IsInf(a, 1) {
+		return math.Inf(1)
+	}
+	return a / b
+}

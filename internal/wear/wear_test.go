@@ -1,0 +1,123 @@
+package wear
+
+import (
+	"math"
+	"testing"
+
+	"wlcrc/internal/core"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/workload"
+)
+
+func TestRecordCountsOnlyChanges(t *testing.T) {
+	tr := NewTracker(4)
+	old := []pcm.State{pcm.S1, pcm.S1, pcm.S2, pcm.S3}
+	new := []pcm.State{pcm.S1, pcm.S2, pcm.S2, pcm.S4}
+	tr.Record(0, old, new)
+	if tr.Writes() != 1 {
+		t.Errorf("writes = %d", tr.Writes())
+	}
+	if got := tr.AvgUpdatedCells(); got != 2 {
+		t.Errorf("avg updated = %v, want 2", got)
+	}
+	if tr.MaxWear() != 1 {
+		t.Errorf("max wear = %d", tr.MaxWear())
+	}
+	// Same write again: no changes.
+	tr.Record(0, new, new)
+	if got := tr.AvgUpdatedCells(); got != 1 {
+		t.Errorf("avg updated after idle write = %v, want 1", got)
+	}
+}
+
+func TestMaxWearAndImbalance(t *testing.T) {
+	tr := NewTracker(2)
+	a := []pcm.State{pcm.S1, pcm.S1}
+	b := []pcm.State{pcm.S2, pcm.S1}
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			tr.Record(0, a, b)
+		} else {
+			tr.Record(0, b, a)
+		}
+	}
+	if tr.MaxWear() != 10 {
+		t.Errorf("max wear = %d, want 10 (cell 0 flipped every write)", tr.MaxWear())
+	}
+	// Cell 1 never programmed: imbalance counts only programmed cells.
+	if got := tr.WearImbalance(); got != 1 {
+		t.Errorf("imbalance = %v, want 1 (single hot cell)", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	tr := NewTracker(4)
+	old := []pcm.State{pcm.S1, pcm.S1, pcm.S1, pcm.S1}
+	new := []pcm.State{pcm.S2, pcm.S1, pcm.S1, pcm.S1}
+	tr.Record(0, old, new)
+	if got := tr.Percentile(100); got != 1 {
+		t.Errorf("p100 = %d", got)
+	}
+	if got := tr.Percentile(50); got != 0 {
+		t.Errorf("p50 = %d, want 0 (3 of 4 cells unworn)", got)
+	}
+}
+
+func TestLifetimeProjection(t *testing.T) {
+	tr := NewTracker(1)
+	// One cell programmed every write: lifetime = endurance writes.
+	for i := 0; i < 100; i++ {
+		st := []pcm.State{pcm.State(i % 2)}
+		nx := []pcm.State{pcm.State((i + 1) % 2)}
+		tr.Record(0, st, nx)
+	}
+	if got := tr.LifetimeWrites(1e6); math.Abs(got-1e6) > 1 {
+		t.Errorf("lifetime = %v, want 1e6", got)
+	}
+	empty := NewTracker(1)
+	if !math.IsInf(empty.LifetimeWrites(1e6), 1) {
+		t.Error("empty tracker must project infinite lifetime")
+	}
+}
+
+// TestSchemesLifetimeOrdering is the wear-level integration check:
+// WLCRC-16 must project a longer lifetime than the baseline on biased
+// workloads (it programs fewer cells), mirroring the paper's endurance
+// claim at the distribution level rather than just the mean.
+func TestSchemesLifetimeOrdering(t *testing.T) {
+	cfg := core.DefaultConfig()
+	base, _ := core.NewScheme("Baseline", cfg)
+	wl, _ := core.NewScheme("WLCRC-16", cfg)
+
+	run := func(s core.Scheme) *Tracker {
+		tr := NewTracker(s.TotalCells())
+		mem := map[uint64][]pcm.State{}
+		p, _ := workload.ProfileByName("gcc")
+		gen := workload.NewGenerator(p, 128, 5)
+		for i := 0; i < 3000; i++ {
+			req, _ := gen.Next()
+			old, ok := mem[req.Addr]
+			if !ok {
+				old = core.InitialCells(s.TotalCells())
+			}
+			next := s.Encode(old, &req.New)
+			tr.Record(req.Addr, old, next)
+			mem[req.Addr] = next
+		}
+		return tr
+	}
+	trBase := run(base)
+	trWl := run(wl)
+	if trWl.AvgUpdatedCells() >= trBase.AvgUpdatedCells() {
+		t.Errorf("WLCRC updates %.1f >= baseline %.1f",
+			trWl.AvgUpdatedCells(), trBase.AvgUpdatedCells())
+	}
+	rel := trWl.RelativeLifetime(trBase)
+	if rel < 1.0 {
+		t.Errorf("WLCRC relative lifetime %.2f, want >= 1", rel)
+	}
+	t.Logf("projected lifetime ratio WLCRC-16 / Baseline = %.2f "+
+		"(avg updates %.1f vs %.1f, max wear %d vs %d)",
+		rel, trWl.AvgUpdatedCells(), trBase.AvgUpdatedCells(),
+		trWl.MaxWear(), trBase.MaxWear())
+}

@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"testing"
+
+	"wlcrc/internal/compress"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/prng"
+)
+
+func TestProfilesWellFormed(t *testing.T) {
+	profs := Profiles()
+	if len(profs) != 12 {
+		t.Fatalf("got %d profiles, want 12 (SPEC + canneal)", len(profs))
+	}
+	hmi := 0
+	for _, p := range profs {
+		var sum float64
+		for _, w := range p.Mix {
+			if w < 0 {
+				t.Errorf("%s: negative mixture weight", p.Name)
+			}
+			sum += w
+		}
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("%s: mixture sums to %v, want 100", p.Name, sum)
+		}
+		if p.HMI {
+			hmi++
+		}
+	}
+	if hmi != 7 {
+		t.Errorf("HMI count = %d, want 7 (Figure 8 grouping)", hmi)
+	}
+	if _, ok := ProfileByName("lesl"); !ok {
+		t.Error("ProfileByName(lesl) failed")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("ProfileByName(nope) should fail")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	a := NewGenerator(p, 256, 7)
+	b := NewGenerator(p, 256, 7)
+	for i := 0; i < 500; i++ {
+		ra, _ := a.Next()
+		rb, _ := b.Next()
+		if ra.Addr != rb.Addr || ra.New != rb.New || ra.Old != rb.Old {
+			t.Fatalf("streams diverged at request %d", i)
+		}
+	}
+}
+
+func TestGeneratorOldMatchesHistory(t *testing.T) {
+	// The Old field of each request must equal the last New written to
+	// the same address (trace consistency).
+	p, _ := ProfileByName("mcf")
+	g := NewGenerator(p, 128, 3)
+	last := map[uint64]memline.Line{}
+	for i := 0; i < 2000; i++ {
+		r, ok := g.Next()
+		if !ok {
+			t.Fatal("generator ended")
+		}
+		if prev, seen := last[r.Addr]; seen {
+			if r.Old != prev {
+				t.Fatalf("request %d: Old does not match history", i)
+			}
+		} else if (r.Old != memline.Line{}) {
+			t.Fatalf("request %d: first write has nonzero Old", i)
+		}
+		last[r.Addr] = r.New
+	}
+}
+
+func TestChainArchetypeRunLengths(t *testing.T) {
+	r := prng.New(5)
+	for _, a := range []Archetype{Chain6, Chain7, Chain8, Chain9, Chain12} {
+		want := chainRun(a)
+		for trial := 0; trial < 50; trial++ {
+			ctx := newContext(a, r)
+			l := ctx.genLine(r)
+			for w := 0; w < memline.LineWords; w++ {
+				if got := memline.MSBRun(l.Word(w)); got != want {
+					t.Fatalf("%v word %d: MSB run %d, want %d (word %#x)",
+						a, w, got, want, l.Word(w))
+				}
+			}
+			// Mutation must preserve the band.
+			for i := 0; i < 10; i++ {
+				w := r.Intn(memline.LineWords)
+				ctx.mutateWord(w, &l, r)
+				if got := memline.MSBRun(l.Word(w)); got != want {
+					t.Fatalf("%v after mutate: run %d, want %d", a, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestChainLinesDefeatBDIButNotCOC(t *testing.T) {
+	r := prng.New(9)
+	okCOC, okFPCBDI := 0, 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		ctx := newContext(Chain6, r)
+		l := ctx.genLine(r)
+		if compress.COCSize(&l) <= 448 {
+			okCOC++
+		}
+		if compress.FPCBDISize(&l) <= 369 {
+			okFPCBDI++
+		}
+	}
+	if okCOC < trials*85/100 {
+		t.Errorf("COC covers %d/%d chain lines, want >= 85%%", okCOC, trials)
+	}
+	if okFPCBDI > trials*10/100 {
+		t.Errorf("FPC+BDI covers %d/%d chain lines, want <= 10%%", okFPCBDI, trials)
+	}
+}
+
+func TestPointerAndDoubleLinesAreBDIFriendly(t *testing.T) {
+	r := prng.New(11)
+	for _, a := range []Archetype{Pointer, Double} {
+		ok := 0
+		const trials = 100
+		for trial := 0; trial < trials; trial++ {
+			ctx := newContext(a, r)
+			l := ctx.genLine(r)
+			if compress.FPCBDISize(&l) <= 369 {
+				ok++
+			}
+		}
+		if ok < trials*90/100 {
+			t.Errorf("%v: FPC+BDI covers %d/%d, want >= 90%%", a, ok, trials)
+		}
+	}
+}
+
+// coverage measures, over n fresh lines of a profile, the fraction of
+// lines compressible by WLC(k) for k in 4..9, by FPC+BDI (DIN's 369-bit
+// gate) and by COC (448-bit gate).
+func coverage(t *testing.T, p Profile, n int) (wlc map[int]float64, fpcbdi, coc float64) {
+	t.Helper()
+	g := NewGenerator(p, 0, 99)
+	wlcHits := map[int]int{}
+	fb, cc := 0, 0
+	for i := 0; i < n; i++ {
+		req, _ := g.Next()
+		l := req.New
+		for k := 4; k <= 9; k++ {
+			if (compress.WLC{K: k}).LineCompressible(&l) {
+				wlcHits[k]++
+			}
+		}
+		if compress.FPCBDISize(&l) <= 369 {
+			fb++
+		}
+		if compress.COCSize(&l) <= 448 {
+			cc++
+		}
+	}
+	wlc = map[int]float64{}
+	for k, h := range wlcHits {
+		wlc[k] = float64(h) / float64(n)
+	}
+	return wlc, float64(fb) / float64(n), float64(cc) / float64(n)
+}
+
+// TestFigure4CalibrationAverages checks the headline Figure 4 shape:
+// WLC covers >= 88% of lines for k <= 6 on average, drops to ~45-60% for
+// k = 9; FPC+BDI covers ~25-40%; COC covers >= 88%.
+func TestFigure4CalibrationAverages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	const perBench = 1500
+	var sum4, sum6, sum7, sum9, sumFB, sumCOC float64
+	profs := Profiles()
+	for _, p := range profs {
+		wlc, fb, coc := coverage(t, p, perBench)
+		t.Logf("%-5s WLC k4=%.2f k6=%.2f k7=%.2f k9=%.2f  FPC+BDI=%.2f COC=%.2f",
+			p.Name, wlc[4], wlc[6], wlc[7], wlc[9], fb, coc)
+		sum4 += wlc[4]
+		sum6 += wlc[6]
+		sum7 += wlc[7]
+		sum9 += wlc[9]
+		sumFB += fb
+		sumCOC += coc
+	}
+	n := float64(len(profs))
+	avg4, avg6, avg7, avg9, avgFB, avgCOC := sum4/n, sum6/n, sum7/n, sum9/n, sumFB/n, sumCOC/n
+	t.Logf("avg: k4=%.3f k6=%.3f k7=%.3f k9=%.3f FPC+BDI=%.3f COC=%.3f",
+		avg4, avg6, avg7, avg9, avgFB, avgCOC)
+	if avg6 < 0.88 {
+		t.Errorf("average WLC k=6 coverage %.3f, want >= 0.88 (paper: >91%%)", avg6)
+	}
+	if avg4 < avg6 {
+		t.Errorf("k=4 coverage %.3f below k=6 %.3f", avg4, avg6)
+	}
+	if avg9 < 0.40 || avg9 > 0.65 {
+		t.Errorf("average WLC k=9 coverage %.3f, want ~0.48 (paper: 48%%)", avg9)
+	}
+	if avg7 > avg6-0.2 {
+		t.Errorf("k=7 coverage %.3f should drop well below k=6 %.3f (paper: 54%% vs 91%%)", avg7, avg6)
+	}
+	if avgFB < 0.2 || avgFB > 0.45 {
+		t.Errorf("average FPC+BDI coverage %.3f, want ~0.30 (paper: 30%%)", avgFB)
+	}
+	if avgCOC < 0.85 {
+		t.Errorf("average COC coverage %.3f, want >= 0.85 (paper: >90%%)", avgCOC)
+	}
+}
+
+// TestChurnCalibration checks that the average fraction of symbols
+// changed per write is ~25% across benchmarks (paper §IX.C) with the
+// intended per-benchmark ordering (lesl churns most).
+func TestChurnCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	const writes = 4000
+	churn := map[string]float64{}
+	var sum float64
+	for _, p := range Profiles() {
+		g := NewGenerator(p, 0, 5)
+		// Warm up so most writes hit initialized lines.
+		for i := 0; i < len(g.lines)*2; i++ {
+			g.Next()
+		}
+		total := 0
+		counted := 0
+		for i := 0; i < writes; i++ {
+			req, _ := g.Next()
+			total += req.Old.CountDiffSymbols(&req.New)
+			counted++
+		}
+		f := float64(total) / float64(counted) / float64(memline.LineCells)
+		churn[p.Name] = f
+		sum += f
+		t.Logf("%-5s churn %.3f", p.Name, f)
+	}
+	avg := sum / float64(len(Profiles()))
+	t.Logf("average churn %.3f", avg)
+	if avg < 0.15 || avg > 0.40 {
+		t.Errorf("average churn %.3f, want ~0.25", avg)
+	}
+	if churn["lesl"] < churn["libq"] {
+		t.Error("lesl must churn more than libq")
+	}
+	if churn["lesl"] < 0.4 {
+		t.Errorf("lesl churn %.3f, want >= 0.4 (Figure 9: ~150+/256 cells)", churn["lesl"])
+	}
+}
+
+func TestLimitedSource(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	src := &Limited{Src: NewGenerator(p, 64, 1), N: 10}
+	n := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("Limited yielded %d requests, want 10", n)
+	}
+}
+
+func TestRandomProfile(t *testing.T) {
+	g := NewGenerator(RandomProfile(), 64, 2)
+	// Random lines should essentially never be WLC-compressible.
+	w := compress.WLC{K: 6}
+	hits := 0
+	for i := 0; i < 200; i++ {
+		req, _ := g.Next()
+		if w.LineCompressible(&req.New) {
+			hits++
+		}
+	}
+	if hits > 2 {
+		t.Errorf("%d/200 random lines WLC-compressible", hits)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	p, _ := ProfileByName("lesl")
+	s := Describe(p)
+	if s == "" || s[:4] != "lesl" {
+		t.Errorf("Describe = %q", s)
+	}
+}

@@ -1,0 +1,159 @@
+package wlcrc
+
+import (
+	"wlcrc/internal/core"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/prng"
+)
+
+// WriteInfo reports the cost of one line write.
+type WriteInfo struct {
+	// EnergyPJ is the programming energy of the differential write.
+	EnergyPJ float64
+	// UpdatedCells is the number of MLC cells programmed.
+	UpdatedCells int
+	// DisturbErrors is the number of write-disturbance errors the write
+	// induced in idle neighbor cells (expected value, or a sample when
+	// the Memory was built with WithDisturbSampling).
+	DisturbErrors float64
+	// Compressed reports whether the scheme's encoded (compressed) path
+	// was taken; false means the raw fallback.
+	Compressed bool
+}
+
+// MemStats aggregates write costs over a Memory's lifetime.
+type MemStats struct {
+	Writes           int
+	EnergyPJ         float64
+	UpdatedCells     int
+	DisturbErrors    float64
+	CompressedWrites int
+}
+
+// AvgEnergyPJ returns mean programming energy per write.
+func (s MemStats) AvgEnergyPJ() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return s.EnergyPJ / float64(s.Writes)
+}
+
+// AvgUpdatedCells returns mean programmed cells per write.
+func (s MemStats) AvgUpdatedCells() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.UpdatedCells) / float64(s.Writes)
+}
+
+// MemOption customizes a Memory.
+type MemOption func(*Memory)
+
+// WithDisturbSampling switches disturbance accounting from expected
+// values to Monte-Carlo sampling with the given seed.
+func WithDisturbSampling(seed uint64) MemOption {
+	return func(m *Memory) { m.rnd = prng.New(seed) }
+}
+
+// WithMemEnergy overrides the device energy model used for accounting.
+func WithMemEnergy(em pcm.EnergyModel) MemOption {
+	return func(m *Memory) { m.energy = em }
+}
+
+// Memory simulates a PCM region behind one encoding scheme. It tracks
+// the cell states of every line ever written, prices each write with
+// the Table II device model, and can read back (decode) any line.
+// Memory is not safe for concurrent use.
+type Memory struct {
+	scheme  Scheme
+	energy  pcm.EnergyModel
+	disturb pcm.DisturbModel
+	cells   map[uint64][]pcm.State
+	rnd     *prng.Xoshiro256
+	stats   MemStats
+}
+
+// NewMemory builds a simulated PCM region using scheme for every line.
+func NewMemory(scheme Scheme, opts ...MemOption) *Memory {
+	m := &Memory{
+		scheme:  scheme,
+		energy:  pcm.DefaultEnergy(),
+		disturb: pcm.DefaultDisturb(),
+		cells:   make(map[uint64][]pcm.State),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Scheme returns the memory's encoding scheme.
+func (m *Memory) Scheme() Scheme { return m.scheme }
+
+// Write stores data at the given line address and returns its cost.
+func (m *Memory) Write(addr uint64, data Line) WriteInfo {
+	old, ok := m.cells[addr]
+	if !ok {
+		old = core.InitialCells(m.scheme.TotalCells())
+	}
+	next := m.scheme.Encode(old, &data)
+	ws := m.energy.DiffWrite(old, next, m.scheme.DataCells())
+	changed := pcm.ChangedMask(old, next)
+	var sampler pcm.Sampler
+	if m.rnd != nil {
+		sampler = m.rnd
+	}
+	ds := m.disturb.CountDisturb(next, changed, m.scheme.DataCells(), sampler)
+	m.cells[addr] = next
+
+	info := WriteInfo{
+		EnergyPJ:      ws.Energy(),
+		UpdatedCells:  ws.Updated(),
+		DisturbErrors: ds.Errors(),
+		Compressed:    m.isCompressed(next),
+	}
+	m.stats.Writes++
+	m.stats.EnergyPJ += info.EnergyPJ
+	m.stats.UpdatedCells += info.UpdatedCells
+	m.stats.DisturbErrors += info.DisturbErrors
+	if info.Compressed {
+		m.stats.CompressedWrites++
+	}
+	return info
+}
+
+// isCompressed mirrors the flag-cell convention of compression-gated
+// schemes; schemes without a gate always count as encoded.
+func (m *Memory) isCompressed(cells []pcm.State) bool {
+	if m.scheme.TotalCells() <= memline.LineCells {
+		return true
+	}
+	flag := cells[memline.LineCells]
+	if m.scheme.Name() == "COC+4cosets" {
+		return flag == pcm.S1 || flag == pcm.S2
+	}
+	return flag == pcm.S1
+}
+
+// Read decodes and returns the line at addr. Unwritten lines read as
+// zero.
+func (m *Memory) Read(addr uint64) Line {
+	cells, ok := m.cells[addr]
+	if !ok {
+		return Line{}
+	}
+	return m.scheme.Decode(cells)
+}
+
+// Written reports whether addr has ever been written.
+func (m *Memory) Written(addr uint64) bool {
+	_, ok := m.cells[addr]
+	return ok
+}
+
+// Lines returns the number of distinct lines written.
+func (m *Memory) Lines() int { return len(m.cells) }
+
+// Stats returns the accumulated write statistics.
+func (m *Memory) Stats() MemStats { return m.stats }

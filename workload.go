@@ -1,0 +1,50 @@
+package wlcrc
+
+import (
+	"fmt"
+
+	"wlcrc/internal/workload"
+)
+
+// WriteRequest is one element of a synthetic write stream: the line
+// address, the new content, and the content being overwritten.
+type WriteRequest struct {
+	Addr uint64
+	Old  Line
+	New  Line
+}
+
+// Workload is a synthetic write-request stream.
+type Workload struct {
+	gen *workload.Generator
+}
+
+// WorkloadNames lists the benchmark profiles of the paper's evaluation
+// (§VII.B) plus "random".
+func WorkloadNames() []string {
+	var names []string
+	for _, p := range workload.Profiles() {
+		names = append(names, p.Name)
+	}
+	names = append(names, "random")
+	return names
+}
+
+// NewWorkload builds the named synthetic workload with a deterministic
+// seed. footprint overrides the working-set size in lines when positive.
+func NewWorkload(name string, footprint int, seed uint64) (*Workload, error) {
+	if name == "random" {
+		return &Workload{gen: workload.NewGenerator(workload.RandomProfile(), footprint, seed)}, nil
+	}
+	p, ok := workload.ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("wlcrc: unknown workload %q (see WorkloadNames)", name)
+	}
+	return &Workload{gen: workload.NewGenerator(p, footprint, seed)}, nil
+}
+
+// Next returns the next write request; the stream never ends.
+func (w *Workload) Next() WriteRequest {
+	req, _ := w.gen.Next()
+	return WriteRequest{Addr: req.Addr, Old: req.Old, New: req.New}
+}
