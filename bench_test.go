@@ -9,12 +9,17 @@ package wlcrc_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"wlcrc"
+	"wlcrc/internal/core"
 	"wlcrc/internal/exp"
 	"wlcrc/internal/hw"
 	"wlcrc/internal/sim"
+	"wlcrc/internal/trace"
+	"wlcrc/internal/workload"
 )
 
 // benchConfig scales experiments down so a full -bench=. pass stays in
@@ -192,6 +197,76 @@ func BenchmarkHWModel(b *testing.B) {
 	}
 	b.ReportMetric(rep.AreaMM2*1000, "area-10^-3mm2")
 	b.ReportMetric(rep.WriteNS, "write-ns")
+}
+
+// Serial-vs-parallel replay benchmarks for the sharded engine: the same
+// fixed trace replays through every evaluation scheme with one worker
+// and with all CPUs. Results are bit-identical by construction (see
+// sim.Engine); only wall-clock changes, reported as writes/s and as the
+// parallel-over-serial speedup.
+
+// engineFixture pre-records a deterministic multi-scheme replay load.
+func engineFixture(b *testing.B) ([]core.Scheme, *trace.SliceSource) {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	names := []string{"Baseline", "FlipMin", "FNW", "DIN", "6cosets",
+		"COC+4cosets", "WLC+4cosets", "WLCRC-16"}
+	schemes := make([]core.Scheme, len(names))
+	for i, n := range names {
+		s, err := core.NewScheme(n, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		schemes[i] = s
+	}
+	p, ok := workload.ProfileByName("gcc")
+	if !ok {
+		b.Fatal("gcc profile missing")
+	}
+	return schemes, trace.Record(workload.NewGenerator(p, 1024, 17), 4000)
+}
+
+func replayOnce(b *testing.B, schemes []core.Scheme, src *trace.SliceSource, workers int) time.Duration {
+	b.Helper()
+	src.Rewind()
+	opts := sim.DefaultOptions()
+	opts.Workers = workers
+	e := sim.NewEngine(opts, schemes...)
+	start := time.Now()
+	if err := e.Run(src, 0); err != nil {
+		b.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+func benchReplay(b *testing.B, workers int) {
+	schemes, src := engineFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replayOnce(b, schemes, src, workers)
+	}
+	writes := float64(len(src.Reqs) * len(schemes) * b.N)
+	b.ReportMetric(writes/b.Elapsed().Seconds(), "writes/s")
+}
+
+func BenchmarkReplaySerial(b *testing.B) { benchReplay(b, 1) }
+
+func BenchmarkReplayParallel(b *testing.B) { benchReplay(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkReplaySpeedup interleaves serial and parallel replays of the
+// same trace and reports their wall-clock ratio ("speedup-x") plus the
+// worker count used, the headline number for the parallel engine.
+func BenchmarkReplaySpeedup(b *testing.B) {
+	schemes, src := engineFixture(b)
+	workers := runtime.GOMAXPROCS(0)
+	var serial, parallel time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial += replayOnce(b, schemes, src, 1)
+		parallel += replayOnce(b, schemes, src, workers)
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-x")
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // Encode-throughput benchmarks: lines encoded per second for every

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"wlcrc/internal/exp"
@@ -25,10 +26,11 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "comma-separated experiment ids (fig1a..fig14, multiobj, ablation, hw, headline, all)")
-		writes = flag.Int("writes", 2000, "write requests per benchmark")
-		random = flag.Int("random-writes", 4000, "write requests for random-workload figures")
-		seed   = flag.Uint64("seed", 1, "experiment seed")
+		run     = flag.String("run", "all", "comma-separated experiment ids (fig1a..fig14, multiobj, ablation, hw, headline, all)")
+		writes  = flag.Int("writes", 2000, "write requests per benchmark")
+		random  = flag.Int("random-writes", 4000, "write requests for random-workload figures")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "replay worker goroutines (1 = serial; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -36,6 +38,7 @@ func main() {
 	cfg.WritesPerBenchmark = *writes
 	cfg.RandomWrites = *random
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	ids := strings.Split(*run, ",")
 	if *run == "all" {

@@ -5,11 +5,18 @@
 // through the Table II memory-system model and reports latency and
 // utilization.
 //
+// Replay runs on the parallel sharded engine: every scheme replays
+// concurrently, and within a scheme the address space is sharded by bank
+// so independent lines replay in parallel. -workers bounds the
+// goroutines (default: all CPUs); results are bit-identical for every
+// worker count, so -workers 1 reproduces the serial numbers exactly.
+//
 // Examples:
 //
 //	pcmsim -workload gcc -schemes Baseline,WLCRC-16 -writes 10000
 //	pcmsim -trace writes.wlct -schemes WLCRC-16
 //	pcmsim -workload all -schemes Baseline,6cosets,WLCRC-16 -memsys
+//	pcmsim -workload all -schemes Baseline,WLCRC-16 -workers 1
 package main
 
 import (
@@ -17,7 +24,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"wlcrc/internal/core"
 	"wlcrc/internal/memsys"
@@ -39,6 +48,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "workload seed")
 		sample      = flag.Bool("sample-disturb", false, "sample disturbance instead of expected values")
 		useMemsys   = flag.Bool("memsys", false, "also run the Table II memory-system timing model")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "replay worker goroutines (1 = serial; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -55,6 +65,7 @@ func main() {
 	opts := sim.DefaultOptions()
 	opts.SampleDisturb = *sample
 	opts.Seed = *seed
+	opts.Workers = *workers
 
 	type namedSource struct {
 		name string
@@ -106,8 +117,11 @@ func main() {
 	if *useMemsys {
 		msys = memsys.New(memsys.TableII())
 	}
+	var totalWrites uint64
+	start := time.Now()
+	var eng *sim.Engine
 	for _, ns := range sources {
-		s := sim.New(opts, schemes...)
+		eng = sim.NewEngine(opts, schemes...)
 		src := ns.src
 		if ns.n > 0 {
 			src = &workload.Limited{Src: src, N: ns.n}
@@ -115,15 +129,22 @@ func main() {
 		if msys != nil {
 			src = &timingTap{src: src, ctrl: msys}
 		}
-		if err := s.Run(src, 0); err != nil {
+		if err := eng.Run(src, 0); err != nil {
 			log.Fatal(err)
 		}
-		for _, m := range s.Metrics() {
+		for _, m := range eng.Metrics() {
+			totalWrites += uint64(m.Writes)
 			tbl.Row(ns.name, m.Scheme, m.AvgEnergy(), m.AvgUpdated(),
 				m.AvgDisturb(), stats.Percent(m.CompressedFraction()))
 		}
 	}
+	elapsed := time.Since(start)
 	fmt.Print(tbl.String())
+	if eng != nil {
+		fmt.Printf("\nreplayed %d scheme-writes in %v with %d workers over %d bank shards (%s)\n",
+			totalWrites, elapsed.Round(time.Millisecond), eng.Workers(), eng.Banks(),
+			stats.Rate(totalWrites, elapsed))
+	}
 	if msys != nil {
 		msys.Drain()
 		st := msys.Stats()

@@ -1,0 +1,3 @@
+module wlcrc
+
+go 1.21

@@ -35,6 +35,10 @@ type Config struct {
 	Seed uint64
 	// Energy is the device energy model (Fig 14 swaps it).
 	Energy pcm.EnergyModel
+	// Workers is the goroutine count of the sharded replay engine
+	// (0 = all CPUs, 1 = serial). Results are bit-identical for every
+	// value — see sim.Engine — so this is purely a speed knob.
+	Workers int
 }
 
 // DefaultConfig returns laptop-scale defaults.
@@ -65,7 +69,7 @@ type BenchResult struct {
 func runMatrix(cfg Config, profiles []workload.Profile, schemes []core.Scheme) []BenchResult {
 	var out []BenchResult
 	for _, p := range profiles {
-		s := sim.New(simOptions(cfg), schemes...)
+		s := sim.NewEngine(simOptions(cfg), schemes...)
 		gen := workload.NewGenerator(p, cfg.Footprint, cfg.Seed)
 		if w := cfg.warmup(p); w > 0 {
 			if err := s.Run(&workload.Limited{Src: gen, N: w}, 0); err != nil {
@@ -103,12 +107,13 @@ func simOptions(cfg Config) sim.Options {
 	o := sim.DefaultOptions()
 	o.Energy = cfg.Energy
 	o.Seed = cfg.Seed
+	o.Workers = cfg.Workers
 	return o
 }
 
 // runRandom replays the random workload through the schemes.
 func runRandom(cfg Config, schemes []core.Scheme) []sim.Metrics {
-	s := sim.New(simOptions(cfg), schemes...)
+	s := sim.NewEngine(simOptions(cfg), schemes...)
 	p := workload.RandomProfile()
 	gen := workload.NewGenerator(p, cfg.Footprint, cfg.Seed)
 	if w := cfg.warmup(p); w > 0 {

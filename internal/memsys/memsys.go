@@ -47,6 +47,15 @@ func TableII() Config {
 // Banks returns the total bank count.
 func (c Config) Banks() int { return c.Channels * c.DIMMsPerChan * c.BanksPerDIMM }
 
+// BankOf maps a line address to a bank (line interleaving across
+// channels, then DIMMs, then banks). Both the cycle-based Controller and
+// the parallel replay engine in internal/sim shard the address space
+// with this function, so "one shard per bank" matches the hardware's own
+// notion of independent lines.
+func (c Config) BankOf(addr uint64) int {
+	return int(addr % uint64(c.Banks()))
+}
+
 // AccessKind distinguishes reads from writes.
 type AccessKind int
 
@@ -133,10 +142,10 @@ func New(cfg Config) *Controller {
 	return c
 }
 
-// BankOf maps a line address to a bank (line interleaving across
-// channels, then DIMMs, then banks).
+// BankOf maps a line address to a bank, per the configuration's
+// interleaving.
 func (c *Controller) BankOf(addr uint64) int {
-	return int(addr % uint64(c.cfg.Banks()))
+	return c.cfg.BankOf(addr)
 }
 
 // Enqueue adds a request, advancing time until there is queue room

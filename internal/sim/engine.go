@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wlcrc/internal/core"
+	"wlcrc/internal/memsys"
+	"wlcrc/internal/prng"
+	"wlcrc/internal/trace"
+)
+
+// engineBatch is the number of requests the dispatcher groups per
+// broadcast. Large enough to amortize channel traffic, small enough to
+// keep every worker busy on short traces.
+const engineBatch = 512
+
+// Engine is the concurrent sharded replay pipeline. It maintains one
+// shard per (scheme, bank) pair — the bank comes from the configured
+// memsys geometry, exactly the interleaving the Table II memory
+// controller uses — and fans each trace batch out to a pool of workers.
+// Every shard is owned by exactly one worker, so no locks guard
+// simulation state, and a shard sees its requests in trace order (the
+// dispatcher emits batches in order and a worker drains its channel in
+// FIFO order).
+//
+// Determinism: results never depend on Options.Workers. Each shard
+// accumulates its metrics sequentially in trace order regardless of
+// which worker owns it, each shard's PRNG substream is seeded only from
+// (Options.Seed, scheme, bank), and Metrics folds the per-bank shards in
+// fixed bank order. Workers = 1 is therefore the serial mode of the same
+// engine, and a parallel run is bit-identical to it — floats included.
+//
+// An Engine is not safe for concurrent use: Run, Metrics and the Reset
+// methods must not be called concurrently with each other.
+type Engine struct {
+	opts    Options
+	schemes []core.Scheme
+	geo     memsys.Config
+	banks   int
+	workers int
+	// shards[i*banks+b] is scheme i's view of bank b.
+	shards []*shard
+}
+
+// NewEngine builds a sharded engine for the given schemes. Worker count
+// and bank geometry come from opts (zero values mean all CPUs and the
+// Table II geometry).
+func NewEngine(opts Options, schemes ...core.Scheme) *Engine {
+	if opts.MaxVnRIterations == 0 {
+		opts.MaxVnRIterations = 16
+	}
+	geo := opts.Geometry
+	if geo.Banks() <= 0 {
+		geo = memsys.TableII()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		opts:    opts,
+		schemes: schemes,
+		geo:     geo,
+		banks:   geo.Banks(),
+		workers: workers,
+	}
+	e.shards = make([]*shard, len(schemes)*e.banks)
+	sampled := opts.SampleDisturb || opts.InjectFaults
+	for i, sch := range schemes {
+		for b := 0; b < e.banks; b++ {
+			var rnd *prng.Xoshiro256
+			if sampled {
+				rnd = prng.New(shardSeed(opts.Seed, i, b))
+			}
+			e.shards[i*e.banks+b] = newShard(&e.opts, sch, rnd)
+		}
+	}
+	return e
+}
+
+// shardSeed derives the PRNG seed of shard (scheme, bank) from the run
+// seed. The substreams must be decorrelated (adjacent integer seeds feed
+// SplitMix64, whose output is well-mixed) and must depend only on the
+// run seed and the shard coordinates — never on scheduling.
+func shardSeed(seed uint64, scheme, bank int) uint64 {
+	sm := prng.NewSplitMix64(seed ^ (0x9e3779b97f4a7c15 * (uint64(scheme)<<20 + uint64(bank) + 1)))
+	return sm.Uint64()
+}
+
+// Workers returns the resolved worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Banks returns the number of address shards per scheme.
+func (e *Engine) Banks() int { return e.banks }
+
+// batch is one dispatched group of requests. base is the global sequence
+// number of reqs[0]; workers use it to order verification failures. The
+// slice is shared read-only by every worker.
+type batch struct {
+	base uint64
+	reqs []trace.Request
+}
+
+// Run drains a source through the engine, stopping after max requests
+// when max > 0. The source is read sequentially on the calling
+// goroutine; requests fan out to the workers in batches.
+//
+// On a verification failure the engine stops dispatching, lets in-flight
+// batches finish, and returns the error of the earliest failing request
+// in trace order — deterministic even though the failure is detected
+// concurrently (every dispatched batch is fully drained, and the batch
+// holding the globally-first failure is always dispatched before any
+// stop it can trigger). A shard that erred freezes, so its own metrics
+// cover exactly its prefix up to the failure; metrics of other shards
+// cover an unspecified prefix of the tail, since how many batches were
+// dispatched before the stop depends on timing. Metrics of error-free
+// runs are always exact and worker-count independent.
+func (e *Engine) Run(src trace.Source, max int) error {
+	chans := make([]chan batch, e.workers)
+	for i := range chans {
+		chans[i] = make(chan batch, 2)
+	}
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := range chans[w] {
+				e.applyBatch(w, b, &failed)
+			}
+		}(w)
+	}
+
+	dispatch := func(b batch) {
+		for _, c := range chans {
+			c <- b
+		}
+	}
+	var seq uint64
+	n := 0
+	reqs := make([]trace.Request, 0, engineBatch)
+	for !failed.Load() {
+		if max > 0 && n >= max {
+			break
+		}
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		reqs = append(reqs, req)
+		seq++
+		n++
+		if len(reqs) == engineBatch {
+			dispatch(batch{base: seq - uint64(len(reqs)), reqs: reqs})
+			reqs = make([]trace.Request, 0, engineBatch)
+		}
+	}
+	// A pending partial batch is dropped on failure: the earliest error
+	// is in an already-dispatched batch (its detection is why we are
+	// stopping), and every undispatched request has a higher sequence
+	// number, so the reported error cannot change.
+	if len(reqs) > 0 && !failed.Load() {
+		dispatch(batch{base: seq - uint64(len(reqs)), reqs: reqs})
+	}
+	for _, c := range chans {
+		close(c)
+	}
+	wg.Wait()
+	return e.firstError()
+}
+
+// applyBatch replays the requests of one batch through every shard owned
+// by worker w. Ownership is static — shard u belongs to worker u mod
+// workers — so each shard is only ever touched by one goroutine.
+func (e *Engine) applyBatch(w int, b batch, failed *atomic.Bool) {
+	for j := range b.reqs {
+		req := &b.reqs[j]
+		bank := e.geo.BankOf(req.Addr)
+		for i := range e.schemes {
+			unit := i*e.banks + bank
+			if unit%e.workers != w {
+				continue
+			}
+			u := e.shards[unit]
+			if u.err != nil {
+				continue // frozen after its first failure
+			}
+			if err := u.apply(req); err != nil {
+				u.err = err
+				u.errSeq = b.base + uint64(j)
+				failed.Store(true)
+			}
+		}
+	}
+}
+
+// firstError returns the recorded error with the lowest sequence number
+// (ties broken by shard index), or nil.
+func (e *Engine) firstError() error {
+	var err error
+	var errSeq uint64
+	for _, u := range e.shards {
+		if u.err != nil && (err == nil || u.errSeq < errSeq) {
+			err, errSeq = u.err, u.errSeq
+		}
+	}
+	return err
+}
+
+// Metrics merges the per-bank shards of every scheme, in fixed bank
+// order, and returns the per-scheme metrics index-aligned with the
+// schemes passed to NewEngine.
+func (e *Engine) Metrics() []Metrics {
+	out := make([]Metrics, len(e.schemes))
+	for i, sch := range e.schemes {
+		m := Metrics{Scheme: sch.Name()}
+		for b := 0; b < e.banks; b++ {
+			m.Merge(e.shards[i*e.banks+b].m)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// MetricsFor returns the merged metrics of the named scheme.
+func (e *Engine) MetricsFor(name string) (Metrics, bool) {
+	for i, sch := range e.schemes {
+		if sch.Name() == name {
+			return e.Metrics()[i], true
+		}
+	}
+	return Metrics{}, false
+}
+
+// ResetMetrics clears the accumulated metrics but keeps every shard's
+// memory state — used after a warm-up phase so reported numbers reflect
+// steady-state behavior rather than cold first writes.
+func (e *Engine) ResetMetrics() {
+	for _, u := range e.shards {
+		u.resetMetrics()
+	}
+}
+
+// Reset clears metrics and memory state (schemes and PRNG positions are
+// kept; build a fresh Engine for an independent randomized run).
+func (e *Engine) Reset() {
+	for _, u := range e.shards {
+		u.reset()
+	}
+}
+
+// Replayer is the interface shared by Simulator and Engine: replay a
+// write stream, then report per-scheme metrics. The compile-time
+// asserts below keep the two frontends' surfaces in lockstep; callers
+// that want to swap the serial reference for the parallel engine (or
+// back) can program against it.
+type Replayer interface {
+	Run(src trace.Source, max int) error
+	Metrics() []Metrics
+	MetricsFor(name string) (Metrics, bool)
+	ResetMetrics()
+	Reset()
+}
+
+var (
+	_ Replayer = (*Simulator)(nil)
+	_ Replayer = (*Engine)(nil)
+)

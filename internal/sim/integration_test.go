@@ -86,7 +86,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 	for i, sch := range schemes {
 		for addr, want := range lastWrite {
-			cells := s.mem[i][addr]
+			cells := s.shards[i].mem[addr]
 			if cells == nil {
 				t.Fatalf("%s: no state for addr %d", sch.Name(), addr)
 			}

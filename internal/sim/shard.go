@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+
+	"wlcrc/internal/core"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/prng"
+	"wlcrc/internal/trace"
+)
+
+// shard is the unit of simulation state: one scheme's view of one slice
+// of the address space. The serial Simulator uses one shard per scheme
+// covering all addresses; the parallel Engine uses one shard per
+// (scheme, bank) pair so independent lines can replay concurrently.
+//
+// A shard is single-threaded by construction: exactly one goroutine ever
+// calls apply on it, and requests arrive in trace order. All cross-shard
+// aggregation happens after the run via Metrics.Merge.
+type shard struct {
+	opts   *Options
+	scheme core.Scheme
+	// mem is this shard's cell-state view of its addresses.
+	mem map[uint64][]pcm.State
+	// rnd is nil under deterministic expected-value accounting. The
+	// Simulator points every shard at one shared stream (so scheme i+1
+	// continues scheme i's sequence within a request, the historical
+	// behavior); the Engine gives each shard its own substream so the
+	// sampled results do not depend on scheduling.
+	rnd *prng.Xoshiro256
+	m   Metrics
+
+	// err records the first verification failure; errSeq is the global
+	// sequence number of the request that caused it. Both are maintained
+	// by the Engine, which freezes an erred shard so the reported error
+	// is deterministic. The Simulator returns errors immediately instead.
+	err    error
+	errSeq uint64
+}
+
+// newShard builds a shard for sch. opts must outlive the shard.
+func newShard(opts *Options, sch core.Scheme, rnd *prng.Xoshiro256) *shard {
+	return &shard{
+		opts:   opts,
+		scheme: sch,
+		mem:    make(map[uint64][]pcm.State),
+		rnd:    rnd,
+		m:      Metrics{Scheme: sch.Name()},
+	}
+}
+
+// apply replays one request through the shard's scheme, charging the
+// energy, endurance and disturbance models and updating the stored cell
+// state. It returns a non-nil error when Verify is on and the stored
+// line fails to decode back to the written data.
+func (u *shard) apply(req *trace.Request) error {
+	sch := u.scheme
+	old, ok := u.mem[req.Addr]
+	if !ok {
+		old = core.InitialCells(sch.TotalCells())
+	}
+	newCells := sch.Encode(old, &req.New)
+	m := &u.m
+	m.Writes++
+	m.Energy.Add(u.opts.Energy.DiffWrite(old, newCells, sch.DataCells()))
+	changed := pcm.ChangedMask(old, newCells)
+	var sampler pcm.Sampler
+	if u.rnd != nil {
+		sampler = u.rnd
+	}
+	d := u.opts.Disturb.CountDisturb(newCells, changed, sch.DataCells(), sampler)
+	m.Disturb.Add(d)
+	if e := d.Errors(); e > m.MaxDisturb {
+		m.MaxDisturb = e
+	}
+	if isCompressedWrite(sch, newCells) {
+		m.CompressedWrites++
+	}
+	if u.opts.InjectFaults {
+		u.runVnR(newCells, changed, u.opts.MaxVnRIterations)
+	}
+	u.mem[req.Addr] = newCells
+	if u.opts.Verify {
+		got := sch.Decode(newCells)
+		if !got.Equal(&req.New) {
+			m.DecodeErrors++
+			return fmt.Errorf("sim: %s: decode mismatch at addr %#x", sch.Name(), req.Addr)
+		}
+	}
+	return nil
+}
+
+// resetMetrics clears the accumulated metrics but keeps the memory state
+// (used after warm-up).
+func (u *shard) resetMetrics() {
+	u.m = Metrics{Scheme: u.scheme.Name()}
+	u.err = nil
+	u.errSeq = 0
+}
+
+// reset clears metrics and memory state.
+func (u *shard) reset() {
+	u.resetMetrics()
+	u.mem = make(map[uint64][]pcm.State)
+}
+
+// isCompressedWrite inspects the flag cell of compression-gated schemes.
+// Schemes without a gate count every write as encoded.
+func isCompressedWrite(sch core.Scheme, cells []pcm.State) bool {
+	type gated interface{ Compressible(*memline.Line) bool }
+	if _, ok := sch.(gated); !ok {
+		return true
+	}
+	if sch.TotalCells() <= memline.LineCells {
+		return true
+	}
+	// The flag-cell convention: S1 = compressed. COC+4cosets also uses
+	// S2 for its 32-bit mode; only S3+ (or S2 for two-state flags) means
+	// raw. Checking "not raw" per scheme family:
+	flag := cells[memline.LineCells]
+	switch sch.Name() {
+	case "COC+4cosets":
+		return flag == pcm.S1 || flag == pcm.S2
+	default:
+		return flag == pcm.S1
+	}
+}

@@ -4,13 +4,22 @@
 // because different encodings store different states for the same data),
 // and charges the differential-write energy, endurance (updated cells)
 // and write-disturbance models on every request.
+//
+// Two replay frontends share the same per-request core (see shard.go):
+//
+//   - Simulator is the single-threaded reference implementation with a
+//     synchronous per-request Write API.
+//   - Engine is the concurrent sharded pipeline (engine.go): it fans the
+//     trace out to per-scheme workers and, within a scheme, shards the
+//     address space by bank (memsys geometry) so independent lines
+//     replay in parallel. Per-shard metrics are merged in a fixed order,
+//     so an Engine run is bit-identical for every worker count —
+//     Options.Workers = 1 is the serial mode of the same engine.
 package sim
 
 import (
-	"fmt"
-
 	"wlcrc/internal/core"
-	"wlcrc/internal/memline"
+	"wlcrc/internal/memsys"
 	"wlcrc/internal/pcm"
 	"wlcrc/internal/prng"
 	"wlcrc/internal/trace"
@@ -40,6 +49,22 @@ type Metrics struct {
 	// VnR reports fault-injection / Verify-and-Restore activity when
 	// Options.InjectFaults is set.
 	VnR VnRStats
+}
+
+// Merge folds another shard's metrics for the same scheme into m:
+// counters and accumulators add, worst-case trackers take the maximum.
+// The Engine merges its per-bank shards in a fixed order so the result
+// is independent of how work was scheduled across workers.
+func (m *Metrics) Merge(o Metrics) {
+	m.Writes += o.Writes
+	m.Energy.Add(o.Energy)
+	m.Disturb.Add(o.Disturb)
+	if o.MaxDisturb > m.MaxDisturb {
+		m.MaxDisturb = o.MaxDisturb
+	}
+	m.CompressedWrites += o.CompressedWrites
+	m.DecodeErrors += o.DecodeErrors
+	m.VnR.Merge(o.VnR)
 }
 
 // AvgVnRIterations returns mean restore iterations per write.
@@ -131,7 +156,7 @@ func (m Metrics) CompressedFraction() float64 {
 	return float64(m.CompressedWrites) / float64(m.Writes)
 }
 
-// Options configures a Simulator.
+// Options configures a Simulator or an Engine.
 type Options struct {
 	Energy  pcm.EnergyModel
 	Disturb pcm.DisturbModel
@@ -149,6 +174,16 @@ type Options struct {
 	// practice the loop converges in the paper's 3-5 iterations; the cap
 	// only guards against pathological restore-disturb ping-pong.
 	MaxVnRIterations int
+
+	// Workers is the number of goroutines an Engine replays with.
+	// 0 means runtime.GOMAXPROCS(0); 1 is the serial mode. The worker
+	// count only changes wall-clock time, never results: Engine metrics
+	// are bit-identical across worker counts. Ignored by Simulator.
+	Workers int
+	// Geometry is the memory organization whose bank function shards the
+	// address space inside an Engine (the zero value means the paper's
+	// Table II geometry, 64 banks). Ignored by Simulator.
+	Geometry memsys.Config
 }
 
 // DefaultOptions returns the Table II configuration with deterministic
@@ -161,96 +196,42 @@ func DefaultOptions() Options {
 	}
 }
 
-// Simulator replays write requests through a set of schemes.
+// Simulator replays write requests through a set of schemes, one request
+// at a time on the calling goroutine. It is the single-threaded
+// reference implementation; Engine is the concurrent counterpart and is
+// checked against it. When disturbance is sampled, every scheme draws
+// from one shared PRNG stream in scheme order (the historical behavior).
 type Simulator struct {
-	opts    Options
-	schemes []core.Scheme
-	metrics []Metrics
-	// mem[i] is scheme i's cell-state view of the array.
-	mem []map[uint64][]pcm.State
-	rnd *prng.Xoshiro256
+	opts Options
+	// shards holds one full-address-space shard per scheme.
+	shards []*shard
 }
 
 // New builds a simulator for the given schemes.
 func New(opts Options, schemes ...core.Scheme) *Simulator {
-	s := &Simulator{
-		opts:    opts,
-		schemes: schemes,
-		metrics: make([]Metrics, len(schemes)),
-		mem:     make([]map[uint64][]pcm.State, len(schemes)),
+	if opts.MaxVnRIterations == 0 {
+		opts.MaxVnRIterations = 16
 	}
-	for i, sch := range schemes {
-		s.metrics[i].Scheme = sch.Name()
-		s.mem[i] = make(map[uint64][]pcm.State)
-	}
+	var rnd *prng.Xoshiro256
 	if opts.SampleDisturb || opts.InjectFaults {
-		s.rnd = prng.New(opts.Seed)
+		rnd = prng.New(opts.Seed)
 	}
-	if s.opts.MaxVnRIterations == 0 {
-		s.opts.MaxVnRIterations = 16
+	s := &Simulator{opts: opts}
+	s.shards = make([]*shard, len(schemes))
+	for i, sch := range schemes {
+		s.shards[i] = newShard(&s.opts, sch, rnd)
 	}
 	return s
 }
 
 // Write replays one request through every scheme.
 func (s *Simulator) Write(req trace.Request) error {
-	for i, sch := range s.schemes {
-		old, ok := s.mem[i][req.Addr]
-		if !ok {
-			old = core.InitialCells(sch.TotalCells())
-		}
-		newCells := sch.Encode(old, &req.New)
-		m := &s.metrics[i]
-		m.Writes++
-		m.Energy.Add(s.opts.Energy.DiffWrite(old, newCells, sch.DataCells()))
-		changed := pcm.ChangedMask(old, newCells)
-		var sampler pcm.Sampler
-		if s.rnd != nil {
-			sampler = s.rnd
-		}
-		d := s.opts.Disturb.CountDisturb(newCells, changed, sch.DataCells(), sampler)
-		m.Disturb.Add(d)
-		if e := d.Errors(); e > m.MaxDisturb {
-			m.MaxDisturb = e
-		}
-		if isCompressedWrite(sch, newCells) {
-			m.CompressedWrites++
-		}
-		if s.opts.InjectFaults {
-			s.runVnR(m, newCells, changed, s.opts.MaxVnRIterations)
-		}
-		s.mem[i][req.Addr] = newCells
-		if s.opts.Verify {
-			got := sch.Decode(newCells)
-			if !got.Equal(&req.New) {
-				m.DecodeErrors++
-				return fmt.Errorf("sim: %s: decode mismatch at addr %#x", sch.Name(), req.Addr)
-			}
+	for _, u := range s.shards {
+		if err := u.apply(&req); err != nil {
+			return err
 		}
 	}
 	return nil
-}
-
-// isCompressedWrite inspects the flag cell of compression-gated schemes.
-// Schemes without a gate count every write as encoded.
-func isCompressedWrite(sch core.Scheme, cells []pcm.State) bool {
-	type gated interface{ Compressible(*memline.Line) bool }
-	if _, ok := sch.(gated); !ok {
-		return true
-	}
-	if sch.TotalCells() <= memline.LineCells {
-		return true
-	}
-	// The flag-cell convention: S1 = compressed. COC+4cosets also uses
-	// S2 for its 32-bit mode; only S3+ (or S2 for two-state flags) means
-	// raw. Checking "not raw" per scheme family:
-	flag := cells[memline.LineCells]
-	switch sch.Name() {
-	case "COC+4cosets":
-		return flag == pcm.S1 || flag == pcm.S2
-	default:
-		return flag == pcm.S1
-	}
 }
 
 // Run drains a source through the simulator, stopping after max requests
@@ -275,16 +256,18 @@ func (s *Simulator) Run(src trace.Source, max int) error {
 // Metrics returns the accumulated per-scheme metrics, index-aligned with
 // the schemes passed to New.
 func (s *Simulator) Metrics() []Metrics {
-	out := make([]Metrics, len(s.metrics))
-	copy(out, s.metrics)
+	out := make([]Metrics, len(s.shards))
+	for i, u := range s.shards {
+		out[i] = u.m
+	}
 	return out
 }
 
 // MetricsFor returns the metrics of the named scheme.
 func (s *Simulator) MetricsFor(name string) (Metrics, bool) {
-	for _, m := range s.metrics {
-		if m.Scheme == name {
-			return m, true
+	for _, u := range s.shards {
+		if u.m.Scheme == name {
+			return u.m, true
 		}
 	}
 	return Metrics{}, false
@@ -294,15 +277,14 @@ func (s *Simulator) MetricsFor(name string) (Metrics, bool) {
 // memory state — used after a warm-up phase so reported numbers reflect
 // steady-state behavior rather than cold first writes.
 func (s *Simulator) ResetMetrics() {
-	for i := range s.metrics {
-		s.metrics[i] = Metrics{Scheme: s.schemes[i].Name()}
+	for _, u := range s.shards {
+		u.resetMetrics()
 	}
 }
 
 // Reset clears metrics and memory state (schemes are kept).
 func (s *Simulator) Reset() {
-	for i := range s.metrics {
-		s.metrics[i] = Metrics{Scheme: s.schemes[i].Name()}
-		s.mem[i] = make(map[uint64][]pcm.State)
+	for _, u := range s.shards {
+		u.reset()
 	}
 }

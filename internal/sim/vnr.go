@@ -19,15 +19,29 @@ type VnRStats struct {
 	Residual        uint64 // errors left when the iteration cap was hit
 }
 
+// Merge folds another shard's VnR stats into v: accumulators add,
+// MaxIterations takes the maximum.
+func (v *VnRStats) Merge(o VnRStats) {
+	v.InjectedErrors += o.InjectedErrors
+	v.RestoreWrites += o.RestoreWrites
+	v.RestoreEnergyPJ += o.RestoreEnergyPJ
+	v.Iterations += o.Iterations
+	if o.MaxIterations > v.MaxIterations {
+		v.MaxIterations = o.MaxIterations
+	}
+	v.Residual += o.Residual
+}
+
 // runVnR injects disturbance faults for a completed write and repairs
 // them. cells is the freshly-programmed state vector (the intended
 // content); changed marks the cells this write programmed. The array's
-// stored state is corrupted in place and then restored; the returned
+// stored state is corrupted in place and then restored; the shard's VnR
 // stats describe the repair effort. maxIter caps the restore loop.
-func (s *Simulator) runVnR(m *Metrics, cells []pcm.State, changed []bool, maxIter int) {
+func (u *shard) runVnR(cells []pcm.State, changed []bool, maxIter int) {
+	m := &u.m
 	stored := append([]pcm.State(nil), cells...)
 	// Initial disturbance from the write itself.
-	hits := s.opts.Disturb.DisturbedCells(stored, changed, s.rnd)
+	hits := u.opts.Disturb.DisturbedCells(stored, changed, u.rnd)
 	m.VnR.InjectedErrors += uint64(len(hits))
 	iter := 0
 	for len(hits) > 0 && iter < maxIter {
@@ -45,13 +59,13 @@ func (s *Simulator) runVnR(m *Metrics, cells []pcm.State, changed []bool, maxIte
 				restore[i] = true
 				stored[i] = cells[i]
 				nRestore++
-				m.VnR.RestoreEnergyPJ += s.opts.Energy.WriteEnergy(cells[i])
+				m.VnR.RestoreEnergyPJ += u.opts.Energy.WriteEnergy(cells[i])
 			}
 		}
 		m.VnR.RestoreWrites += uint64(nRestore)
 		// The restore writes are RESET events of their own: they may
 		// disturb idle neighbors again.
-		hits = s.opts.Disturb.DisturbedCells(stored, restore, s.rnd)
+		hits = u.opts.Disturb.DisturbedCells(stored, restore, u.rnd)
 		m.VnR.InjectedErrors += uint64(len(hits))
 	}
 	m.VnR.Iterations += uint64(iter)

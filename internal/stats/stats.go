@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Series is an ordered set of labeled values (one bar group of a figure).
@@ -149,6 +150,25 @@ func (t *Table) String() string {
 
 // Percent formats a ratio as a signed percentage ("52.3%").
 func Percent(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// Rate formats n events over elapsed d as a human-readable event rate
+// ("1.24M/s"). The replay tools use it to report write throughput.
+func Rate(n uint64, d time.Duration) string {
+	if d <= 0 {
+		return "inf/s"
+	}
+	r := float64(n) / d.Seconds()
+	switch {
+	case r >= 1e9:
+		return fmt.Sprintf("%.2fG/s", r/1e9)
+	case r >= 1e6:
+		return fmt.Sprintf("%.2fM/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.2fK/s", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", r)
+	}
+}
 
 // SortedKeys returns map keys in sorted order (for deterministic output).
 func SortedKeys[V any](m map[string]V) []string {

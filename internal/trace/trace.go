@@ -153,3 +153,40 @@ func (s *ReaderSource) Next() (Request, bool) {
 
 // Err reports a non-EOF read error, if any occurred.
 func (s *ReaderSource) Err() error { return s.err }
+
+// SliceSource replays an in-memory request slice. Unlike a Reader it can
+// be rewound, which makes it the natural fixture for determinism tests
+// and serial-vs-parallel benchmarks that must replay the exact same
+// stream several times.
+type SliceSource struct {
+	Reqs []Request
+	next int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Request, bool) {
+	if s.next >= len(s.Reqs) {
+		return Request{}, false
+	}
+	r := s.Reqs[s.next]
+	s.next++
+	return r, true
+}
+
+// Rewind restarts the stream from the first request.
+func (s *SliceSource) Rewind() { s.next = 0 }
+
+// Record drains up to n requests from src into a new SliceSource
+// (n <= 0 drains src completely — do not use that with an infinite
+// synthetic generator).
+func Record(src Source, n int) *SliceSource {
+	var reqs []Request
+	for n <= 0 || len(reqs) < n {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		reqs = append(reqs, req)
+	}
+	return &SliceSource{Reqs: reqs}
+}

@@ -1,0 +1,53 @@
+package wlcrc
+
+import (
+	"fmt"
+	"runtime"
+
+	"wlcrc/internal/sim"
+)
+
+// Metrics is the per-scheme result of a Replay: write counts,
+// accumulated energy, programmed cells, disturbance errors, compression
+// coverage and Verify-and-Restore activity, with Avg* accessors for the
+// per-write figures the paper reports.
+type Metrics = sim.Metrics
+
+// ReplayOptions configures Replay.
+type ReplayOptions struct {
+	// Workers bounds the replay goroutines. 0 means all CPUs; 1 runs
+	// serially. Results are bit-identical for every value — the engine
+	// shards the address space by bank and merges deterministically — so
+	// this is purely a speed knob.
+	Workers int
+	// SampleDisturb switches disturbance accounting from expected values
+	// to Monte-Carlo sampling seeded with Seed.
+	SampleDisturb bool
+	// Seed drives the sampled-disturbance PRNG substreams.
+	Seed uint64
+}
+
+// Replay replays n requests from the workload through every scheme on
+// the parallel sharded engine and returns per-scheme metrics,
+// index-aligned with schemes. Decode verification is always on: a
+// scheme that fails to round-trip its stored data surfaces as an error.
+// n must be positive — workloads are infinite streams, so there is no
+// "replay everything".
+func Replay(w *Workload, n int, opts ReplayOptions, schemes ...Scheme) ([]Metrics, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("wlcrc: Replay needs a positive request count, got %d (workloads are infinite)", n)
+	}
+	o := sim.DefaultOptions()
+	o.Workers = opts.Workers
+	o.SampleDisturb = opts.SampleDisturb
+	o.Seed = opts.Seed
+	e := sim.NewEngine(o, schemes...)
+	if err := e.Run(w.gen, n); err != nil {
+		return nil, err
+	}
+	return e.Metrics(), nil
+}
+
+// ReplayWorkers returns the worker count Replay resolves opts.Workers=0
+// to: the number of usable CPUs.
+func ReplayWorkers() int { return runtime.GOMAXPROCS(0) }

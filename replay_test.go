@@ -1,0 +1,59 @@
+package wlcrc_test
+
+import (
+	"reflect"
+	"testing"
+
+	"wlcrc"
+)
+
+// TestReplayParallelMatchesSerial checks the public replay API end to
+// end: a parallel replay of a fixed-seed workload must produce metrics
+// bit-identical to the serial replay of the same workload.
+func TestReplayParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) []wlcrc.Metrics {
+		w, err := wlcrc.NewWorkload("gcc", 512, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := wlcrc.Replay(w, 2000, wlcrc.ReplayOptions{Workers: workers},
+			wlcrc.MustScheme("Baseline"), wlcrc.MustScheme("WLCRC-16"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	serial := run(1)
+	parallel := run(0) // all CPUs
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel replay differs from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if serial[0].Writes != 2000 || serial[1].Writes != 2000 {
+		t.Errorf("writes = %d/%d, want 2000", serial[0].Writes, serial[1].Writes)
+	}
+	if serial[1].AvgEnergy() >= serial[0].AvgEnergy() {
+		t.Errorf("WLCRC-16 energy %.1f not below baseline %.1f",
+			serial[1].AvgEnergy(), serial[0].AvgEnergy())
+	}
+}
+
+// TestReplaySampledDeterministic checks that Monte-Carlo disturbance
+// sampling is reproducible and worker-count independent through the
+// public API.
+func TestReplaySampledDeterministic(t *testing.T) {
+	run := func(workers int) []wlcrc.Metrics {
+		w, err := wlcrc.NewWorkload("zeus", 256, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := wlcrc.Replay(w, 1500, wlcrc.ReplayOptions{Workers: workers, SampleDisturb: true, Seed: 99},
+			wlcrc.MustScheme("Baseline"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	if !reflect.DeepEqual(run(1), run(4)) {
+		t.Error("sampled replay depends on worker count")
+	}
+}
