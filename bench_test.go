@@ -17,6 +17,7 @@ import (
 	"wlcrc/internal/core"
 	"wlcrc/internal/exp"
 	"wlcrc/internal/hw"
+	"wlcrc/internal/pcm"
 	"wlcrc/internal/sim"
 	"wlcrc/internal/trace"
 	"wlcrc/internal/workload"
@@ -270,7 +271,8 @@ func BenchmarkReplaySpeedup(b *testing.B) {
 }
 
 // Encode-throughput benchmarks: lines encoded per second for every
-// scheme, on a steady-state biased write stream.
+// scheme, on a steady-state biased write stream. With the zero-alloc
+// codec path, -benchmem must report 0 allocs/op here.
 func BenchmarkEncode(b *testing.B) {
 	for _, name := range wlcrc.SchemeNames() {
 		b.Run(name, func(b *testing.B) {
@@ -283,10 +285,75 @@ func BenchmarkEncode(b *testing.B) {
 			for i := range reqs {
 				reqs[i] = w.Next()
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r := reqs[i%len(reqs)]
 				mem.Write(r.Addr, r.New)
+			}
+			b.SetBytes(64)
+		})
+	}
+}
+
+// BenchmarkEncodeInto measures the bare codec hot path — EncodeInto
+// over a rotating set of steady-state (old, data) pairs, no memory map
+// or metrics in the loop. This is the headline series BENCH_encode.json
+// tracks; allocs/op must be 0 for every scheme.
+func BenchmarkEncodeInto(b *testing.B) {
+	for _, name := range wlcrc.SchemeNames() {
+		b.Run(name, func(b *testing.B) {
+			sch := wlcrc.MustScheme(name)
+			w, err := wlcrc.NewWorkload("gcc", 64, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-encode a pool of lines so the measured loop rewrites
+			// warmed cell states, like steady-state replay.
+			const pool = 64
+			olds := make([][]pcm.State, pool)
+			datas := make([]wlcrc.Line, pool)
+			fresh := core.InitialCells(sch.TotalCells())
+			for i := range olds {
+				warm := w.Next().New
+				olds[i] = make([]pcm.State, sch.TotalCells())
+				sch.EncodeInto(olds[i], fresh, &warm)
+				datas[i] = w.Next().New // the rewrite the loop measures
+			}
+			dst := make([]pcm.State, sch.TotalCells())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % pool
+				sch.EncodeInto(dst, olds[k], &datas[k])
+			}
+			b.SetBytes(64)
+		})
+	}
+}
+
+// BenchmarkDecodeInto is the decode-side counterpart.
+func BenchmarkDecodeInto(b *testing.B) {
+	for _, name := range wlcrc.SchemeNames() {
+		b.Run(name, func(b *testing.B) {
+			sch := wlcrc.MustScheme(name)
+			w, err := wlcrc.NewWorkload("gcc", 64, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const pool = 64
+			cells := make([][]pcm.State, pool)
+			fresh := core.InitialCells(sch.TotalCells())
+			for i := range cells {
+				data := w.Next().New
+				cells[i] = make([]pcm.State, sch.TotalCells())
+				sch.EncodeInto(cells[i], fresh, &data)
+			}
+			var out wlcrc.Line
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sch.DecodeInto(cells[i%pool], &out)
 			}
 			b.SetBytes(64)
 		})

@@ -65,11 +65,25 @@ func (c *Code) Generator() []uint8 {
 // systematic codeword is conceptually msg(x)*x^20 + parity(x): parity
 // bits occupy positions 0..19, message bits positions 20..20+len(msg)-1.
 func (c *Code) Encode(msg []uint8) []uint8 {
+	parity := make([]uint8, ParityBits)
+	c.EncodeTo(msg, parity)
+	return parity
+}
+
+// EncodeTo computes the parity bits into caller storage — the
+// allocation-free form of Encode. len(parity) must be ParityBits.
+func (c *Code) EncodeTo(msg, parity []uint8) {
 	if len(msg) > MaxMessageBits {
 		panic("bch: message too long for shortened code")
 	}
+	if len(parity) != ParityBits {
+		panic("bch: EncodeTo parity length != ParityBits")
+	}
 	// Polynomial division of msg(x)*x^20 by g(x) over GF(2), LFSR style.
-	rem := make([]uint8, ParityBits)
+	rem := parity
+	for i := range rem {
+		rem[i] = 0
+	}
 	for i := len(msg) - 1; i >= 0; i-- {
 		feedback := msg[i] ^ rem[ParityBits-1]
 		copy(rem[1:], rem[:ParityBits-1])
@@ -80,7 +94,6 @@ func (c *Code) Encode(msg []uint8) []uint8 {
 			}
 		}
 	}
-	return rem
 }
 
 // Syndromes evaluates the received codeword at alpha and alpha^3.

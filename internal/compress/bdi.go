@@ -47,9 +47,15 @@ var bdiConfigs = []bdiConfig{
 	{bdiB2D1, 2, 1},
 }
 
-func bdiSegments(l *memline.Line, segBytes int) []uint64 {
+// bdiMaxSegs is the largest segment count of any configuration
+// (2-byte segments over a 64-byte line), sizing the fixed scratch
+// arrays the allocation-free compressor works in.
+const bdiMaxSegs = memline.LineBytes / 2
+
+// bdiSegments fills segs with the line's segments and returns the
+// count.
+func bdiSegments(l *memline.Line, segBytes int, segs *[bdiMaxSegs]uint64) int {
 	n := memline.LineBytes / segBytes
-	segs := make([]uint64, n)
 	for i := 0; i < n; i++ {
 		var v uint64
 		for b := segBytes - 1; b >= 0; b-- {
@@ -57,19 +63,18 @@ func bdiSegments(l *memline.Line, segBytes int) []uint64 {
 		}
 		segs[i] = v
 	}
-	return segs
+	return n
 }
 
-// bdiTry attempts one base+delta configuration. It returns the explicit
-// base, the per-segment zero-base mask, deltas, and ok=false if some
-// segment fits neither base.
-func bdiTry(segs []uint64, segBytes, dltBytes int) (base uint64, mask []bool, deltas []uint64, ok bool) {
+// bdiTry attempts one base+delta configuration over segs, writing the
+// per-segment zero-base mask and deltas into caller scratch. It returns
+// the explicit base and ok=false if some segment fits neither base.
+func bdiTry(segs []uint64, segBytes, dltBytes int, mask *[bdiMaxSegs]bool, deltas *[bdiMaxSegs]uint64) (base uint64, ok bool) {
 	segBits := segBytes * 8
 	dltBits := dltBytes * 8
-	mask = make([]bool, len(segs))
-	deltas = make([]uint64, len(segs))
 	haveBase := false
 	for i, s := range segs {
+		mask[i] = false
 		sv := memline.SignExtend(s, segBits)
 		if memline.FitsSigned(sv, dltBits) {
 			mask[i] = true // zero base
@@ -83,11 +88,11 @@ func bdiTry(segs []uint64, segBytes, dltBytes int) (base uint64, mask []bool, de
 		d := (s - base) & (1<<uint(segBits) - 1)
 		dv := memline.SignExtend(d, segBits)
 		if !memline.FitsSigned(dv, dltBits) {
-			return 0, nil, nil, false
+			return 0, false
 		}
 		deltas[i] = d & (1<<uint(dltBits) - 1)
 	}
-	return base, mask, deltas, true
+	return base, true
 }
 
 func bdiConfigSize(segBytes, dltBytes int) int {
@@ -95,9 +100,23 @@ func bdiConfigSize(segBytes, dltBytes int) int {
 	return 4 + segBytes*8 + n*dltBytes*8 + n
 }
 
+// BDIMaxBits is the worst-case BDI stream length (raw tag plus the
+// uncompressed line), sizing fixed scratch buffers for BDICompressTo.
+const BDIMaxBits = 4 + memline.LineBits
+
 // BDICompress encodes the line with the cheapest applicable BDI encoding
 // and returns the packed stream and its size in bits.
 func BDICompress(l *memline.Line) ([]byte, int) {
+	w := NewBitWriter(BDIMaxBits)
+	bits := BDICompressTo(l, w)
+	return w.Bytes(), bits
+}
+
+// BDICompressTo encodes the line into w (back it with at least
+// BDIMaxBits of storage) and returns the stream length in bits. All
+// working state lives in fixed-size scratch, so the call itself never
+// allocates.
+func BDICompressTo(l *memline.Line, w *BitWriter) int {
 	// Zeros?
 	zero := true
 	for _, b := range l {
@@ -106,10 +125,9 @@ func BDICompress(l *memline.Line) ([]byte, int) {
 			break
 		}
 	}
-	w := NewBitWriter(memline.LineBits + 16)
 	if zero {
 		w.WriteBits(bdiZeros, 4)
-		return w.Bytes(), w.Len()
+		return w.Len()
 	}
 	// Repeated 64-bit value?
 	rep := true
@@ -123,48 +141,51 @@ func BDICompress(l *memline.Line) ([]byte, int) {
 	if rep {
 		w.WriteBits(bdiRep8, 4)
 		w.WriteBits(w0, 64)
-		return w.Bytes(), w.Len()
+		return w.Len()
 	}
-	// Base+delta configs in order of compressed size.
+	// Base+delta configs in order of compressed size. The try scratch is
+	// promoted to best on improvement, so two fixed sets suffice.
 	best := -1
 	bestSize := 4 + memline.LineBits // raw
 	var bestBase uint64
-	var bestMask []bool
-	var bestDeltas []uint64
+	var bestN int
+	var segs, deltas, bestDeltas [bdiMaxSegs]uint64
+	var mask, bestMask [bdiMaxSegs]bool
 	for ci, cfg := range bdiConfigs {
 		size := bdiConfigSize(cfg.segBytes, cfg.dltBytes)
 		if size >= bestSize {
 			continue
 		}
-		segs := bdiSegments(l, cfg.segBytes)
-		base, mask, deltas, ok := bdiTry(segs, cfg.segBytes, cfg.dltBytes)
+		n := bdiSegments(l, cfg.segBytes, &segs)
+		base, ok := bdiTry(segs[:n], cfg.segBytes, cfg.dltBytes, &mask, &deltas)
 		if !ok {
 			continue
 		}
 		best, bestSize = ci, size
-		bestBase, bestMask, bestDeltas = base, mask, deltas
+		bestBase, bestN = base, n
+		bestMask, bestDeltas = mask, deltas
 	}
 	if best < 0 {
 		w.WriteBits(bdiRaw, 4)
 		for i := 0; i < memline.LineWords; i++ {
 			w.WriteBits(l.Word(i), 64)
 		}
-		return w.Bytes(), w.Len()
+		return w.Len()
 	}
 	cfg := bdiConfigs[best]
 	w.WriteBits(uint64(cfg.tag), 4)
 	w.WriteBits(bestBase, cfg.segBytes*8)
-	for _, m := range bestMask {
+	for _, m := range bestMask[:bestN] {
 		if m {
 			w.WriteBits(1, 1)
 		} else {
 			w.WriteBits(0, 1)
 		}
 	}
-	for _, d := range bestDeltas {
+	for _, d := range bestDeltas[:bestN] {
 		w.WriteBits(d, cfg.dltBytes*8)
 	}
-	return w.Bytes(), w.Len()
+	return w.Len()
 }
 
 // BDISize returns only the compressed size in bits.
@@ -208,8 +229,8 @@ func BDIDecompress(buf []byte) memline.Line {
 	dltBits := cfg.dltBytes * 8
 	n := memline.LineBytes / cfg.segBytes
 	base := r.ReadBits(segBits)
-	mask := make([]bool, n)
-	for i := range mask {
+	var mask [bdiMaxSegs]bool
+	for i := 0; i < n; i++ {
 		mask[i] = r.ReadBits(1) == 1
 	}
 	segMask := ^uint64(0)
@@ -231,12 +252,20 @@ func BDIDecompress(buf []byte) memline.Line {
 	return l
 }
 
+// FPCBDIMaxBits is the worst-case FPC+BDI stream length: the selector
+// bit plus the larger of the two substreams' worst cases.
+const FPCBDIMaxBits = 1 + FPCMaxBits
+
 // FPCBDISize returns the size in bits of the better of FPC and BDI for
 // the line, plus one selector bit, which is how DIN [16] and Figure 4
 // account for the combined FPC+BDI scheme.
 func FPCBDISize(l *memline.Line) int {
-	f := FPCSize(l)
-	b := BDISize(l)
+	var fBack [(FPCMaxBits + 7) / 8]byte
+	var bBack [(BDIMaxBits + 7) / 8]byte
+	fw := WrapBitWriter(fBack[:])
+	bw := WrapBitWriter(bBack[:])
+	f := FPCCompressTo(l, &fw)
+	b := BDICompressTo(l, &bw)
 	if b < f {
 		return b + 1
 	}
@@ -246,32 +275,46 @@ func FPCBDISize(l *memline.Line) int {
 // FPCBDICompress encodes with the better of FPC and BDI behind a one-bit
 // selector (0 = FPC, 1 = BDI).
 func FPCBDICompress(l *memline.Line) ([]byte, int) {
-	fBuf, fBits := FPCCompress(l)
-	bBuf, bBits := BDICompress(l)
-	w := NewBitWriter(min(fBits, bBits) + 1)
+	w := NewBitWriter(FPCBDIMaxBits)
+	bits := FPCBDICompressTo(l, w)
+	return w.Bytes(), bits
+}
+
+// FPCBDICompressTo encodes into w (back it with at least FPCBDIMaxBits
+// of storage) and returns the stream length in bits. The two candidate
+// substreams live in fixed stack scratch, so the call never allocates.
+func FPCBDICompressTo(l *memline.Line, w *BitWriter) int {
+	var fBack [(FPCMaxBits + 7) / 8]byte
+	var bBack [(BDIMaxBits + 7) / 8]byte
+	fw := WrapBitWriter(fBack[:])
+	bw := WrapBitWriter(bBack[:])
+	fBits := FPCCompressTo(l, &fw)
+	bBits := BDICompressTo(l, &bw)
 	if bBits < fBits {
 		w.WriteBits(1, 1)
-		copyStream(w, bBuf, bBits)
+		copyStream(w, bw.Bytes(), bBits)
 	} else {
 		w.WriteBits(0, 1)
-		copyStream(w, fBuf, fBits)
+		copyStream(w, fw.Bytes(), fBits)
 	}
-	return w.Bytes(), w.Len()
+	return w.Len()
 }
 
 // FPCBDIDecompress inverts FPCBDICompress.
 func FPCBDIDecompress(buf []byte) memline.Line {
-	r := NewBitReader(buf)
+	r := WrapBitReader(buf)
 	sel := r.ReadBits(1)
-	rest := extractStream(r, memline.LineBits+16)
+	var back [(memline.LineBits + 16 + 7) / 8]byte
+	w := WrapBitWriter(back[:])
+	extractStream(&r, &w, memline.LineBits+16)
 	if sel == 1 {
-		return BDIDecompress(rest)
+		return BDIDecompress(w.Bytes())
 	}
-	return FPCDecompress(rest)
+	return FPCDecompress(w.Bytes())
 }
 
 func copyStream(w *BitWriter, buf []byte, bits int) {
-	r := NewBitReader(buf)
+	r := WrapBitReader(buf)
 	for bits > 0 {
 		n := bits
 		if n > 64 {
@@ -282,8 +325,9 @@ func copyStream(w *BitWriter, buf []byte, bits int) {
 	}
 }
 
-func extractStream(r *BitReader, maxBits int) []byte {
-	w := NewBitWriter(maxBits)
+// extractStream re-packs maxBits bits from r into w, realigning a
+// stream that sits at a non-byte offset.
+func extractStream(r *BitReader, w *BitWriter, maxBits int) {
 	for w.Len() < maxBits {
 		n := maxBits - w.Len()
 		if n > 64 {
@@ -291,12 +335,4 @@ func extractStream(r *BitReader, maxBits int) []byte {
 		}
 		w.WriteBits(r.ReadBits(n), n)
 	}
-	return w.Bytes()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

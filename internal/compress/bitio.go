@@ -24,17 +24,62 @@ func NewBitWriter(sizeBits int) *BitWriter {
 	return &BitWriter{buf: make([]byte, 0, (sizeBits+7)/8)}
 }
 
+// WrapBitWriter returns a value writer over caller storage. As long as
+// the stream fits cap(buf), writing never allocates — encode hot paths
+// wrap fixed-size stack arrays.
+func WrapBitWriter(buf []byte) BitWriter { return BitWriter{buf: buf[:0]} }
+
+// Reset clears the writer for reuse, keeping its backing buffer.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.bits = 0
+}
+
 // WriteBits appends the n low bits of v, LSB first. n must be in [0, 64].
+// The write runs a byte at a time — merge into the current partial byte,
+// then whole-byte stores — instead of bit-by-bit.
+//
+// Growth is deliberately written without append: append makes escape
+// analysis move every stack-backed writer to the heap, defeating
+// WrapBitWriter's purpose. With a right-sized buffer (every compressor
+// here has a known worst case) the grow branch never runs and the call
+// is allocation-free.
 func (w *BitWriter) WriteBits(v uint64, n int) {
-	for i := 0; i < n; i++ {
-		if w.bits%8 == 0 {
-			w.buf = append(w.buf, 0)
-		}
-		if v>>uint(i)&1 == 1 {
-			w.buf[w.bits/8] |= 1 << uint(w.bits%8)
-		}
-		w.bits++
+	if n <= 0 {
+		return
 	}
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	need := (w.bits + n + 7) / 8
+	for need > cap(w.buf) {
+		w.grow()
+	}
+	// Newly exposed bytes must be zeroed: Wrap callers hand in
+	// uninitialized storage.
+	for len(w.buf) < need {
+		w.buf = w.buf[:len(w.buf)+1]
+		w.buf[len(w.buf)-1] = 0
+	}
+	idx := w.bits >> 3
+	off := uint(w.bits) & 7
+	w.bits += n
+	w.buf[idx] |= byte(v << off)
+	v >>= 8 - off
+	written := 8 - int(off)
+	for idx++; written < n; idx++ {
+		w.buf[idx] = byte(v)
+		v >>= 8
+		written += 8
+	}
+}
+
+// grow replaces the backing buffer with a larger heap copy; only hit
+// when a writer was constructed with too little capacity.
+func (w *BitWriter) grow() {
+	nb := make([]byte, len(w.buf), 2*cap(w.buf)+8)
+	copy(nb, w.buf)
+	w.buf = nb
 }
 
 // Len returns the number of bits written so far.
@@ -52,16 +97,40 @@ type BitReader struct {
 // NewBitReader returns a reader over buf.
 func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
 
+// WrapBitReader returns a value reader over buf, the allocation-free
+// counterpart of NewBitReader for hot paths.
+func WrapBitReader(buf []byte) BitReader { return BitReader{buf: buf} }
+
+// Reset repoints the reader at buf for reuse.
+func (r *BitReader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+}
+
 // ReadBits consumes the next n bits and returns them LSB first.
 // Reading past the end yields zero bits, mirroring the zero padding a
-// fixed-size memory line provides.
+// fixed-size memory line provides. Like WriteBits, it moves a byte at a
+// time rather than bit-by-bit.
 func (r *BitReader) ReadBits(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	idx := r.pos >> 3
+	off := uint(r.pos) & 7
+	r.pos += n
 	var v uint64
-	for i := 0; i < n; i++ {
-		if r.pos/8 < len(r.buf) && r.buf[r.pos/8]>>uint(r.pos%8)&1 == 1 {
-			v |= 1 << uint(i)
+	if idx < len(r.buf) {
+		v = uint64(r.buf[idx] >> off)
+	}
+	got := 8 - int(off)
+	for idx++; got < n; idx++ {
+		if idx < len(r.buf) {
+			v |= uint64(r.buf[idx]) << uint(got)
 		}
-		r.pos++
+		got += 8
+	}
+	if n < 64 {
+		v &= 1<<uint(n) - 1
 	}
 	return v
 }

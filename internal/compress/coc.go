@@ -86,10 +86,22 @@ func isRepeated(v uint64, unit int) bool {
 	return true
 }
 
+// COCMaxBits is the worst-case COC stream length (every word raw plus
+// its tag), sizing fixed scratch buffers for COCCompressTo.
+const COCMaxBits = memline.LineBits + memline.LineWords*cocTagBits
+
 // COCCompress encodes the line and returns the packed stream and its
 // length in bits.
 func COCCompress(l *memline.Line) ([]byte, int) {
-	w := NewBitWriter(memline.LineBits + memline.LineWords*cocTagBits)
+	w := NewBitWriter(COCMaxBits)
+	bits := COCCompressTo(l, w)
+	return w.Bytes(), bits
+}
+
+// COCCompressTo encodes the line into w (which the caller may back with
+// stack storage of at least COCMaxBits via WrapBitWriter) and returns
+// the stream length in bits. The packed bytes are w.Bytes().
+func COCCompressTo(l *memline.Line, w *BitWriter) int {
 	var prev uint64
 	for i := 0; i < memline.LineWords; i++ {
 		v := l.Word(i)
@@ -98,7 +110,7 @@ func COCCompress(l *memline.Line) ([]byte, int) {
 		w.WriteBits(payload, bits)
 		prev = v
 	}
-	return w.Bytes(), w.Len()
+	return w.Len()
 }
 
 // COCSize returns only the compressed size in bits.

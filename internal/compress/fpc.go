@@ -58,10 +58,22 @@ func fpcClassify(v uint32) (prefix int, payload uint64, bits int) {
 	}
 }
 
+// FPCMaxBits is the worst-case FPC stream length (sixteen raw 32-bit
+// words, each behind a 3-bit prefix), sizing fixed scratch buffers for
+// FPCCompressTo.
+const FPCMaxBits = fpcWords * (3 + 32)
+
 // FPCCompress encodes the line and returns the packed stream and its
 // length in bits.
 func FPCCompress(l *memline.Line) ([]byte, int) {
-	w := NewBitWriter(memline.LineBits)
+	w := NewBitWriter(FPCMaxBits)
+	bits := FPCCompressTo(l, w)
+	return w.Bytes(), bits
+}
+
+// FPCCompressTo encodes the line into w (back it with at least
+// FPCMaxBits of storage) and returns the stream length in bits.
+func FPCCompressTo(l *memline.Line, w *BitWriter) int {
 	words := fpc32Words(l)
 	for i := 0; i < fpcWords; {
 		if words[i] == 0 {
@@ -79,7 +91,7 @@ func FPCCompress(l *memline.Line) ([]byte, int) {
 		w.WriteBits(payload, bits)
 		i++
 	}
-	return w.Bytes(), w.Len()
+	return w.Len()
 }
 
 // FPCSize returns only the compressed size in bits.

@@ -25,7 +25,8 @@ import (
 // disambiguates the three modes; per the paper the overwhelmingly common
 // 16-bit mode gets the lowest-energy state.
 type COC4 struct {
-	em pcm.EnergyModel
+	em   pcm.EnergyModel
+	tabs []coset.CostTable // Table I candidate pricing
 }
 
 const (
@@ -42,7 +43,9 @@ const (
 )
 
 // NewCOC4 returns the COC+4cosets scheme.
-func NewCOC4(cfg Config) *COC4 { return &COC4{em: cfg.Energy} }
+func NewCOC4(cfg Config) *COC4 {
+	return &COC4{em: cfg.Energy, tabs: coset.CostTables(&cfg.Energy, coset.Table1[:])}
+}
 
 // Name implements Scheme.
 func (*COC4) Name() string { return "COC+4cosets" }
@@ -53,23 +56,43 @@ func (*COC4) TotalCells() int { return memline.LineCells + 1 }
 // DataCells implements Scheme.
 func (*COC4) DataCells() int { return memline.LineCells }
 
+// Compressible reports whether the line fits one of the two encoded
+// modes (the paper: COC compresses more than 90% of lines).
+func (s *COC4) Compressible(data *memline.Line) bool {
+	return compress.COCSize(data) <= coc32PayloadBits
+}
+
+// CompressedWrite implements CompressionGate: both the 16- and the
+// 32-bit mode count as encoded; only the raw fallback does not.
+func (s *COC4) CompressedWrite(cells []pcm.State) bool {
+	flag := cells[memline.LineCells]
+	return flag == cocFlag16 || flag == cocFlag32
+}
+
 // Encode implements Scheme.
 func (s *COC4) Encode(old []pcm.State, data *memline.Line) []pcm.State {
 	out := make([]pcm.State, s.TotalCells())
-	copy(out, old)
-	buf, bits := compress.COCCompress(data)
+	s.EncodeInto(out, old, data)
+	return out
+}
+
+// EncodeInto implements Scheme.
+func (s *COC4) EncodeInto(dst, old []pcm.State, data *memline.Line) {
+	copy(dst, old)
+	var backing [(compress.COCMaxBits + 7) / 8]byte
+	w := compress.WrapBitWriter(backing[:])
+	bits := compress.COCCompressTo(data, &w)
 	switch {
 	case bits <= coc16PayloadBits:
-		s.encodeMode(out, old, buf, coc16PayloadCells, 8, coc16Blocks)
-		out[memline.LineCells] = cocFlag16
+		s.encodeMode(dst, old, w.Bytes(), coc16PayloadCells, 8, coc16Blocks)
+		dst[memline.LineCells] = cocFlag16
 	case bits <= coc32PayloadBits:
-		s.encodeMode(out, old, buf, coc32PayloadCells, 16, coc32Blocks)
-		out[memline.LineCells] = cocFlag32
+		s.encodeMode(dst, old, w.Bytes(), coc32PayloadCells, 16, coc32Blocks)
+		dst[memline.LineCells] = cocFlag32
 	default:
-		rawEncode(data, out)
-		out[memline.LineCells] = cocFlagRaw
+		rawEncode(data, dst)
+		dst[memline.LineCells] = cocFlagRaw
 	}
-	return out
 }
 
 // encodeMode coset-encodes the compressed payload. blockCells is the
@@ -78,41 +101,49 @@ func (s *COC4) encodeMode(out, old []pcm.State, buf []byte, payloadCells, blockC
 	// View the (zero-padded) compressed stream as a line prefix.
 	var payload memline.Line
 	copy(payload[:], buf)
-	syms := lineSymbols(&payload)
-	auxBits := make([]uint8, 2*nblocks)
+	var syms [memline.LineCells]uint8
+	payload.SymbolsInto(&syms)
+	var auxBits [2 * coc16Blocks]uint8
 	for b := 0; b < nblocks; b++ {
 		lo := b * blockCells
 		hi := lo + blockCells
-		idx, _ := coset.Best(&s.em, coset.Table1[:], syms[lo:hi], old[lo:hi])
-		coset.Encode(coset.Table1[idx], syms[lo:hi], out[lo:hi])
+		idx, _ := coset.BestTable(s.tabs, syms[lo:hi], old[lo:hi])
+		s.tabs[idx].Encode(syms[lo:hi], out[lo:hi])
 		auxBits[2*b] = uint8(idx) & 1
 		auxBits[2*b+1] = uint8(idx) >> 1
 	}
-	coset.PackBitsToStates(auxBits, out[payloadCells:payloadCells+nblocks])
+	coset.PackBitsToStates(auxBits[:2*nblocks], out[payloadCells:payloadCells+nblocks])
 }
 
 // Decode implements Scheme.
 func (s *COC4) Decode(cells []pcm.State) memline.Line {
+	var l memline.Line
+	s.DecodeInto(cells, &l)
+	return l
+}
+
+// DecodeInto implements Scheme.
+func (s *COC4) DecodeInto(cells []pcm.State, dst *memline.Line) {
 	switch cells[memline.LineCells] {
 	case cocFlag16:
-		return s.decodeMode(cells, coc16PayloadCells, 8, coc16Blocks)
+		*dst = s.decodeMode(cells, coc16PayloadCells, 8, coc16Blocks)
 	case cocFlag32:
-		return s.decodeMode(cells, coc32PayloadCells, 16, coc32Blocks)
+		*dst = s.decodeMode(cells, coc32PayloadCells, 16, coc32Blocks)
 	default:
-		return rawDecode(cells)
+		rawDecodeInto(cells, dst)
 	}
 }
 
 func (s *COC4) decodeMode(cells []pcm.State, payloadCells, blockCells, nblocks int) memline.Line {
-	auxBits := coset.UnpackStatesToBits(cells[payloadCells:payloadCells+nblocks], 2*nblocks)
+	var auxBits [2 * coc16Blocks]uint8
+	coset.UnpackBits(cells[payloadCells:payloadCells+nblocks], auxBits[:2*nblocks])
 	var payload memline.Line
-	blkSyms := make([]uint8, blockCells)
 	for b := 0; b < nblocks; b++ {
 		lo := b * blockCells
 		idx := int(auxBits[2*b]) | int(auxBits[2*b+1])<<1
-		coset.Decode(coset.Table1[idx], cells[lo:lo+blockCells], blkSyms)
-		for i, v := range blkSyms {
-			payload.SetSymbol(lo+i, v)
+		inv := &s.tabs[idx].Inv
+		for i := 0; i < blockCells; i++ {
+			payload.SetSymbol(lo+i, inv[cells[lo+i]])
 		}
 	}
 	return compress.COCDecompress(payload[:])

@@ -21,6 +21,7 @@ import (
 type LineCosets struct {
 	name       string
 	cands      []coset.Mapping
+	tabs       []coset.CostTable
 	blockBits  int
 	blockCells int
 	nblocks    int
@@ -43,6 +44,7 @@ func NewLineCosets(cfg Config, name string, cands []coset.Mapping, blockBits int
 	s := &LineCosets{
 		name:       name,
 		cands:      cands,
+		tabs:       coset.CostTables(&cfg.Energy, cands),
 		blockBits:  blockBits,
 		blockCells: blockBits / 2,
 		nblocks:    memline.LineBits / blockBits,
@@ -71,21 +73,27 @@ func (s *LineCosets) TotalCells() int {
 // DataCells implements Scheme.
 func (s *LineCosets) DataCells() int { return memline.LineCells }
 
-// Encode implements Scheme. Each block independently picks the candidate
-// with minimum differential-write energy; its index goes to the block's
-// auxiliary cells.
+// Encode implements Scheme.
 func (s *LineCosets) Encode(old []pcm.State, data *memline.Line) []pcm.State {
-	syms := lineSymbols(data)
 	out := make([]pcm.State, s.TotalCells())
-	copy(out, old) // aux cells not rewritten below keep their states
+	s.EncodeInto(out, old, data)
+	return out
+}
+
+// EncodeInto implements Scheme. Each block independently picks the
+// candidate with minimum differential-write energy via the precomputed
+// cost tables; its index goes to the block's auxiliary cells.
+func (s *LineCosets) EncodeInto(dst, old []pcm.State, data *memline.Line) {
+	copy(dst, old) // aux cells not rewritten below keep their states
+	var syms [memline.LineCells]uint8
+	data.SymbolsInto(&syms)
 	for b := 0; b < s.nblocks; b++ {
 		lo := b * s.blockCells
 		hi := lo + s.blockCells
-		idx, _ := coset.Best(&s.em, s.cands, syms[lo:hi], old[lo:hi])
-		coset.Encode(s.cands[idx], syms[lo:hi], out[lo:hi])
-		s.writeAux(out, b, idx)
+		idx, _ := coset.BestTable(s.tabs, syms[lo:hi], old[lo:hi])
+		s.tabs[idx].Encode(syms[lo:hi], dst[lo:hi])
+		s.writeAux(dst, b, idx)
 	}
-	return out
 }
 
 func (s *LineCosets) writeAux(out []pcm.State, block, idx int) {
@@ -119,16 +127,21 @@ func (s *LineCosets) readAux(cells []pcm.State, block int) int {
 // Decode implements Scheme.
 func (s *LineCosets) Decode(cells []pcm.State) memline.Line {
 	var l memline.Line
-	blkSyms := make([]uint8, s.blockCells)
+	s.DecodeInto(cells, &l)
+	return l
+}
+
+// DecodeInto implements Scheme.
+func (s *LineCosets) DecodeInto(cells []pcm.State, dst *memline.Line) {
+	var blkSyms [memline.LineCells]uint8
 	for b := 0; b < s.nblocks; b++ {
 		lo := b * s.blockCells
-		idx := s.readAux(cells, b)
-		coset.Decode(s.cands[idx], cells[lo:lo+s.blockCells], blkSyms)
-		for i, v := range blkSyms {
-			l.SetSymbol(lo+i, v)
+		inv := &s.tabs[s.readAux(cells, b)].Inv
+		for i := 0; i < s.blockCells; i++ {
+			blkSyms[lo+i] = inv[cells[lo+i]]
 		}
 	}
-	return l
+	dst.SetSymbolsFrom(&blkSyms)
 }
 
 // RestrictedLineCosets is the line-level restricted coset encoding of §V
@@ -143,6 +156,8 @@ type RestrictedLineCosets struct {
 	blockCells int
 	nblocks    int
 	em         pcm.EnergyModel
+	tab1       coset.CostTable // C1
+	tabAlt     [2]coset.CostTable // C2, C3 — the two group alternates
 }
 
 // NewRestrictedLineCosets builds the 3-r-cosets scheme at the given block
@@ -157,6 +172,8 @@ func NewRestrictedLineCosets(cfg Config, blockBits int) *RestrictedLineCosets {
 		blockCells: blockBits / 2,
 		nblocks:    memline.LineBits / blockBits,
 		em:         cfg.Energy,
+		tab1:       coset.C1.CostTable(&cfg.Energy),
+		tabAlt:     [2]coset.CostTable{coset.C2.CostTable(&cfg.Energy), coset.C3.CostTable(&cfg.Energy)},
 	}
 }
 
@@ -176,79 +193,86 @@ func (s *RestrictedLineCosets) TotalCells() int { return memline.LineCells + s.a
 // DataCells implements Scheme.
 func (s *RestrictedLineCosets) DataCells() int { return memline.LineCells }
 
-// Encode implements Scheme: §V's three steps — encode every block with
-// {C1,C2}, encode every block with {C1,C3}, keep the better line.
+// rlcMaxBlocks bounds the per-line block count (2-bit blocks) for the
+// fixed plan scratch.
+const rlcMaxBlocks = memline.LineBits / 2
+
+// Encode implements Scheme.
 func (s *RestrictedLineCosets) Encode(old []pcm.State, data *memline.Line) []pcm.State {
-	syms := lineSymbols(data)
-	type plan struct {
-		cost   float64
-		choice []uint8 // per block: 0 = C1, 1 = group alternate
-	}
-	plans := [2]plan{}
-	for g, alt := range [2]coset.Mapping{coset.C2, coset.C3} {
-		choice := make([]uint8, s.nblocks)
+	out := make([]pcm.State, s.TotalCells())
+	s.EncodeInto(out, old, data)
+	return out
+}
+
+// EncodeInto implements Scheme: §V's three steps — encode every block
+// with {C1,C2}, encode every block with {C1,C3}, keep the better line.
+func (s *RestrictedLineCosets) EncodeInto(dst, old []pcm.State, data *memline.Line) {
+	var syms [memline.LineCells]uint8
+	data.SymbolsInto(&syms)
+	var costs [2]float64
+	var choices [2][rlcMaxBlocks]uint8 // per block: 0 = C1, 1 = group alternate
+	for g := 0; g < 2; g++ {
+		alt := &s.tabAlt[g]
 		var total float64
 		for b := 0; b < s.nblocks; b++ {
 			lo := b * s.blockCells
 			hi := lo + s.blockCells
-			c1 := coset.BlockCost(&s.em, coset.C1, syms[lo:hi], old[lo:hi])
-			ca := coset.BlockCost(&s.em, alt, syms[lo:hi], old[lo:hi])
+			c1 := s.tab1.BlockCost(syms[lo:hi], old[lo:hi])
+			ca := alt.BlockCost(syms[lo:hi], old[lo:hi])
 			if ca < c1 {
-				choice[b] = 1
+				choices[g][b] = 1
 				total += ca
 			} else {
 				total += c1
 			}
 		}
-		plans[g] = plan{cost: total, choice: choice}
+		costs[g] = total
 	}
 	group := 0
-	if plans[1].cost < plans[0].cost {
+	if costs[1] < costs[0] {
 		group = 1
 	}
-	alt := coset.C2
-	if group == 1 {
-		alt = coset.C3
-	}
-	p := plans[group]
+	alt := &s.tabAlt[group]
+	choice := &choices[group]
 
-	out := make([]pcm.State, s.TotalCells())
-	copy(out, old)
-	bits := make([]uint8, 1+s.nblocks)
+	copy(dst, old)
+	var bits [1 + rlcMaxBlocks]uint8
 	bits[0] = uint8(group)
 	for b := 0; b < s.nblocks; b++ {
 		lo := b * s.blockCells
 		hi := lo + s.blockCells
-		m := coset.C1
-		if p.choice[b] == 1 {
-			m = alt
+		tab := &s.tab1
+		if choice[b] == 1 {
+			tab = alt
 		}
-		coset.Encode(m, syms[lo:hi], out[lo:hi])
-		bits[1+b] = p.choice[b]
+		tab.Encode(syms[lo:hi], dst[lo:hi])
+		bits[1+b] = choice[b]
 	}
-	coset.PackBitsToStates(bits, out[memline.LineCells:])
-	return out
+	coset.PackBitsToStates(bits[:1+s.nblocks], dst[memline.LineCells:])
 }
 
 // Decode implements Scheme.
 func (s *RestrictedLineCosets) Decode(cells []pcm.State) memline.Line {
-	bits := coset.UnpackStatesToBits(cells[memline.LineCells:], 1+s.nblocks)
-	alt := coset.C2
-	if bits[0] == 1 {
-		alt = coset.C3
-	}
 	var l memline.Line
-	blkSyms := make([]uint8, s.blockCells)
+	s.DecodeInto(cells, &l)
+	return l
+}
+
+// DecodeInto implements Scheme.
+func (s *RestrictedLineCosets) DecodeInto(cells []pcm.State, dst *memline.Line) {
+	var bits [1 + rlcMaxBlocks]uint8
+	coset.UnpackBits(cells[memline.LineCells:], bits[:1+s.nblocks])
+	alt := &s.tabAlt[bits[0]&1]
+	var blkSyms [memline.LineCells]uint8
 	for b := 0; b < s.nblocks; b++ {
 		lo := b * s.blockCells
-		m := coset.C1
+		inv := &s.tab1.Inv
 		if bits[1+b] == 1 {
-			m = alt
+			inv = &alt.Inv
 		}
-		coset.Decode(m, cells[lo:lo+s.blockCells], blkSyms)
-		for i, v := range blkSyms {
-			l.SetSymbol(lo+i, v)
+		for i := 0; i < s.blockCells; i++ {
+			blkSyms[lo+i] = inv[cells[lo+i]]
 		}
 	}
-	return l
+	dst.SetSymbolsFrom(&blkSyms)
 }

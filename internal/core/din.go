@@ -72,29 +72,44 @@ func (d *DIN) Compressible(data *memline.Line) bool {
 	return compress.FPCBDISize(data) <= dinMaxCompressed
 }
 
+// CompressedWrite implements CompressionGate.
+func (d *DIN) CompressedWrite(cells []pcm.State) bool {
+	return cells[memline.LineCells] == flagCompressed
+}
+
 // Encode implements Scheme.
 func (d *DIN) Encode(old []pcm.State, data *memline.Line) []pcm.State {
 	out := make([]pcm.State, d.TotalCells())
-	copy(out, old)
-	buf, bits := compress.FPCBDICompress(data)
+	d.EncodeInto(out, old, data)
+	return out
+}
+
+// EncodeInto implements Scheme.
+func (d *DIN) EncodeInto(dst, old []pcm.State, data *memline.Line) {
+	copy(dst, old)
+	var cBack [(compress.FPCBDIMaxBits + 7) / 8]byte
+	cw := compress.WrapBitWriter(cBack[:])
+	bits := compress.FPCBDICompressTo(data, &cw)
 	if bits > dinMaxCompressed {
-		rawEncode(data, out)
-		out[memline.LineCells] = flagUncompressed
-		return out
+		rawEncode(data, dst)
+		dst[memline.LineCells] = flagUncompressed
+		return
 	}
 	// Zero-pad the stream to exactly 369 bits and expand 3 bits -> 4.
-	r := compress.NewBitReader(buf)
-	w := compress.NewBitWriter(memline.LineBits)
+	r := compress.WrapBitReader(cw.Bytes())
+	var eBack [memline.LineBytes]byte
+	w := compress.WrapBitWriter(eBack[:])
 	for i := 0; i < dinMaxCompressed/3; i++ {
 		w.WriteBits(uint64(d.enc3to4[r.ReadBits(3)]), 4)
 	}
 	// BCH parity over the expanded payload.
 	payload := w.Bytes()
-	msg := make([]uint8, dinPayloadBits)
+	var msg [dinPayloadBits]uint8
 	for i := range msg {
 		msg[i] = payload[i/8] >> (uint(i) % 8) & 1
 	}
-	parity := d.codec.Encode(msg)
+	var parity [bch.ParityBits]uint8
+	d.codec.EncodeTo(msg[:], parity[:])
 	// Lay out payload then parity as line bits, store through C1.
 	var stored memline.Line
 	for i, b := range msg {
@@ -103,31 +118,40 @@ func (d *DIN) Encode(old []pcm.State, data *memline.Line) []pcm.State {
 	for i, b := range parity {
 		stored.SetBit(dinPayloadBits+i, int(b))
 	}
-	rawEncode(&stored, out)
-	out[memline.LineCells] = flagCompressed
-	return out
+	rawEncode(&stored, dst)
+	dst[memline.LineCells] = flagCompressed
 }
 
 // Decode implements Scheme.
 func (d *DIN) Decode(cells []pcm.State) memline.Line {
+	var l memline.Line
+	d.DecodeInto(cells, &l)
+	return l
+}
+
+// DecodeInto implements Scheme.
+func (d *DIN) DecodeInto(cells []pcm.State, dst *memline.Line) {
 	if cells[memline.LineCells] != flagCompressed {
-		return rawDecode(cells)
+		rawDecodeInto(cells, dst)
+		return
 	}
-	stored := rawDecode(cells)
+	var stored memline.Line
+	rawDecodeInto(cells, &stored)
 	// Rebuild the BCH codeword (parity first, then message) and correct
 	// up to two errors. In normal simulator operation there are none —
 	// disturbance errors are modeled statistically, not injected — but
 	// CorrectLine exposes the repair path and tests exercise it.
-	cw := make([]uint8, bch.ParityBits+dinPayloadBits)
+	var cw [bch.ParityBits + dinPayloadBits]uint8
 	for i := 0; i < dinPayloadBits; i++ {
 		cw[bch.ParityBits+i] = uint8(stored.Bit(i))
 	}
 	for i := 0; i < bch.ParityBits; i++ {
 		cw[i] = uint8(stored.Bit(dinPayloadBits + i))
 	}
-	d.codec.Decode(cw)
+	d.codec.Decode(cw[:])
 	// De-expand 4 -> 3.
-	w := compress.NewBitWriter(dinMaxCompressed)
+	var sBack [(dinMaxCompressed + 7) / 8]byte
+	w := compress.WrapBitWriter(sBack[:])
 	for g := 0; g < dinPayloadBits/4; g++ {
 		var v uint8
 		for b := 0; b < 4; b++ {
@@ -139,7 +163,7 @@ func (d *DIN) Decode(cells []pcm.State) memline.Line {
 		}
 		w.WriteBits(uint64(dec), 3)
 	}
-	return compress.FPCBDIDecompress(w.Bytes())
+	*dst = compress.FPCBDIDecompress(w.Bytes())
 }
 
 // CorrectLine runs the BCH verification step of DIN on a stored cell
@@ -150,14 +174,14 @@ func (d *DIN) CorrectLine(cells []pcm.State) int {
 		return 0
 	}
 	stored := rawDecode(cells)
-	cw := make([]uint8, bch.ParityBits+dinPayloadBits)
+	var cw [bch.ParityBits + dinPayloadBits]uint8
 	for i := 0; i < dinPayloadBits; i++ {
 		cw[bch.ParityBits+i] = uint8(stored.Bit(i))
 	}
 	for i := 0; i < bch.ParityBits; i++ {
 		cw[i] = uint8(stored.Bit(dinPayloadBits + i))
 	}
-	n, ok := d.codec.Decode(cw)
+	n, ok := d.codec.Decode(cw[:])
 	if !ok {
 		return 0
 	}

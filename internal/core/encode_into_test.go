@@ -1,0 +1,132 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/prng"
+)
+
+// randomOld fills a plausible pre-write cell vector: a mix of fresh
+// (all-S1) regions and fully random states, so both first-write and
+// steady-state differential behavior are exercised.
+func randomOld(r *prng.Xoshiro256, n int) []pcm.State {
+	old := make([]pcm.State, n)
+	if r.Bool(0.25) {
+		return old // fresh line
+	}
+	for i := range old {
+		old[i] = pcm.State(r.Intn(pcm.NumStates))
+	}
+	return old
+}
+
+// TestEncodeIntoMatchesEncode is the new-vs-old path equivalence
+// property: for every scheme, EncodeInto into garbage-prefilled caller
+// storage must produce exactly the states the allocating Encode wrapper
+// returns, and both must decode back to the written data (through both
+// Decode and DecodeInto), over randomized old-state/data corpora
+// covering compressible and incompressible content.
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	r := prng.New(20260727)
+	for _, s := range allSchemes(t) {
+		n := s.TotalCells()
+		for trial := 0; trial < 60; trial++ {
+			data := randomBiasedLine(r)
+			old := randomOld(r, n)
+			want := s.Encode(old, &data)
+
+			// Garbage-prefill dst: EncodeInto must overwrite every cell.
+			dst := make([]pcm.State, n)
+			for i := range dst {
+				dst[i] = pcm.State(r.Intn(pcm.NumStates))
+			}
+			s.EncodeInto(dst, old, &data)
+			if !reflect.DeepEqual(want, dst) {
+				t.Fatalf("%s: EncodeInto differs from Encode at trial %d", s.Name(), trial)
+			}
+
+			got := s.Decode(dst)
+			if !got.Equal(&data) {
+				t.Fatalf("%s: Decode round trip failed at trial %d", s.Name(), trial)
+			}
+			// DecodeInto must fully overwrite garbage too.
+			var into memline.Line
+			r.Fill(into[:])
+			s.DecodeInto(dst, &into)
+			if !into.Equal(&data) {
+				t.Fatalf("%s: DecodeInto round trip failed at trial %d", s.Name(), trial)
+			}
+		}
+	}
+}
+
+// TestEncodeIntoStableUnderRewrites chains EncodeInto over its own
+// output (the replay steady state, with the buffer-swap discipline the
+// simulator uses) and cross-checks every step against the allocating
+// path.
+func TestEncodeIntoStableUnderRewrites(t *testing.T) {
+	r := prng.New(4242)
+	for _, s := range allSchemes(t) {
+		n := s.TotalCells()
+		stored := InitialCells(n)
+		scratch := make([]pcm.State, n)
+		for step := 0; step < 25; step++ {
+			data := randomBiasedLine(r)
+			want := s.Encode(stored, &data)
+			s.EncodeInto(scratch, stored, &data)
+			if !reflect.DeepEqual(want, scratch) {
+				t.Fatalf("%s: step %d: EncodeInto diverges from Encode", s.Name(), step)
+			}
+			stored, scratch = scratch, stored
+			got := s.Decode(stored)
+			if !got.Equal(&data) {
+				t.Fatalf("%s: step %d: decode mismatch", s.Name(), step)
+			}
+		}
+	}
+}
+
+// TestEncodeIntoDoesNotMutateOld guards the EncodeInto contract the way
+// TestEncodeDoesNotMutateOld guards Encode's.
+func TestEncodeIntoDoesNotMutateOld(t *testing.T) {
+	r := prng.New(6)
+	for _, s := range allSchemes(t) {
+		data := randomBiasedLine(r)
+		old := randomOld(r, s.TotalCells())
+		snapshot := append([]pcm.State(nil), old...)
+		dst := make([]pcm.State, s.TotalCells())
+		s.EncodeInto(dst, old, &data)
+		if !reflect.DeepEqual(old, snapshot) {
+			t.Errorf("%s: EncodeInto mutated old", s.Name())
+		}
+	}
+}
+
+// TestCompressionGateMatchesFlag pins the hoisted flag-cell convention:
+// the CompressionGate classification must agree with the scheme's
+// Compressible predicate on every write.
+func TestCompressionGateMatchesFlag(t *testing.T) {
+	type compressible interface{ Compressible(*memline.Line) bool }
+	r := prng.New(99)
+	for _, s := range allSchemes(t) {
+		gate, gated := s.(CompressionGate)
+		comp, hasComp := s.(compressible)
+		if gated != hasComp {
+			t.Errorf("%s: CompressionGate %v but Compressible %v", s.Name(), gated, hasComp)
+			continue
+		}
+		if !gated {
+			continue
+		}
+		for trial := 0; trial < 40; trial++ {
+			data := randomBiasedLine(r)
+			cells := s.Encode(InitialCells(s.TotalCells()), &data)
+			if got, want := gate.CompressedWrite(cells), comp.Compressible(&data); got != want {
+				t.Fatalf("%s: CompressedWrite = %v, Compressible = %v", s.Name(), got, want)
+			}
+		}
+	}
+}

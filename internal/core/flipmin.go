@@ -17,6 +17,12 @@ import (
 type FlipMin struct {
 	em    pcm.EnergyModel
 	masks [16]memline.Line
+	// maskWords caches every mask's word view so the cost sweep XORs
+	// whole words without re-decoding bytes.
+	maskWords [16][memline.LineWords]uint64
+	// tab prices symbol-over-state through the default C1 mapping; the
+	// 16-candidate sweep is pure table lookups.
+	tab coset.CostTable
 }
 
 // flipMinSeed pins the pseudo-random candidate set; it is part of the
@@ -30,6 +36,10 @@ func NewFlipMin(cfg Config) *FlipMin {
 	for i := 1; i < len(f.masks); i++ {
 		r.Fill(f.masks[i][:])
 	}
+	for i := range f.masks {
+		f.maskWords[i] = f.masks[i].Words()
+	}
+	f.tab = coset.C1.CostTable(&cfg.Energy)
 	return f
 }
 
@@ -42,47 +52,60 @@ func (*FlipMin) TotalCells() int { return memline.LineCells + 2 }
 // DataCells implements Scheme.
 func (*FlipMin) DataCells() int { return memline.LineCells }
 
-// Encode implements Scheme: XOR the line with each candidate vector,
-// store through the default mapping, keep the cheapest.
+// Encode implements Scheme.
 func (f *FlipMin) Encode(old []pcm.State, data *memline.Line) []pcm.State {
+	out := make([]pcm.State, f.TotalCells())
+	f.EncodeInto(out, old, data)
+	return out
+}
+
+// EncodeInto implements Scheme: XOR the line with each candidate vector,
+// price it through the C1 cost table, then materialize only the winner.
+func (f *FlipMin) EncodeInto(dst, old []pcm.State, data *memline.Line) {
+	words := data.Words()
 	bestIdx, bestCost := 0, -1.0
-	var bestStates [memline.LineCells]pcm.State
-	var states [memline.LineCells]pcm.State
-	for i := range f.masks {
+	var syms [memline.WordCells]uint8
+	for i := range f.maskWords {
 		var cost float64
 		for w := 0; w < memline.LineWords; w++ {
-			xw := data.Word(w) ^ f.masks[i].Word(w)
-			for c := 0; c < memline.WordCells; c++ {
-				st := coset.C1[xw>>(uint(c)*2)&3]
-				cell := w*memline.WordCells + c
-				states[cell] = st
-				if st != old[cell] {
-					cost += f.em.WriteEnergy(st)
-				}
+			memline.WordSymbols(words[w]^f.maskWords[i][w], &syms)
+			base := w * memline.WordCells
+			for c, v := range syms {
+				cost += f.tab.Cost[old[base+c]][v]
 			}
 		}
 		if bestCost < 0 || cost < bestCost {
 			bestIdx, bestCost = i, cost
-			bestStates = states
 		}
 	}
-	out := make([]pcm.State, f.TotalCells())
-	copy(out, bestStates[:])
-	bits := []uint8{
+	for w := 0; w < memline.LineWords; w++ {
+		memline.WordSymbols(words[w]^f.maskWords[bestIdx][w], &syms)
+		base := w * memline.WordCells
+		for c, v := range syms {
+			dst[base+c] = coset.C1[v]
+		}
+	}
+	bits := [4]uint8{
 		uint8(bestIdx) & 1, uint8(bestIdx) >> 1 & 1,
 		uint8(bestIdx) >> 2 & 1, uint8(bestIdx) >> 3 & 1,
 	}
-	coset.PackBitsToStates(bits, out[memline.LineCells:])
-	return out
+	coset.PackBitsToStates(bits[:], dst[memline.LineCells:])
 }
 
 // Decode implements Scheme.
 func (f *FlipMin) Decode(cells []pcm.State) memline.Line {
-	bits := coset.UnpackStatesToBits(cells[memline.LineCells:], 4)
-	idx := int(bits[0]) | int(bits[1])<<1 | int(bits[2])<<2 | int(bits[3])<<3
-	l := rawDecode(cells)
-	for w := 0; w < memline.LineWords; w++ {
-		l.SetWord(w, l.Word(w)^f.masks[idx].Word(w))
-	}
+	var l memline.Line
+	f.DecodeInto(cells, &l)
 	return l
+}
+
+// DecodeInto implements Scheme.
+func (f *FlipMin) DecodeInto(cells []pcm.State, dst *memline.Line) {
+	var bits [4]uint8
+	coset.UnpackBits(cells[memline.LineCells:], bits[:])
+	idx := int(bits[0]) | int(bits[1])<<1 | int(bits[2])<<2 | int(bits[3])<<3
+	rawDecodeInto(cells, dst)
+	for w := 0; w < memline.LineWords; w++ {
+		dst.SetWord(w, dst.Word(w)^f.maskWords[idx][w])
+	}
 }

@@ -14,6 +14,11 @@ import (
 // (§VIII).
 type FNW struct {
 	em pcm.EnergyModel
+	// tabKeep prices a symbol stored as-is through C1; tabFlip prices
+	// its complement (complementing a bit pair complements the symbol),
+	// so the keep-vs-flip compare is two table lookups per cell.
+	tabKeep coset.CostTable
+	tabFlip coset.CostTable
 }
 
 // fnwBlocks is the number of independently-flippable blocks per line.
@@ -23,7 +28,17 @@ const fnwBlocks = 4
 const fnwBlockCells = memline.LineCells / fnwBlocks
 
 // NewFNW returns the FNW scheme.
-func NewFNW(cfg Config) *FNW { return &FNW{em: cfg.Energy} }
+func NewFNW(cfg Config) *FNW {
+	var flipped coset.Mapping
+	for v := uint8(0); v < 4; v++ {
+		flipped[v] = coset.C1[^v&3]
+	}
+	return &FNW{
+		em:      cfg.Energy,
+		tabKeep: coset.C1.CostTable(&cfg.Energy),
+		tabFlip: flipped.CostTable(&cfg.Energy),
+	}
+}
 
 // Name implements Scheme.
 func (*FNW) Name() string { return "FNW" }
@@ -34,57 +49,59 @@ func (*FNW) TotalCells() int { return memline.LineCells + 2 }
 // DataCells implements Scheme.
 func (*FNW) DataCells() int { return memline.LineCells }
 
-// Encode implements Scheme. Complementing a bit pair complements the
+// Encode implements Scheme.
+func (f *FNW) Encode(old []pcm.State, data *memline.Line) []pcm.State {
+	out := make([]pcm.State, f.TotalCells())
+	f.EncodeInto(out, old, data)
+	return out
+}
+
+// EncodeInto implements Scheme. Complementing a bit pair complements the
 // symbol (v -> ^v&3), so flipping is evaluated symbol-wise under the
 // default mapping.
-func (f *FNW) Encode(old []pcm.State, data *memline.Line) []pcm.State {
-	syms := lineSymbols(data)
-	out := make([]pcm.State, f.TotalCells())
-	copy(out, old)
-	bits := make([]uint8, fnwBlocks)
+func (f *FNW) EncodeInto(dst, old []pcm.State, data *memline.Line) {
+	var syms [memline.LineCells]uint8
+	data.SymbolsInto(&syms)
+	var bits [fnwBlocks]uint8
 	for b := 0; b < fnwBlocks; b++ {
 		lo := b * fnwBlockCells
 		hi := lo + fnwBlockCells
 		var costKeep, costFlip float64
 		for c := lo; c < hi; c++ {
-			if st := coset.C1[syms[c]]; st != old[c] {
-				costKeep += f.em.WriteEnergy(st)
-			}
-			if st := coset.C1[^syms[c]&3]; st != old[c] {
-				costFlip += f.em.WriteEnergy(st)
-			}
+			costKeep += f.tabKeep.Cost[old[c]][syms[c]]
+			costFlip += f.tabFlip.Cost[old[c]][syms[c]]
 		}
-		flip := uint8(0)
+		tab := &f.tabKeep
 		if costFlip < costKeep {
-			flip = 1
+			bits[b] = 1
+			tab = &f.tabFlip
 		}
-		bits[b] = flip
 		for c := lo; c < hi; c++ {
-			v := syms[c]
-			if flip == 1 {
-				v = ^v & 3
-			}
-			out[c] = coset.C1[v]
+			dst[c] = tab.States[syms[c]]
 		}
 	}
-	coset.PackBitsToStates(bits, out[memline.LineCells:])
-	return out
+	coset.PackBitsToStates(bits[:], dst[memline.LineCells:])
 }
 
 // Decode implements Scheme.
 func (f *FNW) Decode(cells []pcm.State) memline.Line {
-	bits := coset.UnpackStatesToBits(cells[memline.LineCells:], fnwBlocks)
-	inv := coset.C1.Inverse()
 	var l memline.Line
+	f.DecodeInto(cells, &l)
+	return l
+}
+
+// DecodeInto implements Scheme.
+func (f *FNW) DecodeInto(cells []pcm.State, dst *memline.Line) {
+	var bits [fnwBlocks]uint8
+	coset.UnpackBits(cells[memline.LineCells:], bits[:])
 	for b := 0; b < fnwBlocks; b++ {
 		lo := b * fnwBlockCells
 		for c := lo; c < lo+fnwBlockCells; c++ {
-			v := inv[cells[c]]
+			v := coset.C1Inv[cells[c]]
 			if bits[b] == 1 {
 				v = ^v & 3
 			}
-			l.SetSymbol(c, v)
+			dst.SetSymbol(c, v)
 		}
 	}
-	return l
 }

@@ -22,6 +22,14 @@ import (
 )
 
 // Scheme is one write-encoding scheme for 512-bit MLC PCM lines.
+//
+// EncodeInto/DecodeInto are the hot-path codec API: they write into
+// caller storage and, together with the table-driven cost model built at
+// scheme construction, run without heap allocation. Encode/Decode are
+// thin allocating wrappers kept for convenience and compatibility.
+// Scheme implementations are immutable after construction and safe for
+// concurrent use — all per-call scratch lives on the caller's stack — so
+// the parallel engine shares one instance across its shards.
 type Scheme interface {
 	// Name identifies the scheme in reports (e.g. "WLCRC-16").
 	Name() string
@@ -35,8 +43,39 @@ type Scheme interface {
 	// data over a line whose cells currently hold old. Implementations
 	// must not retain or modify old.
 	Encode(old []pcm.State, data *memline.Line) []pcm.State
+	// EncodeInto computes the same states as Encode into dst, which must
+	// have length TotalCells() and must not alias old. Every cell of dst
+	// is written (auxiliary cells the scheme leaves alone are copied from
+	// old), so dst may hold garbage on entry. Implementations must not
+	// retain dst, and must not retain or modify old.
+	EncodeInto(dst, old []pcm.State, data *memline.Line)
 	// Decode recovers the stored data from the cell states.
 	Decode(cells []pcm.State) memline.Line
+	// DecodeInto recovers the stored data into dst, overwriting it
+	// completely — the allocation-free form of Decode.
+	DecodeInto(cells []pcm.State, dst *memline.Line)
+}
+
+// CompressionGate is implemented by compression-gated schemes whose flag
+// cell distinguishes the encoded (compressed) path from the raw
+// fallback. Resolving the gate once at construction time lets the
+// simulator classify writes without per-request name switches; schemes
+// that do not implement it take their encoded path on every write.
+type CompressionGate interface {
+	// CompressedWrite reports whether the stored cell vector took the
+	// scheme's encoded (compressed) path.
+	CompressedWrite(cells []pcm.State) bool
+}
+
+// CompressedWriteFunc resolves a scheme's write classifier once:
+// gated schemes answer through their flag cell, everything else counts
+// every write as encoded. Both replay frontends and the public Memory
+// share this policy.
+func CompressedWriteFunc(s Scheme) func([]pcm.State) bool {
+	if gate, ok := s.(CompressionGate); ok {
+		return gate.CompressedWrite
+	}
+	return func([]pcm.State) bool { return true }
 }
 
 // InitialCells returns the state vector of a freshly-initialized line:
@@ -58,28 +97,28 @@ const (
 // line's symbols — the uncompressed fallback path shared by every
 // compression-gated scheme, and the whole of the baseline scheme.
 func rawEncode(data *memline.Line, dst []pcm.State) {
-	for c := 0; c < memline.LineCells; c++ {
-		dst[c] = coset.C1[data.Symbol(c)]
+	var syms [memline.LineCells]uint8
+	data.SymbolsInto(&syms)
+	for c, v := range syms {
+		dst[c] = coset.C1[v]
 	}
 }
 
 // rawDecode inverts rawEncode.
 func rawDecode(cells []pcm.State) memline.Line {
-	inv := coset.C1.Inverse()
 	var l memline.Line
-	for c := 0; c < memline.LineCells; c++ {
-		l.SetSymbol(c, inv[cells[c]])
-	}
+	rawDecodeInto(cells, &l)
 	return l
 }
 
-// lineSymbols extracts all 256 data symbols of a line.
-func lineSymbols(l *memline.Line) [memline.LineCells]uint8 {
+// rawDecodeInto inverts rawEncode into caller storage through the
+// cached C1 inverse.
+func rawDecodeInto(cells []pcm.State, l *memline.Line) {
 	var syms [memline.LineCells]uint8
 	for c := range syms {
-		syms[c] = l.Symbol(c)
+		syms[c] = coset.C1Inv[cells[c]]
 	}
-	return syms
+	l.SetSymbolsFrom(&syms)
 }
 
 // Baseline is standard differential write with the default symbol-to-
@@ -99,14 +138,24 @@ func (Baseline) TotalCells() int { return memline.LineCells }
 func (Baseline) DataCells() int { return memline.LineCells }
 
 // Encode implements Scheme.
-func (Baseline) Encode(old []pcm.State, data *memline.Line) []pcm.State {
+func (b Baseline) Encode(old []pcm.State, data *memline.Line) []pcm.State {
 	out := make([]pcm.State, memline.LineCells)
-	rawEncode(data, out)
+	b.EncodeInto(out, old, data)
 	return out
+}
+
+// EncodeInto implements Scheme.
+func (Baseline) EncodeInto(dst, old []pcm.State, data *memline.Line) {
+	rawEncode(data, dst)
 }
 
 // Decode implements Scheme.
 func (Baseline) Decode(cells []pcm.State) memline.Line { return rawDecode(cells) }
+
+// DecodeInto implements Scheme.
+func (Baseline) DecodeInto(cells []pcm.State, dst *memline.Line) {
+	rawDecodeInto(cells, dst)
+}
 
 // Registry construction -----------------------------------------------
 

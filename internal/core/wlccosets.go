@@ -25,6 +25,7 @@ type WLCCosets struct {
 	displayName string
 	em          pcm.EnergyModel
 	cands       []coset.Mapping
+	tabs        []coset.CostTable
 	gran        int
 	wlc         compress.WLC
 	dataCells   int      // fully-data cells per word
@@ -50,6 +51,7 @@ func NewWLCCosets(cfg Config, ncands, gran int) (*WLCCosets, error) {
 		displayName: fmt.Sprintf("WLC+%dcosets-%d", ncands, gran),
 		em:          cfg.Energy,
 		cands:       coset.Table1[:ncands],
+		tabs:        coset.CostTables(&cfg.Energy, coset.Table1[:ncands]),
 		gran:        gran,
 		wlc:         compress.WLC{K: r + 1},
 		dataCells:   (64 - r) / 2,
@@ -83,6 +85,11 @@ func (s *WLCCosets) Compressible(data *memline.Line) bool {
 	return s.wlc.LineCompressible(data)
 }
 
+// CompressedWrite implements CompressionGate.
+func (s *WLCCosets) CompressedWrite(cells []pcm.State) bool {
+	return cells[memline.LineCells] == flagCompressed
+}
+
 // TotalCells implements Scheme: the aux candidate bits live inside the
 // words; only the compression flag cell is extra.
 func (s *WLCCosets) TotalCells() int { return memline.LineCells + 1 }
@@ -99,60 +106,69 @@ func (s *WLCCosets) AuxCellsPerWord() int { return memline.WordCells - s.dataCel
 // Encode implements Scheme.
 func (s *WLCCosets) Encode(old []pcm.State, data *memline.Line) []pcm.State {
 	out := make([]pcm.State, s.TotalCells())
-	copy(out, old)
+	s.EncodeInto(out, old, data)
+	return out
+}
+
+// EncodeInto implements Scheme.
+func (s *WLCCosets) EncodeInto(dst, old []pcm.State, data *memline.Line) {
+	copy(dst, old)
 	if !s.wlc.LineCompressible(data) {
-		rawEncode(data, out)
-		out[memline.LineCells] = flagUncompressed
-		return out
+		rawEncode(data, dst)
+		dst[memline.LineCells] = flagUncompressed
+		return
 	}
 	for w := 0; w < memline.LineWords; w++ {
-		s.encodeWord(data.Word(w), old[w*memline.WordCells:(w+1)*memline.WordCells], out[w*memline.WordCells:(w+1)*memline.WordCells])
+		s.encodeWord(data.Word(w), old[w*memline.WordCells:(w+1)*memline.WordCells], dst[w*memline.WordCells:(w+1)*memline.WordCells])
 	}
-	out[memline.LineCells] = flagCompressed
-	return out
+	dst[memline.LineCells] = flagCompressed
 }
 
 func (s *WLCCosets) encodeWord(word uint64, old, out []pcm.State) {
 	var syms [memline.WordCells]uint8
-	for c := 0; c < s.dataCells; c++ {
-		syms[c] = uint8(word >> (uint(c) * 2) & 3)
-	}
-	auxBits := make([]uint8, 2*(memline.WordCells-s.dataCells))
+	memline.WordSymbols(word, &syms)
+	var auxBits [2 * memline.WordCells]uint8
+	nAux := 2 * (memline.WordCells - s.dataCells)
 	for b, rng := range s.blocks {
-		idx, _ := coset.Best(&s.em, s.cands, syms[rng[0]:rng[1]], old[rng[0]:rng[1]])
-		coset.Encode(s.cands[idx], syms[rng[0]:rng[1]], out[rng[0]:rng[1]])
+		idx, _ := coset.BestTable(s.tabs, syms[rng[0]:rng[1]], old[rng[0]:rng[1]])
+		s.tabs[idx].Encode(syms[rng[0]:rng[1]], out[rng[0]:rng[1]])
 		auxBits[2*b] = uint8(idx) & 1
 		auxBits[2*b+1] = uint8(idx) >> 1
 	}
-	coset.PackBitsToStates(auxBits, out[s.dataCells:])
+	coset.PackBitsToStates(auxBits[:nAux], out[s.dataCells:])
 }
 
 // Decode implements Scheme.
 func (s *WLCCosets) Decode(cells []pcm.State) memline.Line {
-	if cells[memline.LineCells] != flagCompressed {
-		return rawDecode(cells)
-	}
 	var l memline.Line
-	for w := 0; w < memline.LineWords; w++ {
-		l.SetWord(w, s.decodeWord(cells[w*memline.WordCells:(w+1)*memline.WordCells]))
-	}
+	s.DecodeInto(cells, &l)
 	return l
+}
+
+// DecodeInto implements Scheme.
+func (s *WLCCosets) DecodeInto(cells []pcm.State, dst *memline.Line) {
+	if cells[memline.LineCells] != flagCompressed {
+		rawDecodeInto(cells, dst)
+		return
+	}
+	for w := 0; w < memline.LineWords; w++ {
+		dst.SetWord(w, s.decodeWord(cells[w*memline.WordCells:(w+1)*memline.WordCells]))
+	}
 }
 
 func (s *WLCCosets) decodeWord(cells []pcm.State) uint64 {
 	auxCells := memline.WordCells - s.dataCells
-	auxBits := coset.UnpackStatesToBits(cells[s.dataCells:], 2*auxCells)
+	var auxBits [2 * memline.WordCells]uint8
+	coset.UnpackBits(cells[s.dataCells:], auxBits[:2*auxCells])
 	var word uint64
-	blkSyms := make([]uint8, s.gran/2)
 	for b, rng := range s.blocks {
 		idx := int(auxBits[2*b]) | int(auxBits[2*b+1])<<1
 		if idx >= len(s.cands) {
 			idx = 0
 		}
-		n := rng[1] - rng[0]
-		coset.Decode(s.cands[idx], cells[rng[0]:rng[1]], blkSyms[:n])
-		for i := 0; i < n; i++ {
-			word |= uint64(blkSyms[i]) << (uint(rng[0]+i) * 2)
+		inv := &s.tabs[idx].Inv
+		for c := rng[0]; c < rng[1]; c++ {
+			word |= uint64(inv[cells[c]]) << (uint(c) * 2)
 		}
 	}
 	return s.wlc.DecompressWord(word)

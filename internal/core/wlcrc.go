@@ -42,7 +42,21 @@ type WLCRC struct {
 	wdLambda    float64
 	dm          pcm.DisturbModel
 	geom        wlcrcGeom
+	// tab1 prices the fixed C1 mapping (data blocks and every aux
+	// cell); tabAlt[0] and tabAlt[1] price the group alternates C2 and
+	// C3. tab64 holds the three unrestricted candidates of the
+	// granularity-64 degenerate case.
+	tab1   coset.CostTable
+	tabAlt [2]coset.CostTable
+	tab64  []coset.CostTable
 }
+
+// wlcrcMaxBlocks bounds the per-word block count (7 at granularity 8)
+// for the fixed-size plan scratch.
+const wlcrcMaxBlocks = 7
+
+// wlcrcMaxAux bounds the pure-aux cells per word (4 at granularity 8).
+const wlcrcMaxAux = 4
 
 // wlcrcGeom captures the per-word layout of one granularity.
 type wlcrcGeom struct {
@@ -108,6 +122,9 @@ func NewWLCRC(cfg Config, gran int) (*WLCRC, error) {
 		wdLambda:    cfg.DisturbAwareLambda,
 		dm:          dm,
 		geom:        geom,
+		tab1:        coset.C1.CostTable(&cfg.Energy),
+		tabAlt:      [2]coset.CostTable{coset.C2.CostTable(&cfg.Energy), coset.C3.CostTable(&cfg.Energy)},
+		tab64:       coset.CostTables(&cfg.Energy, coset.Table1[:3]),
 	}, nil
 }
 
@@ -121,6 +138,11 @@ func (s *WLCRC) Granularity() int { return s.gran }
 // auxiliary field in every word of the line.
 func (s *WLCRC) Compressible(data *memline.Line) bool {
 	return s.wlc.LineCompressible(data)
+}
+
+// CompressedWrite implements CompressionGate.
+func (s *WLCRC) CompressedWrite(cells []pcm.State) bool {
+	return cells[memline.LineCells] == flagCompressed
 }
 
 // TotalCells implements Scheme: auxiliary bits live inside the words;
@@ -144,41 +166,44 @@ func (s *WLCRC) AuxCellsPerWord() int {
 // Encode implements Scheme.
 func (s *WLCRC) Encode(old []pcm.State, data *memline.Line) []pcm.State {
 	out := make([]pcm.State, s.TotalCells())
-	copy(out, old)
+	s.EncodeInto(out, old, data)
+	return out
+}
+
+// EncodeInto implements Scheme.
+func (s *WLCRC) EncodeInto(dst, old []pcm.State, data *memline.Line) {
+	copy(dst, old)
 	if !s.wlc.LineCompressible(data) {
-		rawEncode(data, out)
-		out[memline.LineCells] = flagUncompressed
-		return out
+		rawEncode(data, dst)
+		dst[memline.LineCells] = flagUncompressed
+		return
 	}
 	for w := 0; w < memline.LineWords; w++ {
-		s.encodeWord(data.Word(w), old[w*memline.WordCells:(w+1)*memline.WordCells], out[w*memline.WordCells:(w+1)*memline.WordCells])
+		s.encodeWord(data.Word(w), old[w*memline.WordCells:(w+1)*memline.WordCells], dst[w*memline.WordCells:(w+1)*memline.WordCells])
 	}
-	out[memline.LineCells] = flagCompressed
-	return out
+	dst[memline.LineCells] = flagCompressed
 }
 
 // wordPlan is a fully-evaluated encoding of one word under one group.
 type wordPlan struct {
 	cost    float64
 	updates int
-	cands   []uint8 // candidate bit (or 2-bit index for gran 64) per block
+	cands   [wlcrcMaxBlocks]uint8 // candidate bit per block
 	group   uint8
 }
 
 func (s *WLCRC) encodeWord(word uint64, old, out []pcm.State) {
 	var syms [memline.WordCells]uint8
-	for c := 0; c < memline.WordCells; c++ {
-		syms[c] = uint8(word >> (uint(c) * 2) & 3)
-	}
+	memline.WordSymbols(word, &syms)
 	if s.gran == 64 {
 		s.encodeWord64(syms[:], old, out)
 		return
 	}
-	p12 := s.planGroup(0, coset.C2, syms[:], old)
-	p13 := s.planGroup(1, coset.C3, syms[:], old)
-	best := p12
+	p12 := s.planGroup(0, syms[:], old)
+	p13 := s.planGroup(1, syms[:], old)
+	best := &p12
 	if p13.cost < best.cost {
-		best = p13
+		best = &p13
 	}
 	if s.multiT > 0 {
 		// §VIII.D: when the two group costs are within T of each other,
@@ -192,27 +217,29 @@ func (s *WLCRC) encodeWord(word uint64, old, out []pcm.State) {
 			diff = -diff
 		}
 		if hi > 0 && diff <= s.multiT*hi {
-			best = p12
+			best = &p12
 			if p13.updates < p12.updates ||
 				(p13.updates == p12.updates && p13.cost < p12.cost) {
-				best = p13
+				best = &p13
 			}
 		}
 	}
 	s.commit(best, syms[:], out)
 }
 
-// planGroup evaluates Algorithm 1 for one coset group: every block picks
-// the cheaper of C1 and alt; the plan cost includes the auxiliary cells.
-// In multi-objective mode (§VIII.D), a block whose two candidate costs
-// are within T of each other is decided by updated-cell count instead —
-// the source of the paper's endurance gain at negligible energy cost.
-func (s *WLCRC) planGroup(group uint8, alt coset.Mapping, syms []uint8, old []pcm.State) wordPlan {
+// planGroup evaluates Algorithm 1 for one coset group (0 = {C1,C2},
+// 1 = {C1,C3}): every block picks the cheaper of C1 and the alternate;
+// the plan cost includes the auxiliary cells. In multi-objective mode
+// (§VIII.D), a block whose two candidate costs are within T of each
+// other is decided by updated-cell count instead — the source of the
+// paper's endurance gain at negligible energy cost.
+func (s *WLCRC) planGroup(group uint8, syms []uint8, old []pcm.State) wordPlan {
 	g := &s.geom
-	plan := wordPlan{group: group, cands: make([]uint8, len(g.blocks))}
+	alt := &s.tabAlt[group]
+	plan := wordPlan{group: group}
 	for b, rng := range g.blocks {
 		mixedHere := g.mixed && b == len(g.blocks)-1
-		c1Cost, c1Upd := s.blockCost(coset.C1, 0, mixedHere, syms, old, rng)
+		c1Cost, c1Upd := s.blockCost(&s.tab1, 0, mixedHere, syms, old, rng)
 		caCost, caUpd := s.blockCost(alt, 1, mixedHere, syms, old, rng)
 		pickAlt := caCost < c1Cost
 		if s.multiT > 0 {
@@ -238,46 +265,47 @@ func (s *WLCRC) planGroup(group uint8, alt coset.Mapping, syms []uint8, old []pc
 		}
 	}
 	// Pure auxiliary cells.
-	for i, sym := range s.auxSymbols(plan.cands, plan.group) {
-		cell := s.firstAuxCell() + i
-		st := coset.C1[sym]
-		if st != old[cell] {
-			plan.cost += s.em.WriteEnergy(st)
-			plan.updates++
-		}
+	var aux [wlcrcMaxAux]uint8
+	nAux := s.auxSymbols(&plan.cands, plan.group, &aux)
+	first := s.firstAuxCell()
+	for i := 0; i < nAux; i++ {
+		cell := first + i
+		st := old[cell]
+		plan.cost += s.tab1.Cost[st][aux[i]]
+		plan.updates += int(s.tab1.Update[st][aux[i]])
 	}
 	return plan
 }
 
-// blockCost prices one block under mapping m whose candidate bit is
-// candBit. When the block owns the mixed cell, that cell's C1-mapped
-// symbol (aux hi bit = candBit, lo bit = the block's last data bit) is
-// included — this is how the "11-bit most significant block" of §VI.A is
-// accounted. With the §XI write-disturbance-aware extension enabled, the
-// cost also includes wdLambda pJ per expected disturbance error the
-// block's write pattern would induce on its idle cells.
-func (s *WLCRC) blockCost(m coset.Mapping, candBit uint8, mixedHere bool, syms []uint8, old []pcm.State, rng [2]int) (float64, int) {
+// blockCost prices one block under the candidate table t whose candidate
+// bit is candBit, as pure table lookups. When the block owns the mixed
+// cell, that cell's C1-mapped symbol (aux hi bit = candBit, lo bit = the
+// block's last data bit) is included — this is how the "11-bit most
+// significant block" of §VI.A is accounted. With the §XI
+// write-disturbance-aware extension enabled, the cost also includes
+// wdLambda pJ per expected disturbance error the block's write pattern
+// would induce on its idle cells.
+func (s *WLCRC) blockCost(t *coset.CostTable, candBit uint8, mixedHere bool, syms []uint8, old []pcm.State, rng [2]int) (float64, int) {
 	var cost float64
 	updates := 0
-	var changed [memline.WordCells]bool
 	for c := rng[0]; c < rng[1]; c++ {
-		st := m[syms[c]]
-		if st != old[c] {
-			cost += s.em.WriteEnergy(st)
-			updates++
-			changed[c-rng[0]] = true
-		}
+		st := old[c]
+		cost += t.Cost[st][syms[c]]
+		updates += int(t.Update[st][syms[c]])
 	}
 	if mixedHere {
 		cell := s.geom.dataCells
-		st := coset.C1[candBit<<1|syms[cell]&1]
-		if st != old[cell] {
-			cost += s.em.WriteEnergy(st)
-			updates++
-		}
+		sym := candBit<<1 | syms[cell]&1
+		st := old[cell]
+		cost += s.tab1.Cost[st][sym]
+		updates += int(s.tab1.Update[st][sym])
 	}
 	if s.wdLambda > 0 {
-		cost += s.wdLambda * s.blockDisturbRisk(m, syms, old, rng, changed[:rng[1]-rng[0]])
+		var changed [memline.WordCells]bool
+		for c := rng[0]; c < rng[1]; c++ {
+			changed[c-rng[0]] = t.Update[old[c]][syms[c]] == 1
+		}
+		cost += s.wdLambda * s.blockDisturbRisk(t.States, syms, old, rng, changed[:rng[1]-rng[0]])
 	}
 	return cost, updates
 }
@@ -314,39 +342,36 @@ func (s *WLCRC) firstAuxCell() int {
 }
 
 // auxSymbols derives the symbols of the pure-aux cells from the
-// candidate bits and group bit (layouts in the type comment). The mixed
-// cell is handled in blockCost.
-func (s *WLCRC) auxSymbols(cands []uint8, group uint8) []uint8 {
+// candidate bits and group bit (layouts in the type comment), writing
+// them into dst and returning the count. The mixed cell is handled in
+// blockCost.
+func (s *WLCRC) auxSymbols(cands *[wlcrcMaxBlocks]uint8, group uint8, dst *[wlcrcMaxAux]uint8) int {
 	switch s.gran {
 	case 8: // cells 28..31: (c1,c0) (c3,c2) (c5,c4) (group,c6)
-		return []uint8{
-			cands[1]<<1 | cands[0],
-			cands[3]<<1 | cands[2],
-			cands[5]<<1 | cands[4],
-			group<<1 | cands[6],
-		}
+		dst[0] = cands[1]<<1 | cands[0]
+		dst[1] = cands[3]<<1 | cands[2]
+		dst[2] = cands[5]<<1 | cands[4]
+		dst[3] = group<<1 | cands[6]
+		return 4
 	case 16: // cells 30,31: (c1,c2) (group,c0); c3 is in the mixed cell
-		return []uint8{
-			cands[1]<<1 | cands[2],
-			group<<1 | cands[0],
-		}
+		dst[0] = cands[1]<<1 | cands[2]
+		dst[1] = group<<1 | cands[0]
+		return 2
 	case 32: // cell 31: (group,c0); c1 is in the mixed cell
-		return []uint8{group<<1 | cands[0]}
+		dst[0] = group<<1 | cands[0]
+		return 1
 	}
 	panic("core: auxSymbols on unrestricted granularity")
 }
 
 // commit writes the chosen plan's states.
-func (s *WLCRC) commit(plan wordPlan, syms []uint8, out []pcm.State) {
-	alt := coset.C2
-	if plan.group == 1 {
-		alt = coset.C3
-	}
+func (s *WLCRC) commit(plan *wordPlan, syms []uint8, out []pcm.State) {
+	alt := &s.tabAlt[plan.group]
 	g := &s.geom
 	for b, rng := range g.blocks {
-		m := coset.C1
+		m := &s.tab1.States
 		if plan.cands[b] == 1 {
-			m = alt
+			m = &alt.States
 		}
 		for c := rng[0]; c < rng[1]; c++ {
 			out[c] = m[syms[c]]
@@ -356,66 +381,67 @@ func (s *WLCRC) commit(plan wordPlan, syms []uint8, out []pcm.State) {
 			out[cell] = coset.C1[plan.cands[b]<<1|syms[cell]&1]
 		}
 	}
-	for i, sym := range s.auxSymbols(plan.cands, plan.group) {
-		out[s.firstAuxCell()+i] = coset.C1[sym]
+	var aux [wlcrcMaxAux]uint8
+	nAux := s.auxSymbols(&plan.cands, plan.group, &aux)
+	first := s.firstAuxCell()
+	for i := 0; i < nAux; i++ {
+		out[first+i] = coset.C1[aux[i]]
 	}
 }
 
 // encodeWord64 is the degenerate granularity-64 case: one block per word,
 // unrestricted choice among C1, C2, C3, two-bit index in cell 31.
 func (s *WLCRC) encodeWord64(syms []uint8, old, out []pcm.State) {
-	cands := coset.Table1[:3]
 	rng := s.geom.blocks[0]
-	idx, _ := coset.Best(&s.em, cands, syms[rng[0]:rng[1]], old[rng[0]:rng[1]])
-	coset.Encode(cands[idx], syms[rng[0]:rng[1]], out[rng[0]:rng[1]])
+	idx, _ := coset.BestTable(s.tab64, syms[rng[0]:rng[1]], old[rng[0]:rng[1]])
+	s.tab64[idx].Encode(syms[rng[0]:rng[1]], out[rng[0]:rng[1]])
 	out[31] = coset.C1[uint8(idx)]
 }
 
 // Decode implements Scheme.
 func (s *WLCRC) Decode(cells []pcm.State) memline.Line {
-	if cells[memline.LineCells] != flagCompressed {
-		return rawDecode(cells)
-	}
 	var l memline.Line
-	for w := 0; w < memline.LineWords; w++ {
-		l.SetWord(w, s.decodeWord(cells[w*memline.WordCells:(w+1)*memline.WordCells]))
-	}
+	s.DecodeInto(cells, &l)
 	return l
 }
 
+// DecodeInto implements Scheme.
+func (s *WLCRC) DecodeInto(cells []pcm.State, dst *memline.Line) {
+	if cells[memline.LineCells] != flagCompressed {
+		rawDecodeInto(cells, dst)
+		return
+	}
+	for w := 0; w < memline.LineWords; w++ {
+		dst.SetWord(w, s.decodeWord(cells[w*memline.WordCells:(w+1)*memline.WordCells]))
+	}
+}
+
 func (s *WLCRC) decodeWord(cells []pcm.State) uint64 {
-	inv := coset.C1.Inverse()
 	g := &s.geom
 	var word uint64
 
 	if s.gran == 64 {
-		idx := int(inv[cells[31]])
+		idx := int(coset.C1Inv[cells[31]])
 		if idx > 2 {
 			idx = 0
 		}
-		blk := make([]uint8, g.dataCells)
-		coset.Decode(coset.Table1[idx], cells[:g.dataCells], blk)
-		for c, v := range blk {
-			word |= uint64(v) << (uint(c) * 2)
+		inv := &s.tab64[idx].Inv
+		for c := 0; c < g.dataCells; c++ {
+			word |= uint64(inv[cells[c]]) << (uint(c) * 2)
 		}
 		return s.wlc.DecompressWord(word)
 	}
 
-	cands, group, mixedData := s.readAux(cells)
-	alt := coset.C2
-	if group == 1 {
-		alt = coset.C3
-	}
-	blk := make([]uint8, memline.WordCells)
+	var cands [wlcrcMaxBlocks]uint8
+	group, mixedData := s.readAux(cells, &cands)
+	alt := &s.tabAlt[group]
 	for b, rng := range g.blocks {
-		m := coset.C1
+		inv := &s.tab1.Inv
 		if cands[b] == 1 {
-			m = alt
+			inv = &alt.Inv
 		}
-		n := rng[1] - rng[0]
-		coset.Decode(m, cells[rng[0]:rng[1]], blk[:n])
-		for i := 0; i < n; i++ {
-			word |= uint64(blk[i]) << (uint(rng[0]+i) * 2)
+		for c := rng[0]; c < rng[1]; c++ {
+			word |= uint64(inv[cells[c]]) << (uint(c) * 2)
 		}
 	}
 	if g.mixed {
@@ -426,10 +452,8 @@ func (s *WLCRC) decodeWord(cells []pcm.State) uint64 {
 
 // readAux recovers the candidate bits, group bit, and (for mixed
 // layouts) the mixed cell's data bit from the C1-mapped auxiliary cells.
-func (s *WLCRC) readAux(cells []pcm.State) (cands []uint8, group, mixedData uint8) {
-	inv := coset.C1.Inverse()
-	g := &s.geom
-	cands = make([]uint8, len(g.blocks))
+func (s *WLCRC) readAux(cells []pcm.State, cands *[wlcrcMaxBlocks]uint8) (group, mixedData uint8) {
+	inv := &coset.C1Inv
 	switch s.gran {
 	case 8:
 		a := [4]uint8{inv[cells[28]], inv[cells[29]], inv[cells[30]], inv[cells[31]]}
@@ -451,5 +475,5 @@ func (s *WLCRC) readAux(cells []pcm.State) (cands []uint8, group, mixedData uint
 		a31 := inv[cells[31]]
 		cands[0], group = a31&1, a31>>1
 	}
-	return cands, group, mixedData
+	return group, mixedData
 }

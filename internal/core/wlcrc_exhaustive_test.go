@@ -24,12 +24,12 @@ func bruteForceWordCost(s *WLCRC, word uint64, old []pcm.State) float64 {
 	out := make([]pcm.State, memline.WordCells)
 	for group := uint8(0); group <= 1; group++ {
 		for mask := 0; mask < 1<<len(s.geom.blocks); mask++ {
-			plan := wordPlan{group: group, cands: make([]uint8, len(s.geom.blocks))}
-			for b := range plan.cands {
+			plan := wordPlan{group: group}
+			for b := 0; b < len(s.geom.blocks); b++ {
 				plan.cands[b] = uint8(mask >> uint(b) & 1)
 			}
 			copy(out, old)
-			s.commit(plan, syms[:], out)
+			s.commit(&plan, syms[:], out)
 			var cost float64
 			for c := range out {
 				if out[c] != old[c] {

@@ -72,6 +72,108 @@ var (
 // C(i+1).
 var Table1 = [4]Mapping{C1, C2, C3, C4}
 
+// Cached inverses of the Table I candidates. The hot decode paths index
+// these instead of recomputing Mapping.Inverse per call.
+var (
+	C1Inv = C1.Inverse()
+	C2Inv = C2.Inverse()
+	C3Inv = C3.Inverse()
+	C4Inv = C4.Inverse()
+)
+
+// Table1Inv lists the cached inverses in paper order, aligned with
+// Table1.
+var Table1Inv = [4][4]uint8{C1Inv, C2Inv, C3Inv, C4Inv}
+
+// CostTable is the precomputed differential-write pricing of one mapping
+// under one energy model: storing symbol v over a cell currently in
+// state s costs Cost[s][v] pJ and programs Update[s][v] cells (1 when
+// the mapped state differs from s, else 0; the cost entry is then 0 too,
+// so summing table entries over a block reproduces the branchy
+// "skip-unchanged" accumulation bit-for-bit — adding 0.0 is exact).
+// Building tables once at scheme construction turns every per-cell
+// WriteEnergy branch of the encode hot path into a single lookup.
+type CostTable struct {
+	Cost   [pcm.NumStates][4]float64
+	Update [pcm.NumStates][4]uint8
+	// States is the mapping itself (States[v] stores symbol v), kept
+	// alongside so encoders holding a table need not carry the Mapping
+	// separately.
+	States Mapping
+	// Inv is the cached state-to-symbol inverse of States.
+	Inv [4]uint8
+}
+
+// CostTable precomputes the differential-write pricing of m under em.
+func (m Mapping) CostTable(em *pcm.EnergyModel) CostTable {
+	t := CostTable{States: m, Inv: m.Inverse()}
+	for old := pcm.State(0); old < pcm.NumStates; old++ {
+		for v := 0; v < 4; v++ {
+			if st := m[v]; st != old {
+				t.Cost[old][v] = em.WriteEnergy(st)
+				t.Update[old][v] = 1
+			}
+		}
+	}
+	return t
+}
+
+// CostTables builds one cost table per candidate.
+func CostTables(em *pcm.EnergyModel, cands []Mapping) []CostTable {
+	out := make([]CostTable, len(cands))
+	for i, m := range cands {
+		out[i] = m.CostTable(em)
+	}
+	return out
+}
+
+// BlockCost is the table-driven equivalent of the package-level
+// BlockCost: the differential-write energy of storing syms over old.
+// It is branch-free on the energy model and bit-identical to the direct
+// computation (unchanged cells contribute an exact 0.0).
+func (t *CostTable) BlockCost(syms []uint8, old []pcm.State) float64 {
+	var cost float64
+	for i, v := range syms {
+		cost += t.Cost[old[i]][v&3]
+	}
+	return cost
+}
+
+// BlockCostUpdates returns the block cost and the number of programmed
+// cells in one pass.
+func (t *CostTable) BlockCostUpdates(syms []uint8, old []pcm.State) (float64, int) {
+	var cost float64
+	upd := 0
+	for i, v := range syms {
+		s := old[i]
+		cost += t.Cost[s][v&3]
+		upd += int(t.Update[s][v&3])
+	}
+	return cost, upd
+}
+
+// Encode writes the states States[syms[i]] into dst, like the
+// package-level Encode but from a prebuilt table.
+func (t *CostTable) Encode(syms []uint8, dst []pcm.State) {
+	for i, v := range syms {
+		dst[i] = t.States[v&3]
+	}
+}
+
+// BestTable evaluates every candidate table and returns the index of the
+// one with the lowest differential-write energy, with the same tie
+// break as Best (lowest index wins).
+func BestTable(tabs []CostTable, syms []uint8, old []pcm.State) (idx int, cost float64) {
+	idx = 0
+	cost = tabs[0].BlockCost(syms, old)
+	for i := 1; i < len(tabs); i++ {
+		if c := tabs[i].BlockCost(syms, old); c < cost {
+			idx, cost = i, c
+		}
+	}
+	return idx, cost
+}
+
 // SixCosets returns the six candidates of the 6cosets scheme [34]: for
 // every unordered pair {a<b} of symbols, a is mapped to S1 and b to S2
 // (the two low-energy states) and the remaining symbols {c<d} to S3 and
@@ -237,15 +339,28 @@ func UnpackStatesToBits(states []pcm.State, nbits int) []uint8 {
 
 // UnpackStatesToBitsWith inverts PackBitsToStatesWith.
 func UnpackStatesToBitsWith(m Mapping, states []pcm.State, nbits int) []uint8 {
-	inv := m.Inverse()
 	bits := make([]uint8, nbits)
-	for i := 0; i < nbits; i++ {
+	UnpackBitsWith(m, states, bits)
+	return bits
+}
+
+// UnpackBits recovers len(dst) bits from cells stored with the fixed
+// AuxPack mapping into caller storage, the allocation-free counterpart
+// of UnpackStatesToBits.
+func UnpackBits(states []pcm.State, dst []uint8) {
+	UnpackBitsWith(AuxPack, states, dst)
+}
+
+// UnpackBitsWith recovers len(dst) bits through an arbitrary fixed
+// mapping into caller storage.
+func UnpackBitsWith(m Mapping, states []pcm.State, dst []uint8) {
+	inv := m.Inverse()
+	for i := range dst {
 		sym := inv[states[i/2]]
 		if i%2 == 0 {
-			bits[i] = sym & 1
+			dst[i] = sym & 1
 		} else {
-			bits[i] = sym >> 1
+			dst[i] = sym >> 1
 		}
 	}
-	return bits
 }

@@ -1,0 +1,108 @@
+package coset
+
+import (
+	"testing"
+
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/prng"
+)
+
+// TestCachedInverses pins the package-level inverse caches against
+// Mapping.Inverse.
+func TestCachedInverses(t *testing.T) {
+	if C1Inv != C1.Inverse() || C2Inv != C2.Inverse() ||
+		C3Inv != C3.Inverse() || C4Inv != C4.Inverse() {
+		t.Fatal("cached inverse differs from Mapping.Inverse")
+	}
+	for i, m := range Table1 {
+		if Table1Inv[i] != m.Inverse() {
+			t.Errorf("Table1Inv[%d] stale", i)
+		}
+	}
+}
+
+// TestCostTableMatchesDirect is the table-vs-branchy equivalence that
+// underwrites the hot-path rewrite: for random blocks, the precomputed
+// CostTable must reproduce BlockCost, BlockUpdates and Best bit-for-bit
+// (including float equality — unchanged cells contribute an exact 0.0).
+func TestCostTableMatchesDirect(t *testing.T) {
+	em := pcm.DefaultEnergy()
+	cands := append([]Mapping{}, Table1[:]...)
+	cands = append(cands, SixCosets()...)
+	tabs := CostTables(&em, cands)
+	r := prng.New(777)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(32)
+		syms := make([]uint8, n)
+		old := make([]pcm.State, n)
+		for i := range syms {
+			syms[i] = uint8(r.Intn(4))
+			old[i] = pcm.State(r.Intn(pcm.NumStates))
+		}
+		for ci, m := range cands {
+			wantCost := BlockCost(&em, m, syms, old)
+			wantUpd := BlockUpdates(m, syms, old)
+			gotCost, gotUpd := tabs[ci].BlockCostUpdates(syms, old)
+			if gotCost != wantCost || gotUpd != wantUpd {
+				t.Fatalf("cand %d: table (%v, %d) != direct (%v, %d)",
+					ci, gotCost, gotUpd, wantCost, wantUpd)
+			}
+			if c := tabs[ci].BlockCost(syms, old); c != wantCost {
+				t.Fatalf("cand %d: BlockCost table %v != direct %v", ci, c, wantCost)
+			}
+		}
+		wantIdx, wantCost := Best(&em, cands, syms, old)
+		gotIdx, gotCost := BestTable(tabs, syms, old)
+		if gotIdx != wantIdx || gotCost != wantCost {
+			t.Fatalf("BestTable (%d, %v) != Best (%d, %v)", gotIdx, gotCost, wantIdx, wantCost)
+		}
+	}
+}
+
+// TestCostTableEncode checks the embedded mapping and inverse survive
+// the table build.
+func TestCostTableEncode(t *testing.T) {
+	em := pcm.DefaultEnergy()
+	for _, m := range Table1 {
+		tab := m.CostTable(&em)
+		if tab.States != m {
+			t.Fatalf("table mapping %v != %v", tab.States, m)
+		}
+		if tab.Inv != m.Inverse() {
+			t.Fatalf("table inverse stale for %v", m)
+		}
+		syms := []uint8{0, 1, 2, 3}
+		direct := make([]pcm.State, 4)
+		viaTab := make([]pcm.State, 4)
+		Encode(m, syms, direct)
+		tab.Encode(syms, viaTab)
+		for i := range direct {
+			if direct[i] != viaTab[i] {
+				t.Fatalf("table Encode differs at %d", i)
+			}
+		}
+	}
+}
+
+// TestUnpackBitsMatchesAlloc pins the in-place unpack against the
+// allocating form.
+func TestUnpackBitsMatchesAlloc(t *testing.T) {
+	r := prng.New(5)
+	for trial := 0; trial < 100; trial++ {
+		nbits := 1 + r.Intn(16)
+		bits := make([]uint8, nbits)
+		for i := range bits {
+			bits[i] = uint8(r.Intn(2))
+		}
+		states := make([]pcm.State, (nbits+1)/2)
+		PackBitsToStates(bits, states)
+		want := UnpackStatesToBits(states, nbits)
+		got := make([]uint8, nbits)
+		UnpackBits(states, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("UnpackBits differs at bit %d", i)
+			}
+		}
+	}
+}

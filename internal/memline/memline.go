@@ -61,6 +61,43 @@ func (l *Line) SetSymbol(c int, v uint8) {
 	l[c>>2] = l[c>>2]&^(3<<shift) | (v&3)<<shift
 }
 
+// SymbolsInto extracts all 256 data symbols into dst without
+// allocating. Each byte of the line carries four consecutive symbols, so
+// the extraction runs four-symbols-per-load instead of the 256
+// shift-mask iterations of per-cell Symbol calls.
+func (l *Line) SymbolsInto(dst *[LineCells]uint8) {
+	for b, v := range l {
+		dst[4*b] = v & 3
+		dst[4*b+1] = v >> 2 & 3
+		dst[4*b+2] = v >> 4 & 3
+		dst[4*b+3] = v >> 6
+	}
+}
+
+// SetSymbolsFrom packs all 256 symbols into the line, four per byte —
+// the inverse of SymbolsInto, for decoders that materialize a full
+// symbol vector.
+func (l *Line) SetSymbolsFrom(syms *[LineCells]uint8) {
+	for b := 0; b < LineBytes; b++ {
+		c := 4 * b
+		l[b] = syms[c]&3 | syms[c+1]&3<<2 | syms[c+2]&3<<4 | syms[c+3]<<6
+	}
+}
+
+// WordSymbols extracts the 32 cell symbols of one 64-bit word into dst:
+// symbol c is bits (2c, 2c+1) of the word. Like SymbolsInto it works a
+// byte at a time, four symbols per shift, instead of 32 variable-shift
+// iterations.
+func WordSymbols(word uint64, dst *[WordCells]uint8) {
+	for b := 0; b < 8; b++ {
+		v := uint8(word >> (8 * b))
+		dst[4*b] = v & 3
+		dst[4*b+1] = v >> 2 & 3
+		dst[4*b+2] = v >> 4 & 3
+		dst[4*b+3] = v >> 6
+	}
+}
+
 // Word returns 64-bit word w of the line.
 func (l *Line) Word(w int) uint64 {
 	return binary.LittleEndian.Uint64(l[w*8 : w*8+8])

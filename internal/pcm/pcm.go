@@ -129,14 +129,24 @@ func (m *EnergyModel) DiffWrite(old, new []State, dataCells int) WriteStats {
 // ChangedMask returns a bitmask-style bool slice marking cells whose state
 // differs between old and new (the cells a differential write programs).
 func ChangedMask(old, new []State) []bool {
+	return ChangedMaskInto(make([]bool, len(old)), old, new)
+}
+
+// ChangedMaskInto fills dst with the changed-cell mask, reusing dst's
+// backing when it is large enough — the allocation-free form replay hot
+// paths use with a per-shard scratch buffer.
+func ChangedMaskInto(dst []bool, old, new []State) []bool {
 	if len(old) != len(new) {
 		panic("pcm: ChangedMask on cell vectors of different length")
 	}
-	mask := make([]bool, len(old))
-	for i := range old {
-		mask[i] = old[i] != new[i]
+	if cap(dst) < len(old) {
+		dst = make([]bool, len(old))
 	}
-	return mask
+	dst = dst[:len(old)]
+	for i := range old {
+		dst[i] = old[i] != new[i]
+	}
+	return dst
 }
 
 // Sampler abstracts the randomness used by the disturbance model so tests
@@ -218,13 +228,19 @@ func (dm *DisturbModel) CountDisturb(states []State, changed []bool, dataCells i
 // S2. The returned indices let a fault-injection simulator corrupt and
 // then Verify-and-Restore the array (§VIII.C).
 func (dm *DisturbModel) DisturbedCells(states []State, changed []bool, rnd Sampler) []int {
+	return dm.DisturbedCellsInto(nil, states, changed, rnd)
+}
+
+// DisturbedCellsInto is DisturbedCells appending into dst[:0], so a
+// caller with a reusable buffer samples without allocating.
+func (dm *DisturbModel) DisturbedCellsInto(dst []int, states []State, changed []bool, rnd Sampler) []int {
 	if rnd == nil {
 		panic("pcm: DisturbedCells requires a sampler")
 	}
 	if len(states) != len(changed) {
 		panic("pcm: DisturbedCells length mismatch")
 	}
-	var hits []int
+	hits := dst[:0]
 	n := len(states)
 	for i, ch := range changed {
 		if ch {

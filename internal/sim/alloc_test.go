@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"wlcrc/internal/core"
+	"wlcrc/internal/trace"
+	"wlcrc/internal/workload"
+)
+
+// allocSchemes is every evaluation scheme plus the remaining WLCRC
+// granularities — the full set whose steady-state replay must be
+// allocation-free.
+var allocSchemes = []string{
+	"Baseline", "FlipMin", "FNW", "DIN", "6cosets", "COC+4cosets",
+	"WLC+4cosets", "WLC+3cosets",
+	"WLCRC-8", "WLCRC-16", "WLCRC-32", "WLCRC-64",
+}
+
+// allocFixture builds a shard and a warmed request set: every address
+// has been written once, so the measured loop only exercises the
+// steady-state rewrite path.
+func allocFixture(t *testing.T, name string, opts Options) (*shard, []trace.Request) {
+	t.Helper()
+	sch, err := core.NewScheme(name, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.MaxVnRIterations == 0 {
+		opts.MaxVnRIterations = 16
+	}
+	u := newShard(&opts, sch, nil)
+	p, ok := workload.ProfileByName("gcc")
+	if !ok {
+		t.Fatal("gcc profile missing")
+	}
+	src := trace.Record(workload.NewGenerator(p, 64, 11), 256)
+	reqs := src.Reqs
+	for i := range reqs {
+		if err := u.apply(&reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return u, reqs
+}
+
+// TestSteadyStateApplyZeroAllocs is the PR's acceptance criterion: with
+// deterministic disturbance accounting and Verify off, replaying a
+// warmed address space performs zero heap allocations per request, for
+// every scheme.
+func TestSteadyStateApplyZeroAllocs(t *testing.T) {
+	for _, name := range allocSchemes {
+		t.Run(name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Verify = false
+			u, reqs := allocFixture(t, name, opts)
+			i := 0
+			avg := testing.AllocsPerRun(200, func() {
+				if err := u.apply(&reqs[i%len(reqs)]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s: steady-state apply allocates %.2f objects/op, want 0", name, avg)
+			}
+		})
+	}
+}
+
+// TestSteadyStateApplyZeroAllocsVerify extends the guarantee to the
+// Verify path: decoding every write back through DecodeInto must not
+// allocate either.
+func TestSteadyStateApplyZeroAllocsVerify(t *testing.T) {
+	for _, name := range allocSchemes {
+		t.Run(name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Verify = true
+			u, reqs := allocFixture(t, name, opts)
+			i := 0
+			avg := testing.AllocsPerRun(200, func() {
+				if err := u.apply(&reqs[i%len(reqs)]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s: verify-on apply allocates %.2f objects/op, want 0", name, avg)
+			}
+		})
+	}
+}

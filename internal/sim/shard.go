@@ -17,12 +17,35 @@ import (
 //
 // A shard is single-threaded by construction: exactly one goroutine ever
 // calls apply on it, and requests arrive in trace order. All cross-shard
-// aggregation happens after the run via Metrics.Merge.
+// aggregation happens after the run via Metrics.Merge. The shard owns
+// the reusable encode/decode buffers of its hot path — schemes are
+// shared across shards and hold no per-call state — so steady-state
+// replay of a warmed address performs zero heap allocations per request.
 type shard struct {
 	opts   *Options
 	scheme core.Scheme
+	// compressed classifies a stored cell vector as encoded-path or
+	// raw-fallback. The flag convention is resolved once here, at
+	// construction, from the scheme's optional CompressionGate — not
+	// per request via name switches.
+	compressed func([]pcm.State) bool
 	// mem is this shard's cell-state view of its addresses.
 	mem map[uint64][]pcm.State
+	// scratch is the double buffer EncodeInto targets: after each
+	// request it swaps roles with the stored line, so the previous
+	// states become the next scratch and no per-request slice is ever
+	// allocated.
+	scratch []pcm.State
+	// changed is the reusable differential-write mask.
+	changed []bool
+	// decodeBuf is the Verify path's reusable decode target (a stack
+	// Line would escape through the Scheme interface call).
+	decodeBuf memline.Line
+	// vnrStored / vnrRestore / vnrHits are the fault-injection loop's
+	// reusable buffers (only touched when Options.InjectFaults is set).
+	vnrStored  []pcm.State
+	vnrRestore []bool
+	vnrHits    []int
 	// rnd is nil under deterministic expected-value accounting. The
 	// Simulator points every shard at one shared stream (so scheme i+1
 	// continues scheme i's sequence within a request, the historical
@@ -41,13 +64,18 @@ type shard struct {
 
 // newShard builds a shard for sch. opts must outlive the shard.
 func newShard(opts *Options, sch core.Scheme, rnd *prng.Xoshiro256) *shard {
-	return &shard{
-		opts:   opts,
-		scheme: sch,
-		mem:    make(map[uint64][]pcm.State),
-		rnd:    rnd,
-		m:      Metrics{Scheme: sch.Name()},
+	n := sch.TotalCells()
+	u := &shard{
+		opts:    opts,
+		scheme:  sch,
+		mem:     make(map[uint64][]pcm.State),
+		scratch: make([]pcm.State, n),
+		changed: make([]bool, n),
+		rnd:     rnd,
+		m:       Metrics{Scheme: sch.Name()},
 	}
+	u.compressed = core.CompressedWriteFunc(sch)
+	return u
 }
 
 // apply replays one request through the shard's scheme, charging the
@@ -60,29 +88,35 @@ func (u *shard) apply(req *trace.Request) error {
 	if !ok {
 		old = core.InitialCells(sch.TotalCells())
 	}
-	newCells := sch.Encode(old, &req.New)
+	newCells := u.scratch
+	sch.EncodeInto(newCells, old, &req.New)
 	m := &u.m
 	m.Writes++
 	m.Energy.Add(u.opts.Energy.DiffWrite(old, newCells, sch.DataCells()))
-	changed := pcm.ChangedMask(old, newCells)
+	u.changed = pcm.ChangedMaskInto(u.changed, old, newCells)
 	var sampler pcm.Sampler
 	if u.rnd != nil {
 		sampler = u.rnd
 	}
-	d := u.opts.Disturb.CountDisturb(newCells, changed, sch.DataCells(), sampler)
+	d := u.opts.Disturb.CountDisturb(newCells, u.changed, sch.DataCells(), sampler)
 	m.Disturb.Add(d)
 	if e := d.Errors(); e > m.MaxDisturb {
 		m.MaxDisturb = e
 	}
-	if isCompressedWrite(sch, newCells) {
+	if u.compressed(newCells) {
 		m.CompressedWrites++
 	}
 	if u.opts.InjectFaults {
-		u.runVnR(newCells, changed, u.opts.MaxVnRIterations)
+		u.runVnR(newCells, u.changed, u.opts.MaxVnRIterations)
 	}
+	// Swap the buffers: the freshly-encoded states become the stored
+	// line; the previous stored line (or the first-touch initial vector)
+	// becomes the next request's scratch.
 	u.mem[req.Addr] = newCells
+	u.scratch = old
 	if u.opts.Verify {
-		got := sch.Decode(newCells)
+		got := &u.decodeBuf
+		sch.DecodeInto(newCells, got)
 		if !got.Equal(&req.New) {
 			m.DecodeErrors++
 			return fmt.Errorf("sim: %s: decode mismatch at addr %#x", sch.Name(), req.Addr)
@@ -103,26 +137,4 @@ func (u *shard) resetMetrics() {
 func (u *shard) reset() {
 	u.resetMetrics()
 	u.mem = make(map[uint64][]pcm.State)
-}
-
-// isCompressedWrite inspects the flag cell of compression-gated schemes.
-// Schemes without a gate count every write as encoded.
-func isCompressedWrite(sch core.Scheme, cells []pcm.State) bool {
-	type gated interface{ Compressible(*memline.Line) bool }
-	if _, ok := sch.(gated); !ok {
-		return true
-	}
-	if sch.TotalCells() <= memline.LineCells {
-		return true
-	}
-	// The flag-cell convention: S1 = compressed. COC+4cosets also uses
-	// S2 for its 32-bit mode; only S3+ (or S2 for two-state flags) means
-	// raw. Checking "not raw" per scheme family:
-	flag := cells[memline.LineCells]
-	switch sch.Name() {
-	case "COC+4cosets":
-		return flag == pcm.S1 || flag == pcm.S2
-	default:
-		return flag == pcm.S1
-	}
 }

@@ -100,9 +100,14 @@ type brokenScheme struct{ core.Baseline }
 func (brokenScheme) Name() string { return "broken" }
 
 func (b brokenScheme) Decode(cells []pcm.State) memline.Line {
-	l := b.Baseline.Decode(cells)
-	l[0] ^= 0xff
+	var l memline.Line
+	b.DecodeInto(cells, &l)
 	return l
+}
+
+func (b brokenScheme) DecodeInto(cells []pcm.State, dst *memline.Line) {
+	b.Baseline.DecodeInto(cells, dst)
+	dst[0] ^= 0xff
 }
 
 func TestDisturbSampledVsExpected(t *testing.T) {

@@ -39,9 +39,14 @@ func (v *VnRStats) Merge(o VnRStats) {
 // stats describe the repair effort. maxIter caps the restore loop.
 func (u *shard) runVnR(cells []pcm.State, changed []bool, maxIter int) {
 	m := &u.m
-	stored := append([]pcm.State(nil), cells...)
+	if cap(u.vnrStored) < len(cells) {
+		u.vnrStored = make([]pcm.State, len(cells))
+		u.vnrRestore = make([]bool, len(cells))
+	}
+	stored := u.vnrStored[:len(cells)]
+	copy(stored, cells)
 	// Initial disturbance from the write itself.
-	hits := u.opts.Disturb.DisturbedCells(stored, changed, u.rnd)
+	hits := u.opts.Disturb.DisturbedCellsInto(u.vnrHits, stored, changed, u.rnd)
 	m.VnR.InjectedErrors += uint64(len(hits))
 	iter := 0
 	for len(hits) > 0 && iter < maxIter {
@@ -52,9 +57,10 @@ func (u *shard) runVnR(cells []pcm.State, changed []bool, maxIter int) {
 		}
 		// Verify (read-after-write) finds every mismatch vs the
 		// intended content; restore rewrites those cells.
-		restore := make([]bool, len(stored))
+		restore := u.vnrRestore[:len(cells)]
 		nRestore := 0
 		for i := range stored {
+			restore[i] = false
 			if stored[i] != cells[i] {
 				restore[i] = true
 				stored[i] = cells[i]
@@ -65,9 +71,10 @@ func (u *shard) runVnR(cells []pcm.State, changed []bool, maxIter int) {
 		m.VnR.RestoreWrites += uint64(nRestore)
 		// The restore writes are RESET events of their own: they may
 		// disturb idle neighbors again.
-		hits = u.opts.Disturb.DisturbedCells(stored, restore, u.rnd)
+		hits = u.opts.Disturb.DisturbedCellsInto(hits, stored, restore, u.rnd)
 		m.VnR.InjectedErrors += uint64(len(hits))
 	}
+	u.vnrHits = hits[:0]
 	m.VnR.Iterations += uint64(iter)
 	if iter > m.VnR.MaxIterations {
 		m.VnR.MaxIterations = iter

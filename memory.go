@@ -2,7 +2,6 @@ package wlcrc
 
 import (
 	"wlcrc/internal/core"
-	"wlcrc/internal/memline"
 	"wlcrc/internal/pcm"
 	"wlcrc/internal/prng"
 )
@@ -65,11 +64,22 @@ func WithMemEnergy(em pcm.EnergyModel) MemOption {
 // the cell states of every line ever written, prices each write with
 // the Table II device model, and can read back (decode) any line.
 // Memory is not safe for concurrent use.
+//
+// The write path is allocation-free in steady state: encoding targets a
+// reusable scratch buffer that swaps roles with the stored line on every
+// write, and the compression-flag convention is resolved once at
+// construction.
 type Memory struct {
-	scheme  Scheme
-	energy  pcm.EnergyModel
-	disturb pcm.DisturbModel
-	cells   map[uint64][]pcm.State
+	scheme     Scheme
+	compressed func([]pcm.State) bool
+	energy     pcm.EnergyModel
+	disturb    pcm.DisturbModel
+	cells      map[uint64][]pcm.State
+	scratch    []pcm.State
+	changed    []bool
+	// lineBuf stages the written line: passing a stack copy's address
+	// through the Scheme interface would force a per-write heap escape.
+	lineBuf Line
 	rnd     *prng.Xoshiro256
 	stats   MemStats
 }
@@ -81,7 +91,10 @@ func NewMemory(scheme Scheme, opts ...MemOption) *Memory {
 		energy:  pcm.DefaultEnergy(),
 		disturb: pcm.DefaultDisturb(),
 		cells:   make(map[uint64][]pcm.State),
+		scratch: make([]pcm.State, scheme.TotalCells()),
+		changed: make([]bool, scheme.TotalCells()),
 	}
+	m.compressed = core.CompressedWriteFunc(scheme)
 	for _, o := range opts {
 		o(m)
 	}
@@ -97,21 +110,26 @@ func (m *Memory) Write(addr uint64, data Line) WriteInfo {
 	if !ok {
 		old = core.InitialCells(m.scheme.TotalCells())
 	}
-	next := m.scheme.Encode(old, &data)
+	next := m.scratch
+	m.lineBuf = data
+	m.scheme.EncodeInto(next, old, &m.lineBuf)
 	ws := m.energy.DiffWrite(old, next, m.scheme.DataCells())
-	changed := pcm.ChangedMask(old, next)
+	m.changed = pcm.ChangedMaskInto(m.changed, old, next)
 	var sampler pcm.Sampler
 	if m.rnd != nil {
 		sampler = m.rnd
 	}
-	ds := m.disturb.CountDisturb(next, changed, m.scheme.DataCells(), sampler)
+	ds := m.disturb.CountDisturb(next, m.changed, m.scheme.DataCells(), sampler)
+	// Swap buffers: the encoded states become the stored line, the old
+	// stored line becomes the next write's scratch.
 	m.cells[addr] = next
+	m.scratch = old
 
 	info := WriteInfo{
 		EnergyPJ:      ws.Energy(),
 		UpdatedCells:  ws.Updated(),
 		DisturbErrors: ds.Errors(),
-		Compressed:    m.isCompressed(next),
+		Compressed:    m.compressed(next),
 	}
 	m.stats.Writes++
 	m.stats.EnergyPJ += info.EnergyPJ
@@ -123,19 +141,6 @@ func (m *Memory) Write(addr uint64, data Line) WriteInfo {
 	return info
 }
 
-// isCompressed mirrors the flag-cell convention of compression-gated
-// schemes; schemes without a gate always count as encoded.
-func (m *Memory) isCompressed(cells []pcm.State) bool {
-	if m.scheme.TotalCells() <= memline.LineCells {
-		return true
-	}
-	flag := cells[memline.LineCells]
-	if m.scheme.Name() == "COC+4cosets" {
-		return flag == pcm.S1 || flag == pcm.S2
-	}
-	return flag == pcm.S1
-}
-
 // Read decodes and returns the line at addr. Unwritten lines read as
 // zero.
 func (m *Memory) Read(addr uint64) Line {
@@ -143,7 +148,9 @@ func (m *Memory) Read(addr uint64) Line {
 	if !ok {
 		return Line{}
 	}
-	return m.scheme.Decode(cells)
+	var l Line
+	m.scheme.DecodeInto(cells, &l)
+	return l
 }
 
 // Written reports whether addr has ever been written.
