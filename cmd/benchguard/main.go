@@ -1,0 +1,177 @@
+// Command benchguard enforces the committed encode-benchmark baseline.
+//
+// It parses `go test -bench` output (stdin or a file), extracts the
+// BenchmarkEncodeInto/<scheme> series, and compares each scheme against
+// the PR 3 series committed in BENCH_encode.json. Because CI machines
+// differ in absolute speed from the machine the baseline was measured
+// on, the comparison is normalized: each scheme's ns/op is divided by
+// the geometric mean of the whole run, and that relative position must
+// not exceed the baseline's by more than the tolerance (default 10%).
+// A uniformly slower machine shifts every scheme equally and cancels
+// out; a real hot-path regression moves one scheme against the rest of
+// the field and trips the gate. Run with -count 3 or more so averaging
+// damps scheduler noise.
+//
+//	go test -run xxx -bench BenchmarkEncodeInto -benchtime 1s . | benchguard
+//	benchguard -emit-baseline > old.txt   # baseline in benchstat format
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type baseline struct {
+	EncodePR3 map[string]float64 `json:"encode_into_ns_per_op_pr3"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	var (
+		basePath = flag.String("baseline", "BENCH_encode.json", "committed baseline JSON")
+		tol      = flag.Float64("tolerance", 0.10, "allowed relative regression (0.10 = 10%)")
+		emit     = flag.Bool("emit-baseline", false, "print the baseline as benchstat-compatible bench output and exit")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatal(err)
+	}
+	if len(base.EncodePR3) == 0 {
+		log.Fatalf("%s has no encode_into_ns_per_op_pr3 series", *basePath)
+	}
+
+	if *emit {
+		names := make([]string, 0, len(base.EncodePR3))
+		for n := range base.EncodePR3 {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("BenchmarkEncodeInto/%s 1 %g ns/op\n", n, base.EncodePR3[n])
+		}
+		return
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(got) == 0 {
+		log.Fatal("no BenchmarkEncodeInto results in input")
+	}
+
+	// Normalize by the geometric mean over the schemes present in both
+	// series: a uniformly slower machine shifts every scheme equally and
+	// cancels out, while a single-scheme hot-path regression stands out.
+	var names []string
+	for n := range base.EncodePR3 {
+		if _, ok := got[n]; ok {
+			names = append(names, n)
+		} else {
+			log.Printf("WARN: scheme %s missing from bench run", n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		log.Fatal("no overlap between baseline and bench run")
+	}
+	baseNorm, gotNorm := geomean(base.EncodePR3, names), geomean(got, names)
+
+	failed := false
+	for _, n := range names {
+		baseRatio := base.EncodePR3[n] / baseNorm
+		curRatio := got[n] / gotNorm
+		delta := curRatio/baseRatio - 1
+		status := "ok"
+		if delta > *tol {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-14s baseline %8.1f ns (x%.2f)   run %8.1f ns (x%.2f)   %+6.1f%%  %s\n",
+			n, base.EncodePR3[n], baseRatio, got[n], curRatio, 100*delta, status)
+	}
+	if failed {
+		log.Fatalf("encode hot path regressed beyond %.0f%% (geomean-normalized)", 100**tol)
+	}
+	fmt.Println("benchguard: encode hot path within baseline")
+}
+
+// geomean returns the geometric mean of m over names.
+func geomean(m map[string]float64, names []string) float64 {
+	var logSum float64
+	for _, n := range names {
+		logSum += math.Log(m[n])
+	}
+	return math.Exp(logSum / float64(len(names)))
+}
+
+// parseBench extracts ns/op per scheme from BenchmarkEncodeInto lines,
+// averaging repeated -count runs.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	sum := map[string]float64{}
+	cnt := map[string]int{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "BenchmarkEncodeInto/") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "BenchmarkEncodeInto/")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		var ns float64
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+				}
+				ns = v
+				break
+			}
+		}
+		if ns == 0 {
+			continue
+		}
+		sum[name] += ns
+		cnt[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(sum))
+	for n, s := range sum {
+		out[n] = s / float64(cnt[n])
+	}
+	return out, nil
+}

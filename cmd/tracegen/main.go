@@ -121,6 +121,7 @@ func describe(path string) error {
 		n        int
 		addrs    = map[uint64]bool{}
 		diffSyms int
+		hist     [memline.SymbolValues]int
 	)
 	for {
 		req, err := rd.Read()
@@ -133,12 +134,19 @@ func describe(path string) error {
 		n++
 		addrs[req.Addr] = true
 		diffSyms += req.Old.CountDiffSymbols(&req.New)
+		for v, c := range req.New.SymbolHistogram() {
+			hist[v] += c
+		}
 	}
 	fmt.Printf("%s: %d requests, %d distinct lines\n", path, n, len(addrs))
 	if n > 0 {
 		avg := float64(diffSyms) / float64(n)
 		fmt.Printf("avg changed symbols per write: %.1f / %d (%.1f%%)\n",
 			avg, memline.LineCells, 100*avg/float64(memline.LineCells))
+		total := float64(n) * memline.LineCells
+		fmt.Printf("written symbol mix: 00=%.1f%% 01=%.1f%% 10=%.1f%% 11=%.1f%%\n",
+			100*float64(hist[0])/total, 100*float64(hist[1])/total,
+			100*float64(hist[2])/total, 100*float64(hist[3])/total)
 	}
 	return nil
 }

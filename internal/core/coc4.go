@@ -27,6 +27,7 @@ import (
 type COC4 struct {
 	em   pcm.EnergyModel
 	tabs []coset.CostTable // Table I candidate pricing
+	swar []coset.SWARTable // word-parallel pricing/apply of the same candidates
 }
 
 const (
@@ -44,7 +45,11 @@ const (
 
 // NewCOC4 returns the COC+4cosets scheme.
 func NewCOC4(cfg Config) *COC4 {
-	return &COC4{em: cfg.Energy, tabs: coset.CostTables(&cfg.Energy, coset.Table1[:])}
+	return &COC4{
+		em:   cfg.Energy,
+		tabs: coset.CostTables(&cfg.Energy, coset.Table1[:]),
+		swar: coset.SWARTables(&cfg.Energy, coset.Table1[:]),
+	}
 }
 
 // Name implements Scheme.
@@ -101,17 +106,21 @@ func (s *COC4) encodeMode(out, old []pcm.State, buf []byte, payloadCells, blockC
 	// View the (zero-padded) compressed stream as a line prefix.
 	var payload memline.Line
 	copy(payload[:], buf)
-	var syms [memline.LineCells]uint8
-	payload.SymbolsInto(&syms)
+	var lp linePlanes
+	lp.initWords(&payload, old, (payloadCells+memline.WordCells-1)/memline.WordCells)
+	var ns newStates
 	var auxBits [2 * coc16Blocks]uint8
 	for b := 0; b < nblocks; b++ {
 		lo := b * blockCells
 		hi := lo + blockCells
-		idx, _ := coset.BestTable(s.tabs, syms[lo:hi], old[lo:hi])
-		s.tabs[idx].Encode(syms[lo:hi], out[lo:hi])
+		idx, _ := lp.bestBlock(s.swar, lo, hi)
+		ns.applyBlock(&s.swar[idx], &lp, lo, hi)
 		auxBits[2*b] = uint8(idx) & 1
 		auxBits[2*b+1] = uint8(idx) >> 1
 	}
+	// Only the payload cells are unpacked; the aux region and anything
+	// beyond keep their old states until PackBitsToStates below.
+	ns.unpack(out, payloadCells)
 	coset.PackBitsToStates(auxBits[:2*nblocks], out[payloadCells:payloadCells+nblocks])
 }
 
@@ -137,14 +146,17 @@ func (s *COC4) DecodeInto(cells []pcm.State, dst *memline.Line) {
 func (s *COC4) decodeMode(cells []pcm.State, payloadCells, blockCells, nblocks int) memline.Line {
 	var auxBits [2 * coc16Blocks]uint8
 	coset.UnpackBits(cells[payloadCells:payloadCells+nblocks], auxBits[:2*nblocks])
-	var payload memline.Line
+	var sp lineStatePlanes
+	sp.initWords(cells, (payloadCells+memline.WordCells-1)/memline.WordCells)
+	var dw dataWords
 	for b := 0; b < nblocks; b++ {
 		lo := b * blockCells
 		idx := int(auxBits[2*b]) | int(auxBits[2*b+1])<<1
-		inv := &s.tabs[idx].Inv
-		for i := 0; i < blockCells; i++ {
-			payload.SetSymbol(lo+i, inv[cells[lo+i]])
-		}
+		dw.decodeBlock(&s.swar[idx], &sp, lo, lo+blockCells)
+	}
+	var payload memline.Line
+	for w := 0; w*memline.WordCells < payloadCells; w++ {
+		payload.SetWord(w, dw.word(w))
 	}
 	return compress.COCDecompress(payload[:])
 }

@@ -22,6 +22,7 @@ type LineCosets struct {
 	name       string
 	cands      []coset.Mapping
 	tabs       []coset.CostTable
+	swar       []coset.SWARTable
 	blockBits  int
 	blockCells int
 	nblocks    int
@@ -45,6 +46,7 @@ func NewLineCosets(cfg Config, name string, cands []coset.Mapping, blockBits int
 		name:       name,
 		cands:      cands,
 		tabs:       coset.CostTables(&cfg.Energy, cands),
+		swar:       coset.SWARTables(&cfg.Energy, cands),
 		blockBits:  blockBits,
 		blockCells: blockBits / 2,
 		nblocks:    memline.LineBits / blockBits,
@@ -81,19 +83,23 @@ func (s *LineCosets) Encode(old []pcm.State, data *memline.Line) []pcm.State {
 }
 
 // EncodeInto implements Scheme. Each block independently picks the
-// candidate with minimum differential-write energy via the precomputed
-// cost tables; its index goes to the block's auxiliary cells.
+// candidate with minimum differential-write energy by word-parallel
+// masked pricing on the line's bit-planes; its index goes to the block's
+// auxiliary cells.
 func (s *LineCosets) EncodeInto(dst, old []pcm.State, data *memline.Line) {
-	copy(dst, old) // aux cells not rewritten below keep their states
-	var syms [memline.LineCells]uint8
-	data.SymbolsInto(&syms)
+	// Every data cell is unpacked and every block writes its aux cells,
+	// so dst needs no copy-from-old.
+	var lp linePlanes
+	lp.init(data, old)
+	var ns newStates
 	for b := 0; b < s.nblocks; b++ {
 		lo := b * s.blockCells
 		hi := lo + s.blockCells
-		idx, _ := coset.BestTable(s.tabs, syms[lo:hi], old[lo:hi])
-		s.tabs[idx].Encode(syms[lo:hi], dst[lo:hi])
+		idx, _ := lp.bestBlock(s.swar, lo, hi)
+		ns.applyBlock(&s.swar[idx], &lp, lo, hi)
 		s.writeAux(dst, b, idx)
 	}
+	ns.unpack(dst, memline.LineCells)
 }
 
 func (s *LineCosets) writeAux(out []pcm.State, block, idx int) {
@@ -133,15 +139,16 @@ func (s *LineCosets) Decode(cells []pcm.State) memline.Line {
 
 // DecodeInto implements Scheme.
 func (s *LineCosets) DecodeInto(cells []pcm.State, dst *memline.Line) {
-	var blkSyms [memline.LineCells]uint8
+	var sp lineStatePlanes
+	sp.init(cells)
+	var dw dataWords
 	for b := 0; b < s.nblocks; b++ {
 		lo := b * s.blockCells
-		inv := &s.tabs[s.readAux(cells, b)].Inv
-		for i := 0; i < s.blockCells; i++ {
-			blkSyms[lo+i] = inv[cells[lo+i]]
-		}
+		dw.decodeBlock(&s.swar[s.readAux(cells, b)], &sp, lo, lo+s.blockCells)
 	}
-	dst.SetSymbolsFrom(&blkSyms)
+	for w := 0; w < memline.LineWords; w++ {
+		dst.SetWord(w, dw.word(w))
+	}
 }
 
 // RestrictedLineCosets is the line-level restricted coset encoding of §V
@@ -156,8 +163,10 @@ type RestrictedLineCosets struct {
 	blockCells int
 	nblocks    int
 	em         pcm.EnergyModel
-	tab1       coset.CostTable // C1
+	tab1       coset.CostTable    // C1
 	tabAlt     [2]coset.CostTable // C2, C3 — the two group alternates
+	swar1      coset.SWARTable
+	swarAlt    [2]coset.SWARTable
 }
 
 // NewRestrictedLineCosets builds the 3-r-cosets scheme at the given block
@@ -174,6 +183,8 @@ func NewRestrictedLineCosets(cfg Config, blockBits int) *RestrictedLineCosets {
 		em:         cfg.Energy,
 		tab1:       coset.C1.CostTable(&cfg.Energy),
 		tabAlt:     [2]coset.CostTable{coset.C2.CostTable(&cfg.Energy), coset.C3.CostTable(&cfg.Energy)},
+		swar1:      coset.C1.SWAR(&cfg.Energy),
+		swarAlt:    [2]coset.SWARTable{coset.C2.SWAR(&cfg.Energy), coset.C3.SWAR(&cfg.Energy)},
 	}
 }
 
@@ -207,18 +218,18 @@ func (s *RestrictedLineCosets) Encode(old []pcm.State, data *memline.Line) []pcm
 // EncodeInto implements Scheme: §V's three steps — encode every block
 // with {C1,C2}, encode every block with {C1,C3}, keep the better line.
 func (s *RestrictedLineCosets) EncodeInto(dst, old []pcm.State, data *memline.Line) {
-	var syms [memline.LineCells]uint8
-	data.SymbolsInto(&syms)
+	var lp linePlanes
+	lp.init(data, old)
 	var costs [2]float64
 	var choices [2][rlcMaxBlocks]uint8 // per block: 0 = C1, 1 = group alternate
 	for g := 0; g < 2; g++ {
-		alt := &s.tabAlt[g]
+		alt := &s.swarAlt[g]
 		var total float64
 		for b := 0; b < s.nblocks; b++ {
 			lo := b * s.blockCells
 			hi := lo + s.blockCells
-			c1 := s.tab1.BlockCost(syms[lo:hi], old[lo:hi])
-			ca := alt.BlockCost(syms[lo:hi], old[lo:hi])
+			c1, _ := lp.blockCost(&s.swar1, lo, hi)
+			ca, _ := lp.blockCost(alt, lo, hi)
 			if ca < c1 {
 				choices[g][b] = 1
 				total += ca
@@ -232,22 +243,22 @@ func (s *RestrictedLineCosets) EncodeInto(dst, old []pcm.State, data *memline.Li
 	if costs[1] < costs[0] {
 		group = 1
 	}
-	alt := &s.tabAlt[group]
+	alt := &s.swarAlt[group]
 	choice := &choices[group]
 
-	copy(dst, old)
+	var ns newStates
 	var bits [1 + rlcMaxBlocks]uint8
 	bits[0] = uint8(group)
 	for b := 0; b < s.nblocks; b++ {
 		lo := b * s.blockCells
-		hi := lo + s.blockCells
-		tab := &s.tab1
+		tab := &s.swar1
 		if choice[b] == 1 {
 			tab = alt
 		}
-		tab.Encode(syms[lo:hi], dst[lo:hi])
+		ns.applyBlock(tab, &lp, lo, lo+s.blockCells)
 		bits[1+b] = choice[b]
 	}
+	ns.unpack(dst, memline.LineCells)
 	coset.PackBitsToStates(bits[:1+s.nblocks], dst[memline.LineCells:])
 }
 
@@ -262,17 +273,19 @@ func (s *RestrictedLineCosets) Decode(cells []pcm.State) memline.Line {
 func (s *RestrictedLineCosets) DecodeInto(cells []pcm.State, dst *memline.Line) {
 	var bits [1 + rlcMaxBlocks]uint8
 	coset.UnpackBits(cells[memline.LineCells:], bits[:1+s.nblocks])
-	alt := &s.tabAlt[bits[0]&1]
-	var blkSyms [memline.LineCells]uint8
+	alt := &s.swarAlt[bits[0]&1]
+	var sp lineStatePlanes
+	sp.init(cells)
+	var dw dataWords
 	for b := 0; b < s.nblocks; b++ {
 		lo := b * s.blockCells
-		inv := &s.tab1.Inv
+		tab := &s.swar1
 		if bits[1+b] == 1 {
-			inv = &alt.Inv
+			tab = alt
 		}
-		for i := 0; i < s.blockCells; i++ {
-			blkSyms[lo+i] = inv[cells[lo+i]]
-		}
+		dw.decodeBlock(tab, &sp, lo, lo+s.blockCells)
 	}
-	dst.SetSymbolsFrom(&blkSyms)
+	for w := 0; w < memline.LineWords; w++ {
+		dst.SetWord(w, dw.word(w))
+	}
 }

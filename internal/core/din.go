@@ -86,7 +86,6 @@ func (d *DIN) Encode(old []pcm.State, data *memline.Line) []pcm.State {
 
 // EncodeInto implements Scheme.
 func (d *DIN) EncodeInto(dst, old []pcm.State, data *memline.Line) {
-	copy(dst, old)
 	var cBack [(compress.FPCBDIMaxBits + 7) / 8]byte
 	cw := compress.WrapBitWriter(cBack[:])
 	bits := compress.FPCBDICompressTo(data, &cw)

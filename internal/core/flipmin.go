@@ -17,12 +17,16 @@ import (
 type FlipMin struct {
 	em    pcm.EnergyModel
 	masks [16]memline.Line
-	// maskWords caches every mask's word view so the cost sweep XORs
-	// whole words without re-decoding bytes.
+	// maskWords caches every mask's word view so the winner's data can
+	// be rebuilt by whole-word XOR at decode.
 	maskWords [16][memline.LineWords]uint64
-	// tab prices symbol-over-state through the default C1 mapping; the
-	// 16-candidate sweep is pure table lookups.
-	tab coset.CostTable
+	// maskPlanes caches every mask word's bit-plane pair. LoHiPlanes is
+	// linear over XOR, so the planes of (word ^ mask) are two XORs —
+	// the 16-candidate sweep never re-extracts the data.
+	maskPlanes [16][memline.LineWords][2]uint64
+	// swar prices symbol-over-state through the default C1 mapping; the
+	// 16-candidate sweep is four popcounts per word per candidate.
+	swar coset.SWARTable
 }
 
 // flipMinSeed pins the pseudo-random candidate set; it is part of the
@@ -38,8 +42,11 @@ func NewFlipMin(cfg Config) *FlipMin {
 	}
 	for i := range f.masks {
 		f.maskWords[i] = f.masks[i].Words()
+		for w, word := range f.maskWords[i] {
+			f.maskPlanes[i][w][0], f.maskPlanes[i][w][1] = memline.LoHiPlanes(word)
+		}
 	}
-	f.tab = coset.C1.CostTable(&cfg.Energy)
+	f.swar = coset.C1.SWAR(&cfg.Energy)
 	return f
 }
 
@@ -59,31 +66,29 @@ func (f *FlipMin) Encode(old []pcm.State, data *memline.Line) []pcm.State {
 	return out
 }
 
-// EncodeInto implements Scheme: XOR the line with each candidate vector,
-// price it through the C1 cost table, then materialize only the winner.
+// EncodeInto implements Scheme: XOR the line's bit-planes with each
+// candidate's plane pair, price the result word-parallel through the C1
+// weights, then materialize only the winner.
 func (f *FlipMin) EncodeInto(dst, old []pcm.State, data *memline.Line) {
-	words := data.Words()
+	var lp linePlanes
+	lp.init(data, old)
 	bestIdx, bestCost := 0, -1.0
-	var syms [memline.WordCells]uint8
-	for i := range f.maskWords {
-		var cost float64
+	for i := range f.maskPlanes {
+		var cnt [4]int
 		for w := 0; w < memline.LineWords; w++ {
-			memline.WordSymbols(words[w]^f.maskWords[i][w], &syms)
-			base := w * memline.WordCells
-			for c, v := range syms {
-				cost += f.tab.Cost[old[base+c]][v]
-			}
+			p := &lp[w]
+			m := &f.maskPlanes[i][w]
+			f.swar.CountsPlanes(p.Lo^m[0], p.Hi^m[1], p, coset.AllCells, &cnt)
 		}
+		cost, _ := f.swar.CostOf(&cnt)
 		if bestCost < 0 || cost < bestCost {
 			bestIdx, bestCost = i, cost
 		}
 	}
 	for w := 0; w < memline.LineWords; w++ {
-		memline.WordSymbols(words[w]^f.maskWords[bestIdx][w], &syms)
-		base := w * memline.WordCells
-		for c, v := range syms {
-			dst[base+c] = coset.C1[v]
-		}
+		m := &f.maskPlanes[bestIdx][w]
+		nlo, nhi := f.swar.ApplyPlanes(lp[w].Lo^m[0], lp[w].Hi^m[1])
+		coset.UnpackStates(nlo, nhi, dst[w*memline.WordCells:(w+1)*memline.WordCells])
 	}
 	bits := [4]uint8{
 		uint8(bestIdx) & 1, uint8(bestIdx) >> 1 & 1,

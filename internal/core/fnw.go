@@ -14,11 +14,12 @@ import (
 // (§VIII).
 type FNW struct {
 	em pcm.EnergyModel
-	// tabKeep prices a symbol stored as-is through C1; tabFlip prices
+	// swarKeep prices a symbol stored as-is through C1; swarFlip prices
 	// its complement (complementing a bit pair complements the symbol),
-	// so the keep-vs-flip compare is two table lookups per cell.
-	tabKeep coset.CostTable
-	tabFlip coset.CostTable
+	// so the keep-vs-flip compare is two masked popcount sweeps per
+	// block.
+	swarKeep coset.SWARTable
+	swarFlip coset.SWARTable
 }
 
 // fnwBlocks is the number of independently-flippable blocks per line.
@@ -34,9 +35,9 @@ func NewFNW(cfg Config) *FNW {
 		flipped[v] = coset.C1[^v&3]
 	}
 	return &FNW{
-		em:      cfg.Energy,
-		tabKeep: coset.C1.CostTable(&cfg.Energy),
-		tabFlip: flipped.CostTable(&cfg.Energy),
+		em:       cfg.Energy,
+		swarKeep: coset.C1.SWAR(&cfg.Energy),
+		swarFlip: flipped.SWAR(&cfg.Energy),
 	}
 }
 
@@ -57,29 +58,26 @@ func (f *FNW) Encode(old []pcm.State, data *memline.Line) []pcm.State {
 }
 
 // EncodeInto implements Scheme. Complementing a bit pair complements the
-// symbol (v -> ^v&3), so flipping is evaluated symbol-wise under the
-// default mapping.
+// symbol, so the flipped alternative is just a second mapping priced on
+// the same bit-planes.
 func (f *FNW) EncodeInto(dst, old []pcm.State, data *memline.Line) {
-	var syms [memline.LineCells]uint8
-	data.SymbolsInto(&syms)
+	var lp linePlanes
+	lp.init(data, old)
+	var ns newStates
 	var bits [fnwBlocks]uint8
 	for b := 0; b < fnwBlocks; b++ {
 		lo := b * fnwBlockCells
 		hi := lo + fnwBlockCells
-		var costKeep, costFlip float64
-		for c := lo; c < hi; c++ {
-			costKeep += f.tabKeep.Cost[old[c]][syms[c]]
-			costFlip += f.tabFlip.Cost[old[c]][syms[c]]
-		}
-		tab := &f.tabKeep
+		costKeep, _ := lp.blockCost(&f.swarKeep, lo, hi)
+		costFlip, _ := lp.blockCost(&f.swarFlip, lo, hi)
+		tab := &f.swarKeep
 		if costFlip < costKeep {
 			bits[b] = 1
-			tab = &f.tabFlip
+			tab = &f.swarFlip
 		}
-		for c := lo; c < hi; c++ {
-			dst[c] = tab.States[syms[c]]
-		}
+		ns.applyBlock(tab, &lp, lo, hi)
 	}
+	ns.unpack(dst, memline.LineCells)
 	coset.PackBitsToStates(bits[:], dst[memline.LineCells:])
 }
 
@@ -94,14 +92,18 @@ func (f *FNW) Decode(cells []pcm.State) memline.Line {
 func (f *FNW) DecodeInto(cells []pcm.State, dst *memline.Line) {
 	var bits [fnwBlocks]uint8
 	coset.UnpackBits(cells[memline.LineCells:], bits[:])
+	var sp lineStatePlanes
+	sp.init(cells)
+	var dw dataWords
 	for b := 0; b < fnwBlocks; b++ {
 		lo := b * fnwBlockCells
-		for c := lo; c < lo+fnwBlockCells; c++ {
-			v := coset.C1Inv[cells[c]]
-			if bits[b] == 1 {
-				v = ^v & 3
-			}
-			dst.SetSymbol(c, v)
+		tab := &f.swarKeep
+		if bits[b] == 1 {
+			tab = &f.swarFlip
 		}
+		dw.decodeBlock(tab, &sp, lo, lo+fnwBlockCells)
+	}
+	for w := 0; w < memline.LineWords; w++ {
+		dst.SetWord(w, dw.word(w))
 	}
 }

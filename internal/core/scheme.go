@@ -95,12 +95,12 @@ const (
 
 // rawEncode fills dst[0:256] with the default-mapping (C1) states of the
 // line's symbols — the uncompressed fallback path shared by every
-// compression-gated scheme, and the whole of the baseline scheme.
+// compression-gated scheme, and the whole of the baseline scheme. The
+// fixed mapping is applied word-parallel on the line's bit-planes.
 func rawEncode(data *memline.Line, dst []pcm.State) {
-	var syms [memline.LineCells]uint8
-	data.SymbolsInto(&syms)
-	for c, v := range syms {
-		dst[c] = coset.C1[v]
+	for w := 0; w < memline.LineWords; w++ {
+		nlo, nhi := coset.C1SWAR.ApplyPlanes(memline.LoHiPlanes(data.Word(w)))
+		coset.UnpackStates(nlo, nhi, dst[w*memline.WordCells:(w+1)*memline.WordCells])
 	}
 }
 
@@ -111,14 +111,13 @@ func rawDecode(cells []pcm.State) memline.Line {
 	return l
 }
 
-// rawDecodeInto inverts rawEncode into caller storage through the
-// cached C1 inverse.
+// rawDecodeInto inverts rawEncode into caller storage, word-parallel
+// through the C1 inverse plane selectors.
 func rawDecodeInto(cells []pcm.State, l *memline.Line) {
-	var syms [memline.LineCells]uint8
-	for c := range syms {
-		syms[c] = coset.C1Inv[cells[c]]
+	for w := 0; w < memline.LineWords; w++ {
+		slo, shi := coset.PackStates(cells[w*memline.WordCells:])
+		l.SetWord(w, memline.InterleavePlanes(coset.C1SWAR.ApplyInvPlanes(slo, shi)))
 	}
-	l.SetSymbolsFrom(&syms)
 }
 
 // Baseline is standard differential write with the default symbol-to-

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"wlcrc/internal/coset"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/prng"
+)
+
+// SWAR-vs-scalar equivalence: every scheme's word-parallel EncodeInto
+// must produce exactly the cell vector of the PR 2 table-driven scalar
+// path — same winner indices, costs, update counts and tie-breaks —
+// because the encoded line is a pure function of those decisions. The
+// reference encoders below are the pre-SWAR implementations, kept
+// verbatim on the CostTable API.
+
+func refRawEncode(data *memline.Line, dst []pcm.State) {
+	var syms [memline.LineCells]uint8
+	data.SymbolsInto(&syms)
+	for c, v := range syms {
+		dst[c] = coset.C1[v]
+	}
+}
+
+func refLineCosets(s *LineCosets, dst, old []pcm.State, data *memline.Line) {
+	copy(dst, old)
+	var syms [memline.LineCells]uint8
+	data.SymbolsInto(&syms)
+	for b := 0; b < s.nblocks; b++ {
+		lo := b * s.blockCells
+		hi := lo + s.blockCells
+		idx, _ := coset.BestTable(s.tabs, syms[lo:hi], old[lo:hi])
+		s.tabs[idx].Encode(syms[lo:hi], dst[lo:hi])
+		s.writeAux(dst, b, idx)
+	}
+}
+
+func refRestricted(s *RestrictedLineCosets, dst, old []pcm.State, data *memline.Line) {
+	var syms [memline.LineCells]uint8
+	data.SymbolsInto(&syms)
+	var costs [2]float64
+	var choices [2][rlcMaxBlocks]uint8
+	for g := 0; g < 2; g++ {
+		alt := &s.tabAlt[g]
+		var total float64
+		for b := 0; b < s.nblocks; b++ {
+			lo := b * s.blockCells
+			hi := lo + s.blockCells
+			c1 := s.tab1.BlockCost(syms[lo:hi], old[lo:hi])
+			ca := alt.BlockCost(syms[lo:hi], old[lo:hi])
+			if ca < c1 {
+				choices[g][b] = 1
+				total += ca
+			} else {
+				total += c1
+			}
+		}
+		costs[g] = total
+	}
+	group := 0
+	if costs[1] < costs[0] {
+		group = 1
+	}
+	alt := &s.tabAlt[group]
+	choice := &choices[group]
+	copy(dst, old)
+	var bits [1 + rlcMaxBlocks]uint8
+	bits[0] = uint8(group)
+	for b := 0; b < s.nblocks; b++ {
+		lo := b * s.blockCells
+		hi := lo + s.blockCells
+		tab := &s.tab1
+		if choice[b] == 1 {
+			tab = alt
+		}
+		tab.Encode(syms[lo:hi], dst[lo:hi])
+		bits[1+b] = choice[b]
+	}
+	coset.PackBitsToStates(bits[:1+s.nblocks], dst[memline.LineCells:])
+}
+
+func refFNW(f *FNW, dst, old []pcm.State, data *memline.Line) {
+	tabKeep := coset.C1.CostTable(&f.em)
+	var flipped coset.Mapping
+	for v := uint8(0); v < 4; v++ {
+		flipped[v] = coset.C1[^v&3]
+	}
+	tabFlip := flipped.CostTable(&f.em)
+	var syms [memline.LineCells]uint8
+	data.SymbolsInto(&syms)
+	var bits [fnwBlocks]uint8
+	for b := 0; b < fnwBlocks; b++ {
+		lo := b * fnwBlockCells
+		hi := lo + fnwBlockCells
+		var costKeep, costFlip float64
+		for c := lo; c < hi; c++ {
+			costKeep += tabKeep.Cost[old[c]][syms[c]]
+			costFlip += tabFlip.Cost[old[c]][syms[c]]
+		}
+		tab := &tabKeep
+		if costFlip < costKeep {
+			bits[b] = 1
+			tab = &tabFlip
+		}
+		for c := lo; c < hi; c++ {
+			dst[c] = tab.States[syms[c]]
+		}
+	}
+	coset.PackBitsToStates(bits[:], dst[memline.LineCells:])
+}
+
+func refFlipMin(f *FlipMin, dst, old []pcm.State, data *memline.Line) {
+	tab := coset.C1.CostTable(&f.em)
+	words := data.Words()
+	bestIdx, bestCost := 0, -1.0
+	var syms [memline.WordCells]uint8
+	for i := range f.maskWords {
+		var cost float64
+		for w := 0; w < memline.LineWords; w++ {
+			memline.WordSymbols(words[w]^f.maskWords[i][w], &syms)
+			base := w * memline.WordCells
+			for c, v := range syms {
+				cost += tab.Cost[old[base+c]][v]
+			}
+		}
+		if bestCost < 0 || cost < bestCost {
+			bestIdx, bestCost = i, cost
+		}
+	}
+	for w := 0; w < memline.LineWords; w++ {
+		memline.WordSymbols(words[w]^f.maskWords[bestIdx][w], &syms)
+		base := w * memline.WordCells
+		for c, v := range syms {
+			dst[base+c] = coset.C1[v]
+		}
+	}
+	bits := [4]uint8{
+		uint8(bestIdx) & 1, uint8(bestIdx) >> 1 & 1,
+		uint8(bestIdx) >> 2 & 1, uint8(bestIdx) >> 3 & 1,
+	}
+	coset.PackBitsToStates(bits[:], dst[memline.LineCells:])
+}
+
+func refWLCCosets(s *WLCCosets, dst, old []pcm.State, data *memline.Line) {
+	copy(dst, old)
+	if !s.wlc.LineCompressible(data) {
+		refRawEncode(data, dst)
+		dst[memline.LineCells] = flagUncompressed
+		return
+	}
+	for w := 0; w < memline.LineWords; w++ {
+		word := data.Word(w)
+		oldW := old[w*memline.WordCells : (w+1)*memline.WordCells]
+		outW := dst[w*memline.WordCells : (w+1)*memline.WordCells]
+		var syms [memline.WordCells]uint8
+		memline.WordSymbols(word, &syms)
+		var auxBits [2 * memline.WordCells]uint8
+		nAux := 2 * (memline.WordCells - s.dataCells)
+		for b, rng := range s.blocks {
+			idx, _ := coset.BestTable(s.tabs, syms[rng[0]:rng[1]], oldW[rng[0]:rng[1]])
+			s.tabs[idx].Encode(syms[rng[0]:rng[1]], outW[rng[0]:rng[1]])
+			auxBits[2*b] = uint8(idx) & 1
+			auxBits[2*b+1] = uint8(idx) >> 1
+		}
+		coset.PackBitsToStates(auxBits[:nAux], outW[s.dataCells:])
+	}
+	dst[memline.LineCells] = flagCompressed
+}
+
+// refWLCRC rides on encodeWordScalar, the per-cell CostTable path kept
+// in wlcrc.go for the §XI extension.
+func refWLCRC(s *WLCRC, dst, old []pcm.State, data *memline.Line) {
+	copy(dst, old)
+	if !s.wlc.LineCompressible(data) {
+		refRawEncode(data, dst)
+		dst[memline.LineCells] = flagUncompressed
+		return
+	}
+	for w := 0; w < memline.LineWords; w++ {
+		s.encodeWordScalar(data.Word(w), old[w*memline.WordCells:(w+1)*memline.WordCells],
+			dst[w*memline.WordCells:(w+1)*memline.WordCells])
+	}
+	dst[memline.LineCells] = flagCompressed
+}
+
+// encodeRef dispatches to the scalar reference of a scheme, returning
+// false for schemes whose encode is already pinned by other references
+// (DIN and COC4 reuse rawEncode and the LineCosets-style block loop on
+// their compressed payloads; their gates and layouts are unchanged by
+// this PR and covered by the round-trip and stability tests).
+func encodeRef(s Scheme, dst, old []pcm.State, data *memline.Line) bool {
+	switch v := s.(type) {
+	case Baseline:
+		refRawEncode(data, dst)
+		return true
+	case *LineCosets:
+		refLineCosets(v, dst, old, data)
+		return true
+	case *RestrictedLineCosets:
+		refRestricted(v, dst, old, data)
+		return true
+	case *FNW:
+		refFNW(v, dst, old, data)
+		return true
+	case *FlipMin:
+		refFlipMin(v, dst, old, data)
+		return true
+	case *WLCCosets:
+		refWLCCosets(v, dst, old, data)
+		return true
+	case *WLCRC:
+		refWLCRC(v, dst, old, data)
+		return true
+	}
+	return false
+}
+
+// equivSchemes returns the twelve evaluation schemes plus extra
+// granularity instances that stress sub-word, word and multi-word
+// masked pricing, and the §VIII.D multi-objective tie-break.
+func equivSchemes(t *testing.T) []Scheme {
+	t.Helper()
+	out := allSchemes(t)
+	cfg := DefaultConfig()
+	for _, bb := range []int{8, 16, 64, 128, 256} {
+		out = append(out, NewLineCosets(cfg, "4cosets", coset.Table1[:], bb))
+		out = append(out, NewLineCosets(cfg, "6cosets", coset.SixCosets(), bb))
+	}
+	for _, bb := range []int{8, 16, 32, 512} {
+		out = append(out, NewRestrictedLineCosets(cfg, bb))
+	}
+	mcfg := DefaultConfig()
+	mcfg.MultiObjectiveT = 0.01
+	for _, g := range []int{8, 16, 32, 64} {
+		s, err := NewWLCRC(mcfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestSWAREncodeMatchesScalarReference(t *testing.T) {
+	r := prng.New(0x5AA5)
+	covered := 0
+	for _, s := range equivSchemes(t) {
+		n := s.TotalCells()
+		want := make([]pcm.State, n)
+		got := make([]pcm.State, n)
+		hasRef := false
+		for trial := 0; trial < 80; trial++ {
+			data := randomBiasedLine(r)
+			old := randomOld(r, n)
+			for i := range got {
+				got[i] = pcm.State(r.Intn(pcm.NumStates))
+				want[i] = got[i]
+			}
+			if !encodeRef(s, want, old, &data) {
+				break
+			}
+			hasRef = true
+			s.EncodeInto(got, old, &data)
+			if !reflect.DeepEqual(want, got) {
+				for c := range want {
+					if want[c] != got[c] {
+						t.Fatalf("%s: trial %d: first mismatch at cell %d: scalar %v, SWAR %v",
+							s.Name(), trial, c, want[c], got[c])
+					}
+				}
+			}
+		}
+		if hasRef {
+			covered++
+		}
+	}
+	if covered < 15 {
+		t.Fatalf("only %d schemes had scalar references", covered)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"wlcrc/internal/coset"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+)
+
+// Line-level SWAR plumbing shared by the block-granular coset encoders:
+// build the per-word bit-planes once, then price and apply candidate
+// mappings over arbitrary [lo, hi) cell ranges as masked word
+// operations. Word-, multi-word- and sub-word-granularity blocks all
+// reduce to the same masked pricing.
+
+// linePlanes caches the WordPlanes of all eight words of a line.
+type linePlanes [memline.LineWords]coset.WordPlanes
+
+// init fills the planes from the line's words and the old cell states.
+func (lp *linePlanes) init(data *memline.Line, old []pcm.State) {
+	lp.initWords(data, old, memline.LineWords)
+}
+
+// initWords fills only the first n words' planes — for encoders whose
+// coset region stops short of the full line (COC4 payload modes).
+func (lp *linePlanes) initWords(data *memline.Line, old []pcm.State, n int) {
+	for w := 0; w < n; w++ {
+		lp[w].Init(data.Word(w), old[w*memline.WordCells:(w+1)*memline.WordCells])
+	}
+}
+
+// wordMask returns the in-word cell mask of the intersection of line
+// cell range [lo, hi) with word w.
+func wordMask(w, lo, hi int) uint64 {
+	base := w * memline.WordCells
+	a, b := 0, memline.WordCells
+	if base < lo {
+		a = lo - base
+	}
+	if base+memline.WordCells > hi {
+		b = hi - base
+	}
+	return coset.CellMask(a, b-a)
+}
+
+// blockCost prices t over line cells [lo, hi).
+func (lp *linePlanes) blockCost(t *coset.SWARTable, lo, hi int) (cost float64, updates int) {
+	w := lo / memline.WordCells
+	if hi-lo <= memline.WordCells-(lo-w*memline.WordCells) {
+		// Block granularities divide the line, so sub-word blocks never
+		// straddle a word boundary: one masked sweep prices the block.
+		return t.CostCount(&lp[w], coset.CellMask(lo-w*memline.WordCells, hi-lo))
+	}
+	// Multi-word block: gather integer per-state counts across the
+	// words, convert to energy once.
+	var cnt [4]int
+	for ; w*memline.WordCells < hi; w++ {
+		t.Counts(&lp[w], wordMask(w, lo, hi), &cnt)
+	}
+	return t.CostOf(&cnt)
+}
+
+// bestBlock picks the cheapest candidate for line cells [lo, hi), with
+// the lowest-index tie-break of Best/BestTable.
+func (lp *linePlanes) bestBlock(tabs []coset.SWARTable, lo, hi int) (idx int, cost float64) {
+	idx = 0
+	cost, _ = lp.blockCost(&tabs[0], lo, hi)
+	for i := 1; i < len(tabs); i++ {
+		if c, _ := lp.blockCost(&tabs[i], lo, hi); c < cost {
+			idx, cost = i, c
+		}
+	}
+	return idx, cost
+}
+
+// newStates accumulates the chosen mappings' output planes per word;
+// unpack writes them back as cell states.
+type newStates struct {
+	lo, hi [memline.LineWords]uint64
+}
+
+// applyBlock maps line cells [lo, hi) through t into the accumulator.
+func (ns *newStates) applyBlock(t *coset.SWARTable, lp *linePlanes, lo, hi int) {
+	for w := lo / memline.WordCells; w*memline.WordCells < hi; w++ {
+		l, h := t.Apply(&lp[w])
+		mask := wordMask(w, lo, hi)
+		ns.lo[w] |= l & mask
+		ns.hi[w] |= h & mask
+	}
+}
+
+// unpack writes the first n accumulated cells into dst.
+func (ns *newStates) unpack(dst []pcm.State, n int) {
+	for w := 0; w*memline.WordCells < n; w++ {
+		end := (w + 1) * memline.WordCells
+		if end > n {
+			end = n
+		}
+		coset.UnpackStates(ns.lo[w], ns.hi[w], dst[w*memline.WordCells:end])
+	}
+}
+
+// lineStatePlanes caches the packed state planes of a stored line's
+// first 256 cells for block-granular decode.
+type lineStatePlanes [memline.LineWords][2]uint64
+
+func (sp *lineStatePlanes) init(cells []pcm.State) {
+	sp.initWords(cells, memline.LineWords)
+}
+
+// initWords packs only the first n words' states.
+func (sp *lineStatePlanes) initWords(cells []pcm.State, n int) {
+	for w := 0; w < n; w++ {
+		sp[w][0], sp[w][1] = coset.PackStates(cells[w*memline.WordCells:])
+	}
+}
+
+// dataWords accumulates decoded symbol planes per word; word returns the
+// rebuilt data word.
+type dataWords struct {
+	lo, hi [memline.LineWords]uint64
+}
+
+// decodeBlock maps stored cells [lo, hi) through t's inverse into the
+// accumulator.
+func (dw *dataWords) decodeBlock(t *coset.SWARTable, sp *lineStatePlanes, lo, hi int) {
+	for w := lo / memline.WordCells; w*memline.WordCells < hi; w++ {
+		l, h := t.ApplyInvPlanes(sp[w][0], sp[w][1])
+		mask := wordMask(w, lo, hi)
+		dw.lo[w] |= l & mask
+		dw.hi[w] |= h & mask
+	}
+}
+
+// word returns data word w.
+func (dw *dataWords) word(w int) uint64 {
+	return memline.InterleavePlanes(dw.lo[w], dw.hi[w])
+}

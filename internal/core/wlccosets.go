@@ -26,6 +26,7 @@ type WLCCosets struct {
 	em          pcm.EnergyModel
 	cands       []coset.Mapping
 	tabs        []coset.CostTable
+	swar        []coset.SWARTable
 	gran        int
 	wlc         compress.WLC
 	dataCells   int      // fully-data cells per word
@@ -52,6 +53,7 @@ func NewWLCCosets(cfg Config, ncands, gran int) (*WLCCosets, error) {
 		em:          cfg.Energy,
 		cands:       coset.Table1[:ncands],
 		tabs:        coset.CostTables(&cfg.Energy, coset.Table1[:ncands]),
+		swar:        coset.SWARTables(&cfg.Energy, coset.Table1[:ncands]),
 		gran:        gran,
 		wlc:         compress.WLC{K: r + 1},
 		dataCells:   (64 - r) / 2,
@@ -112,7 +114,8 @@ func (s *WLCCosets) Encode(old []pcm.State, data *memline.Line) []pcm.State {
 
 // EncodeInto implements Scheme.
 func (s *WLCCosets) EncodeInto(dst, old []pcm.State, data *memline.Line) {
-	copy(dst, old)
+	// Both paths overwrite every cell (data, in-word aux, flag), so no
+	// copy-from-old is needed.
 	if !s.wlc.LineCompressible(data) {
 		rawEncode(data, dst)
 		dst[memline.LineCells] = flagUncompressed
@@ -125,16 +128,22 @@ func (s *WLCCosets) EncodeInto(dst, old []pcm.State, data *memline.Line) {
 }
 
 func (s *WLCCosets) encodeWord(word uint64, old, out []pcm.State) {
-	var syms [memline.WordCells]uint8
-	memline.WordSymbols(word, &syms)
+	var p coset.WordPlanes
+	p.Init(word, old)
 	var auxBits [2 * memline.WordCells]uint8
 	nAux := 2 * (memline.WordCells - s.dataCells)
+	var nlo, nhi uint64
 	for b, rng := range s.blocks {
-		idx, _ := coset.BestTable(s.tabs, syms[rng[0]:rng[1]], old[rng[0]:rng[1]])
-		s.tabs[idx].Encode(syms[rng[0]:rng[1]], out[rng[0]:rng[1]])
+		mask := coset.CellMask(rng[0], rng[1]-rng[0])
+		idx, _ := coset.BestSWAR(s.swar, &p, mask)
+		lo, hi := s.swar[idx].Apply(&p)
+		nlo |= lo & mask
+		nhi |= hi & mask
 		auxBits[2*b] = uint8(idx) & 1
 		auxBits[2*b+1] = uint8(idx) >> 1
 	}
+	// The aux cells the unpack scribbles on are overwritten just below.
+	coset.UnpackStates(nlo, nhi, out[:memline.WordCells])
 	coset.PackBitsToStates(auxBits[:nAux], out[s.dataCells:])
 }
 
@@ -160,16 +169,17 @@ func (s *WLCCosets) decodeWord(cells []pcm.State) uint64 {
 	auxCells := memline.WordCells - s.dataCells
 	var auxBits [2 * memline.WordCells]uint8
 	coset.UnpackBits(cells[s.dataCells:], auxBits[:2*auxCells])
-	var word uint64
+	slo, shi := coset.PackStates(cells)
+	var dlo, dhi uint64
 	for b, rng := range s.blocks {
 		idx := int(auxBits[2*b]) | int(auxBits[2*b+1])<<1
 		if idx >= len(s.cands) {
 			idx = 0
 		}
-		inv := &s.tabs[idx].Inv
-		for c := rng[0]; c < rng[1]; c++ {
-			word |= uint64(inv[cells[c]]) << (uint(c) * 2)
-		}
+		lo, hi := s.swar[idx].ApplyInvPlanes(slo, shi)
+		mask := coset.CellMask(rng[0], rng[1]-rng[0])
+		dlo |= lo & mask
+		dhi |= hi & mask
 	}
-	return s.wlc.DecompressWord(word)
+	return s.wlc.DecompressWord(memline.InterleavePlanes(dlo, dhi))
 }

@@ -45,10 +45,17 @@ type WLCRC struct {
 	// tab1 prices the fixed C1 mapping (data blocks and every aux
 	// cell); tabAlt[0] and tabAlt[1] price the group alternates C2 and
 	// C3. tab64 holds the three unrestricted candidates of the
-	// granularity-64 degenerate case.
+	// granularity-64 degenerate case. The swar* fields are their
+	// word-parallel bit-plane counterparts; the scalar tables remain the
+	// single-cell path (mixed cell, aux cells) and the §XI
+	// disturbance-aware fallback.
 	tab1   coset.CostTable
 	tabAlt [2]coset.CostTable
 	tab64  []coset.CostTable
+
+	swar1   coset.SWARTable
+	swarAlt [2]coset.SWARTable
+	swar64  []coset.SWARTable
 }
 
 // wlcrcMaxBlocks bounds the per-word block count (7 at granularity 8)
@@ -125,6 +132,9 @@ func NewWLCRC(cfg Config, gran int) (*WLCRC, error) {
 		tab1:        coset.C1.CostTable(&cfg.Energy),
 		tabAlt:      [2]coset.CostTable{coset.C2.CostTable(&cfg.Energy), coset.C3.CostTable(&cfg.Energy)},
 		tab64:       coset.CostTables(&cfg.Energy, coset.Table1[:3]),
+		swar1:       coset.C1.SWAR(&cfg.Energy),
+		swarAlt:     [2]coset.SWARTable{coset.C2.SWAR(&cfg.Energy), coset.C3.SWAR(&cfg.Energy)},
+		swar64:      coset.SWARTables(&cfg.Energy, coset.Table1[:3]),
 	}, nil
 }
 
@@ -172,7 +182,8 @@ func (s *WLCRC) Encode(old []pcm.State, data *memline.Line) []pcm.State {
 
 // EncodeInto implements Scheme.
 func (s *WLCRC) EncodeInto(dst, old []pcm.State, data *memline.Line) {
-	copy(dst, old)
+	// Both paths overwrite every cell (data, in-word aux, flag), so no
+	// copy-from-old is needed.
 	if !s.wlc.LineCompressible(data) {
 		rawEncode(data, dst)
 		dst[memline.LineCells] = flagUncompressed
@@ -193,17 +204,123 @@ type wordPlan struct {
 }
 
 func (s *WLCRC) encodeWord(word uint64, old, out []pcm.State) {
+	if s.wdLambda > 0 {
+		// The §XI disturbance-aware extension prices per-cell neighbor
+		// exposure; it stays on the scalar path.
+		s.encodeWordScalar(word, old, out)
+		return
+	}
+	var p coset.WordPlanes
+	p.Init(word, old)
+	if s.gran == 64 {
+		s.encodeWord64(&p, out)
+		return
+	}
+	// Both groups share C1, so price every block's three candidate
+	// tables once and let the two group plans read the cached evals.
+	g := &s.geom
+	var ev [wlcrcMaxBlocks]blockEval
+	for b, rng := range g.blocks {
+		mask := coset.CellMask(rng[0], rng[1]-rng[0])
+		e := &ev[b]
+		e.cost[0], e.upd[0] = s.swar1.CostCount(&p, mask)
+		e.cost[1], e.upd[1] = s.swarAlt[0].CostCount(&p, mask)
+		e.cost[2], e.upd[2] = s.swarAlt[1].CostCount(&p, mask)
+		if g.mixed && b == len(g.blocks)-1 {
+			// The mixed cell's C1-mapped symbol carries the block's
+			// candidate bit (hi) and its last data bit (lo).
+			cell := g.dataCells
+			st := old[cell]
+			dataBit := uint8(word >> uint(2*cell) & 1)
+			e.cost[0] += s.tab1.Cost[st][dataBit]
+			e.upd[0] += int(s.tab1.Update[st][dataBit])
+			caCost := s.tab1.Cost[st][2|dataBit]
+			caUpd := int(s.tab1.Update[st][2|dataBit])
+			e.cost[1] += caCost
+			e.upd[1] += caUpd
+			e.cost[2] += caCost
+			e.upd[2] += caUpd
+		}
+	}
+	p12 := s.planFromEvals(0, &ev, old)
+	p13 := s.planFromEvals(1, &ev, old)
+	s.commitSWAR(s.pickPlan(&p12, &p13), &p, word, out)
+}
+
+// blockEval caches one block's cost/updates under C1, C2 and C3 (the
+// candidate-bit contribution of a mixed cell folded in).
+type blockEval struct {
+	cost [3]float64
+	upd  [3]int
+}
+
+// planFromEvals assembles Algorithm 1's plan for one coset group
+// (0 = {C1,C2}, 1 = {C1,C3}) from the cached block evals, with the same
+// per-block pick and §VIII.D multi-objective tie-break as planGroup.
+func (s *WLCRC) planFromEvals(group uint8, ev *[wlcrcMaxBlocks]blockEval, old []pcm.State) wordPlan {
+	plan := wordPlan{group: group}
+	alt := int(group) + 1
+	for b := range s.geom.blocks {
+		c1Cost, c1Upd := ev[b].cost[0], ev[b].upd[0]
+		caCost, caUpd := ev[b].cost[alt], ev[b].upd[alt]
+		pickAlt := caCost < c1Cost
+		if s.multiT > 0 {
+			hi := c1Cost
+			if caCost > hi {
+				hi = caCost
+			}
+			diff := c1Cost - caCost
+			if diff < 0 {
+				diff = -diff
+			}
+			if hi > 0 && diff <= s.multiT*hi {
+				pickAlt = caUpd < c1Upd || (caUpd == c1Upd && caCost < c1Cost)
+			}
+		}
+		if pickAlt {
+			plan.cands[b] = 1
+			plan.cost += caCost
+			plan.updates += caUpd
+		} else {
+			plan.cost += c1Cost
+			plan.updates += c1Upd
+		}
+	}
+	// Pure auxiliary cells.
+	var aux [wlcrcMaxAux]uint8
+	nAux := s.auxSymbols(&plan.cands, plan.group, &aux)
+	first := s.firstAuxCell()
+	for i := 0; i < nAux; i++ {
+		cell := first + i
+		st := old[cell]
+		plan.cost += s.tab1.Cost[st][aux[i]]
+		plan.updates += int(s.tab1.Update[st][aux[i]])
+	}
+	return plan
+}
+
+// encodeWordScalar is the per-cell reference path, kept for the §XI
+// disturbance-aware pricing (and as the behavioral reference the SWAR
+// path is tested against).
+func (s *WLCRC) encodeWordScalar(word uint64, old, out []pcm.State) {
 	var syms [memline.WordCells]uint8
 	memline.WordSymbols(word, &syms)
 	if s.gran == 64 {
-		s.encodeWord64(syms[:], old, out)
+		s.encodeWord64Scalar(syms[:], old, out)
 		return
 	}
 	p12 := s.planGroup(0, syms[:], old)
 	p13 := s.planGroup(1, syms[:], old)
-	best := &p12
+	s.commit(s.pickPlan(&p12, &p13), syms[:], out)
+}
+
+// pickPlan chooses between the two group plans: cheapest wins, except in
+// §VIII.D multi-objective mode where near-ties go to the plan that
+// programs fewer cells.
+func (s *WLCRC) pickPlan(p12, p13 *wordPlan) *wordPlan {
+	best := p12
 	if p13.cost < best.cost {
-		best = &p13
+		best = p13
 	}
 	if s.multiT > 0 {
 		// §VIII.D: when the two group costs are within T of each other,
@@ -217,14 +334,14 @@ func (s *WLCRC) encodeWord(word uint64, old, out []pcm.State) {
 			diff = -diff
 		}
 		if hi > 0 && diff <= s.multiT*hi {
-			best = &p12
+			best = p12
 			if p13.updates < p12.updates ||
 				(p13.updates == p12.updates && p13.cost < p12.cost) {
-				best = &p13
+				best = p13
 			}
 		}
 	}
-	s.commit(best, syms[:], out)
+	return best
 }
 
 // planGroup evaluates Algorithm 1 for one coset group (0 = {C1,C2},
@@ -275,6 +392,37 @@ func (s *WLCRC) planGroup(group uint8, syms []uint8, old []pcm.State) wordPlan {
 		plan.updates += int(s.tab1.Update[st][aux[i]])
 	}
 	return plan
+}
+
+// commitSWAR writes the chosen plan's states word-parallel: each block's
+// mapping is applied as masked plane selection, then the mixed and aux
+// cells are overwritten scalar.
+func (s *WLCRC) commitSWAR(plan *wordPlan, p *coset.WordPlanes, word uint64, out []pcm.State) {
+	g := &s.geom
+	alt := &s.swarAlt[plan.group]
+	var nlo, nhi uint64
+	for b, rng := range g.blocks {
+		t := &s.swar1
+		if plan.cands[b] == 1 {
+			t = alt
+		}
+		lo, hi := t.Apply(p)
+		mask := coset.CellMask(rng[0], rng[1]-rng[0])
+		nlo |= lo & mask
+		nhi |= hi & mask
+	}
+	coset.UnpackStates(nlo, nhi, out[:memline.WordCells])
+	if g.mixed {
+		cell := g.dataCells
+		cand := plan.cands[len(g.blocks)-1]
+		out[cell] = coset.C1[cand<<1|uint8(word>>uint(2*cell))&1]
+	}
+	var aux [wlcrcMaxAux]uint8
+	nAux := s.auxSymbols(&plan.cands, plan.group, &aux)
+	first := s.firstAuxCell()
+	for i := 0; i < nAux; i++ {
+		out[first+i] = coset.C1[aux[i]]
+	}
 }
 
 // blockCost prices one block under the candidate table t whose candidate
@@ -391,7 +539,17 @@ func (s *WLCRC) commit(plan *wordPlan, syms []uint8, out []pcm.State) {
 
 // encodeWord64 is the degenerate granularity-64 case: one block per word,
 // unrestricted choice among C1, C2, C3, two-bit index in cell 31.
-func (s *WLCRC) encodeWord64(syms []uint8, old, out []pcm.State) {
+func (s *WLCRC) encodeWord64(p *coset.WordPlanes, out []pcm.State) {
+	rng := s.geom.blocks[0]
+	mask := coset.CellMask(rng[0], rng[1]-rng[0])
+	idx, _ := coset.BestSWAR(s.swar64, p, mask)
+	lo, hi := s.swar64[idx].Apply(p)
+	coset.UnpackStates(lo&mask, hi&mask, out[:memline.WordCells])
+	out[31] = coset.C1[uint8(idx)]
+}
+
+// encodeWord64Scalar is the per-cell reference of encodeWord64.
+func (s *WLCRC) encodeWord64Scalar(syms []uint8, old, out []pcm.State) {
 	rng := s.geom.blocks[0]
 	idx, _ := coset.BestTable(s.tab64, syms[rng[0]:rng[1]], old[rng[0]:rng[1]])
 	s.tab64[idx].Encode(syms[rng[0]:rng[1]], out[rng[0]:rng[1]])
@@ -418,32 +576,33 @@ func (s *WLCRC) DecodeInto(cells []pcm.State, dst *memline.Line) {
 
 func (s *WLCRC) decodeWord(cells []pcm.State) uint64 {
 	g := &s.geom
-	var word uint64
+	slo, shi := coset.PackStates(cells)
 
 	if s.gran == 64 {
 		idx := int(coset.C1Inv[cells[31]])
 		if idx > 2 {
 			idx = 0
 		}
-		inv := &s.tab64[idx].Inv
-		for c := 0; c < g.dataCells; c++ {
-			word |= uint64(inv[cells[c]]) << (uint(c) * 2)
-		}
-		return s.wlc.DecompressWord(word)
+		lo, hi := s.swar64[idx].ApplyInvPlanes(slo, shi)
+		mask := coset.CellMask(0, g.dataCells)
+		return s.wlc.DecompressWord(memline.InterleavePlanes(lo&mask, hi&mask))
 	}
 
 	var cands [wlcrcMaxBlocks]uint8
 	group, mixedData := s.readAux(cells, &cands)
-	alt := &s.tabAlt[group]
+	alt := &s.swarAlt[group]
+	var dlo, dhi uint64
 	for b, rng := range g.blocks {
-		inv := &s.tab1.Inv
+		t := &s.swar1
 		if cands[b] == 1 {
-			inv = &alt.Inv
+			t = alt
 		}
-		for c := rng[0]; c < rng[1]; c++ {
-			word |= uint64(inv[cells[c]]) << (uint(c) * 2)
-		}
+		lo, hi := t.ApplyInvPlanes(slo, shi)
+		mask := coset.CellMask(rng[0], rng[1]-rng[0])
+		dlo |= lo & mask
+		dhi |= hi & mask
 	}
+	word := memline.InterleavePlanes(dlo, dhi)
 	if g.mixed {
 		word |= uint64(mixedData) << (uint(g.dataCells) * 2)
 	}

@@ -1,0 +1,290 @@
+// Word-parallel (SWAR) coset pricing and mapping application.
+//
+// A coset mapping is a bijection on 2-bit symbols, so both its
+// application and its differential-write pricing are expressible as
+// boolean algebra on the two bit-planes of a word (memline.LoHiPlanes)
+// plus bits.OnesCount64 — the same word-level trick FNW/FlipMin hardware
+// uses. Pricing a candidate over a 32-cell word costs a handful of ALU
+// ops instead of 32 table lookups:
+//
+//	count[s] = popcount(sym[Inv[s]] &^ oldIs[s] & mask)   for each state s
+//	cost     = Σ count[s]·WriteEnergy(s),  updates = Σ count[s]
+//
+// where sym[v] masks the cells whose data symbol is v and oldIs[s] the
+// cells currently in state s. The formula is exact — it groups the
+// per-cell energy additions of the CostTable path by target state, and
+// with integer-valued energy models (Table II and every model in this
+// repo) every partial sum is an exactly-representable integer, so the
+// SWAR cost, the scalar reference (CostCountRef), and the CostTable
+// accumulation agree bit for bit, including tie-breaks.
+package coset
+
+import (
+	"math/bits"
+
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+)
+
+// AllCells masks all 32 cells of a word in plane coordinates.
+const AllCells = 1<<memline.WordCells - 1
+
+// CellMask masks cells [lo, lo+n) of a word in plane coordinates.
+func CellMask(lo, n int) uint64 {
+	return (uint64(1)<<uint(n) - 1) << uint(lo)
+}
+
+// minterms decodes a pair of bit-planes into the four value-occupancy
+// masks: m[v] has bit c set when cell c holds value v.
+func minterms(lo, hi uint64) [4]uint64 {
+	return [4]uint64{
+		^(hi | lo) & AllCells,
+		lo &^ hi,
+		hi &^ lo,
+		hi & lo,
+	}
+}
+
+// WordPlanes is the bit-plane decomposition of one 64-bit data word and
+// the 32 old cell states it will be written over. Built once per word,
+// it prices any number of candidate mappings without another pass over
+// the cells.
+type WordPlanes struct {
+	Lo, Hi uint64    // data symbol planes (memline.LoHiPlanes of the word)
+	Sym    [4]uint64 // Sym[v]: cells whose data symbol is v
+	OldIs  [4]uint64 // OldIs[s]: cells currently in state s
+}
+
+// Init fills all planes from a data word and its 32 old states.
+func (p *WordPlanes) Init(word uint64, old []pcm.State) {
+	p.SetData(word)
+	p.SetOld(old)
+}
+
+// SetData replaces the data planes, keeping the old-state planes.
+func (p *WordPlanes) SetData(word uint64) {
+	p.SetDataPlanes(memline.LoHiPlanes(word))
+}
+
+// SetDataPlanes replaces the data planes from an already-decomposed
+// pair. Because LoHiPlanes is linear over XOR, callers that price many
+// XOR-candidates of one word (FlipMin) feed precomputed plane pairs here
+// instead of re-extracting.
+func (p *WordPlanes) SetDataPlanes(lo, hi uint64) {
+	p.Lo, p.Hi = lo, hi
+	p.Sym = minterms(lo, hi)
+}
+
+// SetOld replaces the old-state planes from the word's 32 current cell
+// states. old must hold at least 32 states.
+func (p *WordPlanes) SetOld(old []pcm.State) {
+	p.OldIs = minterms(PackStates(old))
+}
+
+// PackStates packs the first 32 states of cells into compacted planes:
+// bit c of lo/hi is the low/high bit of cells[c].
+func PackStates(cells []pcm.State) (lo, hi uint64) {
+	c := (*[memline.WordCells]pcm.State)(cells[:memline.WordCells])
+	var z uint64
+	for b := 0; b < 8; b++ {
+		i := 4 * b
+		z |= uint64(c[i]&3|c[i+1]&3<<2|c[i+2]&3<<4|c[i+3]&3<<6) << uint(8*b)
+	}
+	return memline.LoHiPlanes(z)
+}
+
+// stateLUT expands a (lo nibble, hi nibble) plane pair back into four
+// cell states, so UnpackStates writes four states per lookup without
+// re-interleaving the planes.
+var stateLUT = func() (t [256][4]pcm.State) {
+	for b := 0; b < 256; b++ {
+		for i := 0; i < 4; i++ {
+			t[b][i] = pcm.State(b>>i&1 | b>>(4+i)&1<<1)
+		}
+	}
+	return
+}()
+
+// UnpackStates writes the cell states encoded by a pair of state planes
+// into dst — the inverse of PackStates. It writes min(32, len(dst))
+// cells, so a caller whose region ends mid-word passes the short slice.
+func UnpackStates(lo, hi uint64, dst []pcm.State) {
+	n := len(dst)
+	if n >= memline.WordCells {
+		dst = dst[:memline.WordCells:memline.WordCells]
+		for g := 0; g < 8; g++ {
+			idx := lo>>uint(4*g)&0xF | hi>>uint(4*g)&0xF<<4
+			copy(dst[4*g:4*g+4], stateLUT[idx][:])
+		}
+		return
+	}
+	for c := 0; c < n; c++ {
+		dst[c] = pcm.State(lo>>uint(c)&1 | hi>>uint(c)&1<<1)
+	}
+}
+
+// SWARTable is the word-parallel counterpart of CostTable: one mapping's
+// pricing weights plus the plane-selector masks that apply the bijection
+// (and its inverse) as 2-output boolean functions of the bit-planes.
+type SWARTable struct {
+	// States is the mapping itself; Inv its cached inverse.
+	States Mapping
+	Inv    [4]uint8
+	// Energy[s] is the full programming energy of target state s
+	// (WriteEnergy, i.e. Reset + Set[s]); zero when the table was built
+	// apply-only with a nil energy model.
+	Energy [4]float64
+	// loSet[v]/hiSet[v] are all-ones when States[v] has its low/high bit
+	// set; invLo[s]/invHi[s] likewise for Inv[s]. ORing value-masked
+	// minterms through them applies the (inverse) mapping to a word.
+	loSet, hiSet [4]uint64
+	invLo, invHi [4]uint64
+}
+
+// SWAR builds the word-parallel table of m under em. A nil em yields an
+// apply/decode-only table whose costs are all zero — enough for the
+// fixed-mapping paths (raw fallback, aux cells) that never price.
+func (m Mapping) SWAR(em *pcm.EnergyModel) SWARTable {
+	t := SWARTable{States: m, Inv: m.Inverse()}
+	for v := 0; v < 4; v++ {
+		if em != nil {
+			t.Energy[v] = em.WriteEnergy(pcm.State(v))
+		}
+		if m[v]&1 != 0 {
+			t.loSet[v] = ^uint64(0)
+		}
+		if m[v]&2 != 0 {
+			t.hiSet[v] = ^uint64(0)
+		}
+		if t.Inv[v]&1 != 0 {
+			t.invLo[v] = ^uint64(0)
+		}
+		if t.Inv[v]&2 != 0 {
+			t.invHi[v] = ^uint64(0)
+		}
+	}
+	return t
+}
+
+// SWARTables builds one word-parallel table per candidate.
+func SWARTables(em *pcm.EnergyModel, cands []Mapping) []SWARTable {
+	out := make([]SWARTable, len(cands))
+	for i, m := range cands {
+		out[i] = m.SWAR(em)
+	}
+	return out
+}
+
+// C1SWAR is the apply/decode-only SWAR view of the fixed C1 mapping,
+// shared by the raw-fallback and auxiliary-cell paths.
+var C1SWAR = C1.SWAR(nil)
+
+// CostCount prices writing the word's data through t over its old
+// states, restricted to the cells selected by mask. It returns the
+// differential-write energy and the number of programmed cells,
+// bit-identical to summing CostTable entries over the same cells (see
+// the package comment on exactness).
+func (t *SWARTable) CostCount(p *WordPlanes, mask uint64) (cost float64, updates int) {
+	n0 := bits.OnesCount64(p.Sym[t.Inv[0]] &^ p.OldIs[0] & mask)
+	n1 := bits.OnesCount64(p.Sym[t.Inv[1]] &^ p.OldIs[1] & mask)
+	n2 := bits.OnesCount64(p.Sym[t.Inv[2]] &^ p.OldIs[2] & mask)
+	n3 := bits.OnesCount64(p.Sym[t.Inv[3]] &^ p.OldIs[3] & mask)
+	// Left-to-right accumulation, the same order as the s-loop form.
+	cost = float64(n0)*t.Energy[0] + float64(n1)*t.Energy[1] +
+		float64(n2)*t.Energy[2] + float64(n3)*t.Energy[3]
+	return cost, n0 + n1 + n2 + n3
+}
+
+// Counts accumulates the per-target-state programmed-cell counts of the
+// masked cells into cnt. Multi-word blocks gather integer counts across
+// words and convert to energy once (CostOf) — regrouping exact integer
+// sums, so the total still matches the per-word and per-cell paths bit
+// for bit.
+func (t *SWARTable) Counts(p *WordPlanes, mask uint64, cnt *[4]int) {
+	for s := 0; s < 4; s++ {
+		cnt[s] += bits.OnesCount64(p.Sym[t.Inv[s]] &^ p.OldIs[s] & mask)
+	}
+}
+
+// CountsPlanes is Counts over alternative data planes (e.g. the word
+// XORed with a FlipMin candidate) against p's old states, without
+// disturbing p.
+func (t *SWARTable) CountsPlanes(lo, hi uint64, p *WordPlanes, mask uint64, cnt *[4]int) {
+	sym := minterms(lo, hi)
+	for s := 0; s < 4; s++ {
+		cnt[s] += bits.OnesCount64(sym[t.Inv[s]] &^ p.OldIs[s] & mask)
+	}
+}
+
+// CostOf prices accumulated per-state counts.
+func (t *SWARTable) CostOf(cnt *[4]int) (cost float64, updates int) {
+	for s := 0; s < 4; s++ {
+		cost += float64(cnt[s]) * t.Energy[s]
+		updates += cnt[s]
+	}
+	return cost, updates
+}
+
+// Apply maps the word's data symbols through t, returning the new-state
+// planes for all 32 cells (callers mask to their block).
+func (t *SWARTable) Apply(p *WordPlanes) (lo, hi uint64) {
+	return t.ApplySyms(&p.Sym)
+}
+
+// ApplySyms is Apply from precomputed symbol-occupancy masks.
+func (t *SWARTable) ApplySyms(sym *[4]uint64) (lo, hi uint64) {
+	lo = sym[0]&t.loSet[0] | sym[1]&t.loSet[1] | sym[2]&t.loSet[2] | sym[3]&t.loSet[3]
+	hi = sym[0]&t.hiSet[0] | sym[1]&t.hiSet[1] | sym[2]&t.hiSet[2] | sym[3]&t.hiSet[3]
+	return lo, hi
+}
+
+// ApplyPlanes is Apply from raw data planes.
+func (t *SWARTable) ApplyPlanes(lo, hi uint64) (nlo, nhi uint64) {
+	sym := minterms(lo, hi)
+	return t.ApplySyms(&sym)
+}
+
+// ApplyInvPlanes decodes state planes back to data-symbol planes — the
+// word-parallel form of indexing Inv per cell.
+func (t *SWARTable) ApplyInvPlanes(lo, hi uint64) (dlo, dhi uint64) {
+	is := minterms(lo, hi)
+	dlo = is[0]&t.invLo[0] | is[1]&t.invLo[1] | is[2]&t.invLo[2] | is[3]&t.invLo[3]
+	dhi = is[0]&t.invHi[0] | is[1]&t.invHi[1] | is[2]&t.invHi[2] | is[3]&t.invHi[3]
+	return dlo, dhi
+}
+
+// BestSWAR evaluates every candidate over the masked cells and returns
+// the index of the cheapest, with the same lowest-index tie-break as
+// Best and BestTable.
+func BestSWAR(tabs []SWARTable, p *WordPlanes, mask uint64) (idx int, cost float64) {
+	idx = 0
+	cost, _ = tabs[0].CostCount(p, mask)
+	for i := 1; i < len(tabs); i++ {
+		if c, _ := tabs[i].CostCount(p, mask); c < cost {
+			idx, cost = i, c
+		}
+	}
+	return idx, cost
+}
+
+// CostCountRef is the scalar reference for CostCount: it walks the
+// masked cells one at a time, classifies each into its target state, and
+// prices the identical Σ count[s]·Energy[s] sum. Equivalence tests and
+// fuzz targets assert SWAR == scalar bit for bit against it.
+func (t *SWARTable) CostCountRef(word uint64, old []pcm.State, mask uint64) (cost float64, updates int) {
+	var count [4]int
+	for c := 0; c < memline.WordCells; c++ {
+		if mask>>uint(c)&1 == 0 {
+			continue
+		}
+		st := t.States[word>>uint(2*c)&3]
+		if st != old[c] {
+			count[st]++
+		}
+	}
+	for s := 0; s < 4; s++ {
+		cost += float64(count[s]) * t.Energy[s]
+		updates += count[s]
+	}
+	return cost, updates
+}

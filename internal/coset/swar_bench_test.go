@@ -1,0 +1,88 @@
+package coset
+
+import (
+	"testing"
+
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/prng"
+)
+
+// Word-level candidate-pricing benchmarks: the SWAR path against the PR
+// 2 table-driven scalar path, six candidates over one 32-cell word (the
+// 6cosets inner loop).
+
+func benchFixture() (words []uint64, olds [][]pcm.State) {
+	r := prng.New(77)
+	words = make([]uint64, 64)
+	olds = make([][]pcm.State, 64)
+	for i := range words {
+		words[i] = r.Uint64()
+		old := make([]pcm.State, memline.WordCells)
+		for c := range old {
+			old[c] = pcm.State(r.Intn(pcm.NumStates))
+		}
+		olds[i] = old
+	}
+	return words, olds
+}
+
+func BenchmarkSWARBestWord(b *testing.B) {
+	em := pcm.DefaultEnergy()
+	tabs := SWARTables(&em, SixCosets())
+	words, olds := benchFixture()
+	var p WordPlanes
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		k := i % len(words)
+		p.Init(words[k], olds[k])
+		_, cost := BestSWAR(tabs, &p, AllCells)
+		sink += cost
+	}
+	_ = sink
+}
+
+func BenchmarkScalarBestWord(b *testing.B) {
+	em := pcm.DefaultEnergy()
+	tabs := CostTables(&em, SixCosets())
+	words, olds := benchFixture()
+	var syms [memline.WordCells]uint8
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		k := i % len(words)
+		memline.WordSymbols(words[k], &syms)
+		_, cost := BestTable(tabs, syms[:], olds[k])
+		sink += cost
+	}
+	_ = sink
+}
+
+func BenchmarkSWARApplyWord(b *testing.B) {
+	em := pcm.DefaultEnergy()
+	tab := C1.SWAR(&em)
+	words, olds := benchFixture()
+	out := make([]pcm.State, memline.WordCells)
+	var p WordPlanes
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := i % len(words)
+		p.Init(words[k], olds[k])
+		lo, hi := tab.Apply(&p)
+		UnpackStates(lo, hi, out)
+	}
+}
+
+func BenchmarkScalarApplyWord(b *testing.B) {
+	em := pcm.DefaultEnergy()
+	tab := C1.CostTable(&em)
+	words, _ := benchFixture()
+	var syms [memline.WordCells]uint8
+	out := make([]pcm.State, memline.WordCells)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		memline.WordSymbols(words[i%len(words)], &syms)
+		tab.Encode(syms[:], out)
+	}
+}

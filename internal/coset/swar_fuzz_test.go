@@ -1,0 +1,127 @@
+package coset
+
+import (
+	"testing"
+
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+)
+
+// Fuzz targets asserting SWAR == scalar over arbitrary words, old
+// states and masks, for every Table I and SixCosets mapping. The seeded
+// corpus lives in testdata/fuzz; `go test` replays it on every run and
+// `go test -fuzz FuzzSWAR` explores further.
+
+// fuzzCands is the candidate universe the schemes actually price.
+var fuzzCands = append(append([]Mapping{}, Table1[:]...), SixCosets()...)
+
+// fuzzMask builds a cell mask from two fuzz bytes: an offset and a
+// width, both wrapped into range so every input is meaningful.
+func fuzzMask(lo, n uint8) uint64 {
+	off := int(lo) % memline.WordCells
+	width := 1 + int(n)%(memline.WordCells-off)
+	return CellMask(off, width)
+}
+
+// FuzzSWARCostCount cross-checks CostCount against both the scalar
+// reference and the PR 2 CostTable accumulation.
+func FuzzSWARCostCount(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint8(0), uint8(31))
+	f.Add(^uint64(0), uint64(0x5555555555555555), uint8(0), uint8(31))
+	f.Add(uint64(0x0123456789ABCDEF), uint64(0xFEDCBA9876543210), uint8(4), uint8(7))
+	f.Add(uint64(0xAAAAAAAAAAAAAAAA), ^uint64(0), uint8(16), uint8(15))
+	em := pcm.DefaultEnergy()
+	swar := SWARTables(&em, fuzzCands)
+	tabs := CostTables(&em, fuzzCands)
+	f.Fuzz(func(t *testing.T, word, oldBits uint64, maskLo, maskN uint8) {
+		mask := fuzzMask(maskLo, maskN)
+		var old [memline.WordCells]pcm.State
+		var syms []uint8
+		var sub []pcm.State
+		for c := range old {
+			old[c] = pcm.State(oldBits >> uint(2*c) & 3)
+			if mask>>uint(c)&1 == 1 {
+				syms = append(syms, uint8(word>>uint(2*c)&3))
+				sub = append(sub, old[c])
+			}
+		}
+		var p WordPlanes
+		p.Init(word, old[:])
+		for i := range swar {
+			gotCost, gotUpd := swar[i].CostCount(&p, mask)
+			refCost, refUpd := swar[i].CostCountRef(word, old[:], mask)
+			if gotCost != refCost || gotUpd != refUpd {
+				t.Fatalf("cand %d: SWAR (%v,%d) != scalar (%v,%d)", i, gotCost, gotUpd, refCost, refUpd)
+			}
+			tabCost, tabUpd := tabs[i].BlockCostUpdates(syms, sub)
+			if gotCost != tabCost || gotUpd != tabUpd {
+				t.Fatalf("cand %d: SWAR (%v,%d) != CostTable (%v,%d)", i, gotCost, gotUpd, tabCost, tabUpd)
+			}
+		}
+	})
+}
+
+// FuzzSWARBest cross-checks winner index, winning cost and tie-breaks
+// against BestTable over contiguous blocks.
+func FuzzSWARBest(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint8(32))
+	f.Add(^uint64(0), uint64(0), uint8(16))
+	f.Add(uint64(0x00FF00FF00FF00FF), uint64(0x0F0F0F0F0F0F0F0F), uint8(4))
+	em := pcm.DefaultEnergy()
+	sets := [][]Mapping{Table1[:], Table1[:3], SixCosets()}
+	var swar [][]SWARTable
+	var tabs [][]CostTable
+	for _, cands := range sets {
+		swar = append(swar, SWARTables(&em, cands))
+		tabs = append(tabs, CostTables(&em, cands))
+	}
+	f.Fuzz(func(t *testing.T, word, oldBits uint64, width uint8) {
+		n := 1 + int(width)%memline.WordCells
+		var old [memline.WordCells]pcm.State
+		var syms [memline.WordCells]uint8
+		for c := range old {
+			old[c] = pcm.State(oldBits >> uint(2*c) & 3)
+			syms[c] = uint8(word >> uint(2*c) & 3)
+		}
+		var p WordPlanes
+		p.Init(word, old[:])
+		for si := range sets {
+			gotIdx, gotCost := BestSWAR(swar[si], &p, CellMask(0, n))
+			wantIdx, wantCost := BestTable(tabs[si], syms[:n], old[:n])
+			if gotIdx != wantIdx || gotCost != wantCost {
+				t.Fatalf("set %d: BestSWAR (%d,%v) != BestTable (%d,%v)", si, gotIdx, gotCost, wantIdx, wantCost)
+			}
+		}
+	})
+}
+
+// FuzzSWARApply cross-checks mapping application and its inverse
+// against the per-cell path.
+func FuzzSWARApply(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(uint64(0x123456789ABCDEF0))
+	em := pcm.DefaultEnergy()
+	swar := SWARTables(&em, fuzzCands)
+	tabs := CostTables(&em, fuzzCands)
+	f.Fuzz(func(t *testing.T, word uint64) {
+		var p WordPlanes
+		p.SetData(word)
+		var syms [memline.WordCells]uint8
+		memline.WordSymbols(word, &syms)
+		for i := range swar {
+			lo, hi := swar[i].Apply(&p)
+			var got, want [memline.WordCells]pcm.State
+			UnpackStates(lo, hi, got[:])
+			tabs[i].Encode(syms[:], want[:])
+			if got != want {
+				t.Fatalf("cand %d: Apply != Encode on %#x", i, word)
+			}
+			slo, shi := PackStates(want[:])
+			dlo, dhi := swar[i].ApplyInvPlanes(slo, shi)
+			if back := memline.InterleavePlanes(dlo, dhi); back != word {
+				t.Fatalf("cand %d: inverse round trip %#x -> %#x", i, word, back)
+			}
+		}
+	})
+}

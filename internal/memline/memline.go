@@ -16,17 +16,18 @@ package memline
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // Constants describing the fixed geometry of a PCM memory line.
 const (
-	LineBits    = 512 // bits per memory line
-	LineBytes   = 64  // bytes per memory line
-	LineCells   = 256 // MLC cells (2-bit symbols) per line
-	LineWords   = 8   // 64-bit words per line
-	WordBits    = 64  // bits per word
-	WordCells   = 32  // cells per word
-	SymbolStats = 4   // distinct 2-bit symbol values
+	LineBits     = 512 // bits per memory line
+	LineBytes    = 64  // bytes per memory line
+	LineCells    = 256 // MLC cells (2-bit symbols) per line
+	LineWords    = 8   // 64-bit words per line
+	WordBits     = 64  // bits per word
+	WordCells    = 32  // cells per word
+	SymbolValues = 4   // distinct 2-bit symbol values
 )
 
 // Line is one 512-bit memory line.
@@ -144,22 +145,42 @@ func (l *Line) String() string {
 
 // CountDiffSymbols returns the number of cells whose symbols differ
 // between l and o. Under the default mapping this is the number of cells
-// a differential write would program.
+// a differential write would program. It runs word-parallel: a cell
+// differs when either bit of its pair differs, so XOR + pair-OR folds
+// each word's 32 cells into one popcount.
 func (l *Line) CountDiffSymbols(o *Line) int {
 	n := 0
-	for c := 0; c < LineCells; c++ {
-		if l.Symbol(c) != o.Symbol(c) {
-			n++
-		}
+	for w := 0; w < LineWords; w++ {
+		x := l.Word(w) ^ o.Word(w)
+		n += bits.OnesCount64((x | x>>1) & loPlaneMask)
 	}
 	return n
 }
 
-// SymbolHistogram counts occurrences of each of the four symbol values.
-func (l *Line) SymbolHistogram() [SymbolStats]int {
-	var h [SymbolStats]int
-	for c := 0; c < LineCells; c++ {
-		h[l.Symbol(c)]++
+// histLUT maps one line byte (four 2-bit symbols) to its packed
+// per-symbol counts, 16 bits per symbol value. Lane v of the sum over
+// all 64 bytes is the line's count of symbol v; each lane peaks at 256,
+// well inside 16 bits.
+var histLUT = func() (t [256]uint64) {
+	for b := 0; b < 256; b++ {
+		for s := 0; s < 4; s++ {
+			t[b] += 1 << (16 * (b >> (2 * s) & 3))
+		}
+	}
+	return
+}()
+
+// SymbolHistogram counts occurrences of each of the four symbol values,
+// one table lookup per byte (four cells) instead of a shift-mask per
+// cell.
+func (l *Line) SymbolHistogram() [SymbolValues]int {
+	var packed uint64
+	for _, b := range l {
+		packed += histLUT[b]
+	}
+	var h [SymbolValues]int
+	for v := range h {
+		h[v] = int(packed >> (16 * v) & 0xFFFF)
 	}
 	return h
 }
@@ -186,16 +207,58 @@ func SetBitField(word uint64, lo, width int, v uint64) uint64 {
 // MSBRun returns the length of the run of identical bits starting at the
 // most significant bit of word. For example MSBRun(0) = 64 and
 // MSBRun(0x4000000000000000) = 1.
+//
+// Branch-free: XORing against the sign-replicated top bit turns the
+// leading run into leading zeros (an all-equal word becomes 0, and
+// bits.LeadingZeros64(0) is exactly 64).
 func MSBRun(word uint64) int {
-	top := word >> 63
-	run := 0
-	for i := 63; i >= 0; i-- {
-		if (word>>uint(i))&1 != top {
-			break
-		}
-		run++
-	}
-	return run
+	return bits.LeadingZeros64(word ^ uint64(int64(word)>>63))
+}
+
+// Bit-plane view -------------------------------------------------------
+//
+// A 64-bit word interleaves its 32 cell symbols: cell c is the bit pair
+// (2c, 2c+1). The SWAR coset engine works on the de-interleaved planes
+// instead — the "lo" plane gathers the even bits (each symbol's low
+// bit), the "hi" plane the odd bits — so a symbol-wise operation over 32
+// cells becomes a handful of boolean ops on two words. Bit c of a plane
+// is cell c; planes occupy the low 32 bits.
+
+// loPlaneMask selects the even (symbol low) bits of an interleaved word.
+const loPlaneMask = 0x5555555555555555
+
+// compressEven gathers the even bits of x (already masked to even
+// positions) into the low 32 bits — the Morton-decode half step.
+func compressEven(x uint64) uint64 {
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	return (x | x>>16) & 0x00000000FFFFFFFF
+}
+
+// expandEven spreads the low 32 bits of x onto the even bit positions —
+// the inverse of compressEven.
+func expandEven(x uint64) uint64 {
+	x &= 0x00000000FFFFFFFF
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	return (x | x<<1) & loPlaneMask
+}
+
+// LoHiPlanes de-interleaves a word into its two symbol bit-planes: bit c
+// of lo is data bit 2c (the low bit of cell c's symbol), bit c of hi is
+// data bit 2c+1. Both planes occupy the low 32 bits.
+func LoHiPlanes(word uint64) (lo, hi uint64) {
+	return compressEven(word & loPlaneMask), compressEven(word >> 1 & loPlaneMask)
+}
+
+// InterleavePlanes rebuilds a word from its two bit-planes — the inverse
+// of LoHiPlanes. Only the low 32 bits of each plane are used.
+func InterleavePlanes(lo, hi uint64) uint64 {
+	return expandEven(lo) | expandEven(hi)<<1
 }
 
 // SignExtend returns v (a value occupying the low `bits` bits) sign

@@ -122,6 +122,40 @@ func TestSymbolHistogram(t *testing.T) {
 	}
 }
 
+// symbolHistogramRef is the original per-cell loop, kept as the
+// reference the table-driven SymbolHistogram is checked against.
+func symbolHistogramRef(l *Line) [SymbolValues]int {
+	var h [SymbolValues]int
+	for c := 0; c < LineCells; c++ {
+		h[l.Symbol(c)]++
+	}
+	return h
+}
+
+func TestSymbolHistogramMatchesReference(t *testing.T) {
+	var l Line
+	// Saturating case: a single symbol value filling the line must not
+	// overflow the packed 16-bit count lanes.
+	for v := uint8(0); v < 4; v++ {
+		for i := range l {
+			l[i] = v | v<<2 | v<<4 | v<<6
+		}
+		if got, want := l.SymbolHistogram(), symbolHistogramRef(&l); got != want {
+			t.Fatalf("uniform symbol %d: %v != %v", v, got, want)
+		}
+	}
+	rnd := uint64(0x9E3779B97F4A7C15)
+	for trial := 0; trial < 500; trial++ {
+		for i := range l {
+			rnd = rnd*6364136223846793005 + 1442695040888963407
+			l[i] = byte(rnd >> 33)
+		}
+		if got, want := l.SymbolHistogram(), symbolHistogramRef(&l); got != want {
+			t.Fatalf("trial %d: %v != %v", trial, got, want)
+		}
+	}
+}
+
 func TestBitField(t *testing.T) {
 	w := uint64(0xdeadbeefcafe1234)
 	if got := BitField(w, 0, 16); got != 0x1234 {
@@ -160,6 +194,59 @@ func TestMSBRun(t *testing.T) {
 		if got := MSBRun(c.w); got != c.want {
 			t.Errorf("MSBRun(%#x) = %d, want %d", c.w, got, c.want)
 		}
+	}
+}
+
+// TestMSBRunExhaustiveBoundaries sweeps every run length 1..64 for both
+// leading-bit polarities, with every below-the-run remainder pattern
+// that flips the boundary bit — the exact cases the branch-free
+// LeadingZeros64 form must get right.
+func TestMSBRunExhaustiveBoundaries(t *testing.T) {
+	for run := 1; run <= 64; run++ {
+		for top := 0; top <= 1; top++ {
+			var w uint64
+			if top == 1 {
+				// run leading ones.
+				w = ^uint64(0) << uint(64-run)
+			}
+			if run < 64 {
+				// Force the boundary bit to the opposite polarity and
+				// fill the tail with patterns of both polarities.
+				boundary := uint64(1-top) << uint(63-run)
+				w = w&^(uint64(1)<<uint(63-run)) | boundary
+				for _, tail := range []uint64{0, ^uint64(0), 0xAAAAAAAAAAAAAAAA} {
+					v := w
+					if run < 63 {
+						mask := uint64(1)<<uint(63-run) - 1
+						v = v&^mask | tail&mask
+					}
+					if got := MSBRun(v); got != run {
+						t.Fatalf("MSBRun(%#064b) = %d, want %d", v, got, run)
+					}
+				}
+			} else if got := MSBRun(w); got != 64 {
+				t.Fatalf("MSBRun(all-%d) = %d, want 64", top, got)
+			}
+		}
+	}
+}
+
+func TestLoHiPlanesConvention(t *testing.T) {
+	// Cell c's symbol is (hi<<1 | lo) from bits (2c, 2c+1): check the
+	// documented plane convention on a word with distinct symbols.
+	var word uint64
+	for c := 0; c < WordCells; c++ {
+		word |= uint64(c&3) << uint(2*c)
+	}
+	lo, hi := LoHiPlanes(word)
+	for c := 0; c < WordCells; c++ {
+		sym := uint8(hi>>uint(c)&1)<<1 | uint8(lo>>uint(c)&1)
+		if sym != uint8(c&3) {
+			t.Fatalf("cell %d: plane symbol %d, want %d", c, sym, c&3)
+		}
+	}
+	if InterleavePlanes(lo, hi) != word {
+		t.Fatal("InterleavePlanes is not the inverse of LoHiPlanes")
 	}
 }
 
@@ -230,4 +317,38 @@ func TestString(t *testing.T) {
 	if s[:16] != "000000000000dead" {
 		t.Errorf("String() starts %q", s[:16])
 	}
+}
+
+func BenchmarkCountDiffSymbols(b *testing.B) {
+	var x, y Line
+	for i := range x {
+		x[i] = byte(i * 31)
+		y[i] = byte(i * 17)
+	}
+	b.ReportAllocs()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += x.CountDiffSymbols(&y)
+	}
+	_ = n
+}
+
+func BenchmarkSymbolHistogram(b *testing.B) {
+	var l Line
+	for i := range l {
+		l[i] = byte(i * 37)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = l.SymbolHistogram()
+	}
+}
+
+func BenchmarkLoHiPlanes(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		lo, hi := LoHiPlanes(uint64(i) * 0x9E3779B97F4A7C15)
+		sink += InterleavePlanes(lo, hi)
+	}
+	_ = sink
 }

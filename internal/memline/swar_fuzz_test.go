@@ -1,0 +1,71 @@
+package memline
+
+import "testing"
+
+// FuzzCountDiffSymbols asserts the word-parallel diff count equals the
+// per-cell reference on arbitrary line pairs.
+func FuzzCountDiffSymbols(f *testing.F) {
+	f.Add(make([]byte, 2*LineBytes))
+	seed := make([]byte, 2*LineBytes)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var a, b Line
+		copy(a[:], raw)
+		if len(raw) > LineBytes {
+			copy(b[:], raw[LineBytes:])
+		}
+		want := 0
+		for c := 0; c < LineCells; c++ {
+			if a.Symbol(c) != b.Symbol(c) {
+				want++
+			}
+		}
+		if got := a.CountDiffSymbols(&b); got != want {
+			t.Fatalf("CountDiffSymbols = %d, reference = %d", got, want)
+		}
+	})
+}
+
+// FuzzMSBRun asserts the branch-free MSBRun equals the bit-walk
+// reference.
+func FuzzMSBRun(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(uint64(0x4000000000000000))
+	f.Add(uint64(1))
+	f.Fuzz(func(t *testing.T, word uint64) {
+		top := word >> 63
+		want := 0
+		for i := 63; i >= 0; i-- {
+			if (word>>uint(i))&1 != top {
+				break
+			}
+			want++
+		}
+		if got := MSBRun(word); got != want {
+			t.Fatalf("MSBRun(%#x) = %d, reference = %d", word, got, want)
+		}
+	})
+}
+
+// FuzzLoHiPlanes asserts the plane decomposition round-trips and is
+// linear over XOR (the property FlipMin's candidate sweep relies on).
+func FuzzLoHiPlanes(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), uint64(0x5555555555555555))
+	f.Add(uint64(0x0123456789ABCDEF), uint64(0xAAAAAAAAAAAAAAAA))
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		lo, hi := LoHiPlanes(a)
+		if InterleavePlanes(lo, hi) != a {
+			t.Fatalf("round trip failed for %#x", a)
+		}
+		blo, bhi := LoHiPlanes(b)
+		xlo, xhi := LoHiPlanes(a ^ b)
+		if xlo != lo^blo || xhi != hi^bhi {
+			t.Fatalf("planes not XOR-linear for %#x ^ %#x", a, b)
+		}
+	})
+}

@@ -126,6 +126,37 @@ func (m *EnergyModel) DiffWrite(old, new []State, dataCells int) WriteStats {
 	return st
 }
 
+// DiffWriteMask is DiffWrite fused with ChangedMaskInto: one pass over
+// the cell vectors charges the write and fills changed with the
+// programmed-cell mask. The replay hot path calls this instead of the
+// two separate sweeps; changed is reused when large enough.
+func (m *EnergyModel) DiffWriteMask(old, new []State, dataCells int, changed []bool) (WriteStats, []bool) {
+	if len(old) != len(new) {
+		panic("pcm: DiffWriteMask on cell vectors of different length")
+	}
+	if cap(changed) < len(old) {
+		changed = make([]bool, len(old))
+	}
+	changed = changed[:len(old)]
+	var st WriteStats
+	for i, n := range new {
+		ch := old[i] != n
+		changed[i] = ch
+		if !ch {
+			continue
+		}
+		e := m.WriteEnergy(n)
+		if i < dataCells {
+			st.EnergyData += e
+			st.UpdatedData++
+		} else {
+			st.EnergyAux += e
+			st.UpdatedAux++
+		}
+	}
+	return st, changed
+}
+
 // ChangedMask returns a bitmask-style bool slice marking cells whose state
 // differs between old and new (the cells a differential write programs).
 func ChangedMask(old, new []State) []bool {

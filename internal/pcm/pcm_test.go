@@ -243,3 +243,32 @@ func TestQuickDiffWriteEnergyNonNegative(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDiffWriteMaskMatchesSeparatePasses(t *testing.T) {
+	em := DefaultEnergy()
+	rnd := uint64(12345)
+	next := func(n int) State {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		return State(rnd >> 33 % uint64(n))
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + int(next(300))
+		old := make([]State, n)
+		neu := make([]State, n)
+		for i := range old {
+			old[i] = next(NumStates)
+			neu[i] = next(NumStates)
+		}
+		dataCells := int(next(4)) * n / 3
+		st, changed := em.DiffWriteMask(old, neu, dataCells, nil)
+		if want := em.DiffWrite(old, neu, dataCells); st != want {
+			t.Fatalf("trial %d: fused stats %+v != separate %+v", trial, st, want)
+		}
+		wantMask := ChangedMask(old, neu)
+		for i := range changed {
+			if changed[i] != wantMask[i] {
+				t.Fatalf("trial %d: mask differs at %d", trial, i)
+			}
+		}
+	}
+}

@@ -92,8 +92,9 @@ func (u *shard) apply(req *trace.Request) error {
 	sch.EncodeInto(newCells, old, &req.New)
 	m := &u.m
 	m.Writes++
-	m.Energy.Add(u.opts.Energy.DiffWrite(old, newCells, sch.DataCells()))
-	u.changed = pcm.ChangedMaskInto(u.changed, old, newCells)
+	st, changed := u.opts.Energy.DiffWriteMask(old, newCells, sch.DataCells(), u.changed)
+	m.Energy.Add(st)
+	u.changed = changed
 	var sampler pcm.Sampler
 	if u.rnd != nil {
 		sampler = u.rnd
