@@ -14,6 +14,18 @@
 //
 //	go test -run xxx -bench BenchmarkEncodeInto -benchtime 1s . | benchguard
 //	benchguard -emit-baseline > old.txt   # baseline in benchstat format
+//
+// With -replay it guards the parallel replay dispatcher instead: it
+// parses BenchmarkReplaySerial and BenchmarkReplayParallel ns/op and
+// compares the parallel-over-serial wall-clock ratio against the
+// committed baseline ratio. The ratio is machine-speed independent
+// (both benchmarks run on the same box) and is exactly what a dispatch
+// regression moves — a broadcast-style fan-out or a lost parallelism
+// bug drags parallel toward (or past) serial. Machines with more cores
+// than the baseline's only improve the ratio, so the gate stays sound
+// across CI hardware.
+//
+//	go test -run xxx -bench 'BenchmarkReplay(Serial|Parallel)$' -benchtime 2x -count 3 . | benchguard -replay
 package main
 
 import (
@@ -32,15 +44,25 @@ import (
 
 type baseline struct {
 	EncodePR3 map[string]float64 `json:"encode_into_ns_per_op_pr3"`
+	Replay    *replayBaseline    `json:"replay_parallel_pr4"`
+}
+
+type replayBaseline struct {
+	SerialNS   float64 `json:"serial_ns_per_run"`
+	ParallelNS float64 `json:"parallel_ns_per_run"`
+	Ratio      float64 `json:"parallel_over_serial"`
+	Workers    int     `json:"workers"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchguard: ")
 	var (
-		basePath = flag.String("baseline", "BENCH_encode.json", "committed baseline JSON")
-		tol      = flag.Float64("tolerance", 0.10, "allowed relative regression (0.10 = 10%)")
-		emit     = flag.Bool("emit-baseline", false, "print the baseline as benchstat-compatible bench output and exit")
+		basePath  = flag.String("baseline", "BENCH_encode.json", "committed baseline JSON")
+		tol       = flag.Float64("tolerance", 0.10, "allowed relative regression (0.10 = 10%)")
+		emit      = flag.Bool("emit-baseline", false, "print the baseline as benchstat-compatible bench output and exit")
+		replay    = flag.Bool("replay", false, "guard the parallel replay dispatcher (parallel/serial wall-clock ratio) instead of the encode series")
+		replayTol = flag.Float64("replay-tolerance", 0.30, "allowed relative ratio regression in -replay mode (generous: wall-clock ratios are noisy)")
 	)
 	flag.Parse()
 
@@ -51,6 +73,10 @@ func main() {
 	var base baseline
 	if err := json.Unmarshal(raw, &base); err != nil {
 		log.Fatal(err)
+	}
+	if *replay {
+		guardReplay(base, openInput(), *replayTol)
+		return
 	}
 	if len(base.EncodePR3) == 0 {
 		log.Fatalf("%s has no encode_into_ns_per_op_pr3 series", *basePath)
@@ -68,16 +94,7 @@ func main() {
 		return
 	}
 
-	var in io.Reader = os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		in = f
-	}
-	got, err := parseBench(in)
+	got, err := parseBench(openInput())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,6 +138,61 @@ func main() {
 	fmt.Println("benchguard: encode hot path within baseline")
 }
 
+// openInput returns the bench output to parse: the first positional
+// argument as a file, or stdin. The process exits before the reader is
+// finished with, so the file is never explicitly closed.
+func openInput() io.Reader {
+	if flag.NArg() == 0 {
+		return os.Stdin
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}
+
+// guardReplay enforces the routed-dispatch baseline: the measured
+// parallel-over-serial replay ratio must not exceed the committed ratio
+// by more than tol (relative).
+func guardReplay(base baseline, in io.Reader, tol float64) {
+	if base.Replay == nil || base.Replay.Ratio == 0 {
+		log.Fatal("baseline has no replay_parallel_pr4 series")
+	}
+	serial, parallel, err := parseReplay(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if serial == 0 || parallel == 0 {
+		log.Fatal("input is missing BenchmarkReplaySerial or BenchmarkReplayParallel results")
+	}
+	ratio := parallel / serial
+	limit := base.Replay.Ratio * (1 + tol)
+	fmt.Printf("replay: serial %.1fms, parallel %.1fms, parallel/serial %.3f "+
+		"(baseline %.3f at %d workers, limit %.3f)\n",
+		serial/1e6, parallel/1e6, ratio, base.Replay.Ratio, base.Replay.Workers, limit)
+	if ratio > limit {
+		log.Fatalf("parallel replay dispatch regressed: ratio %.3f exceeds %.3f "+
+			"(baseline %.3f +%.0f%%)", ratio, limit, base.Replay.Ratio, 100*tol)
+	}
+	fmt.Println("benchguard: parallel replay dispatch within baseline")
+}
+
+// parseReplay extracts the mean ns/op of BenchmarkReplaySerial and
+// BenchmarkReplayParallel from bench output (averaging -count repeats).
+func parseReplay(r io.Reader) (serial, parallel float64, err error) {
+	m, err := parseBenchLines(r, func(name string) (string, bool) {
+		if name == "BenchmarkReplaySerial" || name == "BenchmarkReplayParallel" {
+			return name, true
+		}
+		return "", false
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return m["BenchmarkReplaySerial"], m["BenchmarkReplayParallel"], nil
+}
+
 // geomean returns the geometric mean of m over names.
 func geomean(m map[string]float64, names []string) float64 {
 	var logSum float64
@@ -133,21 +205,32 @@ func geomean(m map[string]float64, names []string) float64 {
 // parseBench extracts ns/op per scheme from BenchmarkEncodeInto lines,
 // averaging repeated -count runs.
 func parseBench(r io.Reader) (map[string]float64, error) {
+	return parseBenchLines(r, func(name string) (string, bool) {
+		return strings.CutPrefix(name, "BenchmarkEncodeInto/")
+	})
+}
+
+// parseBenchLines scans `go test -bench` output and returns mean ns/op
+// per key (averaging -count repeats). match maps a benchmark name — the
+// trailing -GOMAXPROCS suffix already stripped — to its result key, or
+// rejects the line.
+func parseBenchLines(r io.Reader, match func(name string) (key string, ok bool)) (map[string]float64, error) {
 	sum := map[string]float64{}
 	cnt := map[string]int{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
-		if !strings.HasPrefix(line, "BenchmarkEncodeInto/") {
-			continue
-		}
 		fields := strings.Fields(line)
-		if len(fields) < 4 {
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		name := strings.TrimPrefix(fields[0], "BenchmarkEncodeInto/")
+		name := fields[0]
 		if i := strings.LastIndex(name, "-"); i > 0 {
 			name = name[:i]
+		}
+		key, ok := match(name)
+		if !ok {
+			continue
 		}
 		var ns float64
 		for i := 2; i+1 < len(fields); i++ {
@@ -163,8 +246,8 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		if ns == 0 {
 			continue
 		}
-		sum[name] += ns
-		cnt[name]++
+		sum[key] += ns
+		cnt[key]++
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

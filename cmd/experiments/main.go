@@ -9,7 +9,7 @@
 //	experiments -run fig1a,fig4,hw
 //
 // Valid experiment ids: fig1a fig1b fig2 fig3 fig4 fig5 fig8 fig9 fig10
-// fig11 fig12 fig13 fig14 multiobj ablation hw headline all.
+// fig11 fig12 fig13 fig14 multiobj ablation hw headline wear all.
 package main
 
 import (
@@ -21,16 +21,18 @@ import (
 
 	"wlcrc/internal/exp"
 	"wlcrc/internal/hw"
+	"wlcrc/internal/sim"
 	"wlcrc/internal/stats"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated experiment ids (fig1a..fig14, multiobj, ablation, hw, headline, all)")
-		writes  = flag.Int("writes", 2000, "write requests per benchmark")
-		random  = flag.Int("random-writes", 4000, "write requests for random-workload figures")
-		seed    = flag.Uint64("seed", 1, "experiment seed")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "replay worker goroutines (1 = serial; results are identical for any value)")
+		run      = flag.String("run", "all", "comma-separated experiment ids (fig1a..fig14, multiobj, ablation, hw, headline, wear, all)")
+		writes   = flag.Int("writes", 2000, "write requests per benchmark")
+		random   = flag.Int("random-writes", 4000, "write requests for random-workload figures")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "replay worker goroutines (1 = serial; results are identical for any value)")
+		progress = flag.Bool("progress", false, "print live replay throughput to stderr")
 	)
 	flag.Parse()
 
@@ -39,13 +41,24 @@ func main() {
 	cfg.RandomWrites = *random
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	if *progress {
+		cfg.Progress = sim.ProgressPrinter(os.Stderr)
+	}
 
 	ids := strings.Split(*run, ",")
 	if *run == "all" {
 		// fig11 prints the combined 11-13 sweep table.
 		ids = []string{"fig1a", "fig1b", "fig2", "fig3", "fig4", "fig5",
 			"fig8", "fig9", "fig10", "fig11", "fig14",
-			"multiobj", "ablation", "hw", "headline"}
+			"multiobj", "ablation", "hw", "wear", "headline"}
+	}
+	// The wear report digests the shared fig8/9/10 evaluation rather
+	// than replaying its own matrix, so wear tracking must be on before
+	// the evaluation is (lazily) computed.
+	for _, id := range ids {
+		if strings.TrimSpace(id) == "wear" {
+			cfg.TrackWear = true
+		}
 	}
 
 	// The fig8/9/10 matrix and the fig11/12/13 sweep are each computed
@@ -104,6 +117,9 @@ func main() {
 		case "hw":
 			rep := hw.Estimate(hw.FreePDK45(), hw.WLCRCDesign())
 			section("§VI.B: WLCRC-16 hardware cost model", rep.Table())
+		case "wear":
+			_, t := exp.WearReportFrom(getEval())
+			section("Wear: per-cell wear distribution and first-failure projection (Fig 9 extended)", t)
 		case "ablation":
 			section("Ablation: multi-objective threshold sweep",
 				exp.AblationMultiObjective(cfg, []float64{0.01, 0.05, 0.2}))

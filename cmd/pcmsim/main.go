@@ -11,12 +11,17 @@
 // goroutines (default: all CPUs); results are bit-identical for every
 // worker count, so -workers 1 reproduces the serial numbers exactly.
 //
+// -progress streams live dispatcher throughput and per-worker queue
+// depths to stderr while a replay runs; -wear enables dense per-cell
+// wear tracking and appends a wear report (worst-cell wear, wear CDF
+// quantiles, first-cell-failure projection) per scheme.
+//
 // Examples:
 //
 //	pcmsim -workload gcc -schemes Baseline,WLCRC-16 -writes 10000
-//	pcmsim -trace writes.wlct -schemes WLCRC-16
+//	pcmsim -trace writes.wlct -schemes WLCRC-16 -progress
 //	pcmsim -workload all -schemes Baseline,6cosets,WLCRC-16 -memsys
-//	pcmsim -workload all -schemes Baseline,WLCRC-16 -workers 1
+//	pcmsim -workload all -schemes Baseline,WLCRC-16 -workers 1 -wear
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"wlcrc/internal/sim"
 	"wlcrc/internal/stats"
 	"wlcrc/internal/trace"
+	"wlcrc/internal/wear"
 	"wlcrc/internal/workload"
 )
 
@@ -49,6 +55,8 @@ func main() {
 		sample      = flag.Bool("sample-disturb", false, "sample disturbance instead of expected values")
 		useMemsys   = flag.Bool("memsys", false, "also run the Table II memory-system timing model")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "replay worker goroutines (1 = serial; results are identical for any value)")
+		progress    = flag.Bool("progress", false, "stream live replay throughput and queue depths to stderr")
+		wearReport  = flag.Bool("wear", false, "track dense per-cell wear and report the wear distribution per scheme")
 	)
 	flag.Parse()
 
@@ -66,6 +74,10 @@ func main() {
 	opts.SampleDisturb = *sample
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.TrackWear = *wearReport
+	if *progress {
+		opts.Progress = sim.ProgressPrinter(os.Stderr)
+	}
 
 	type namedSource struct {
 		name string
@@ -113,6 +125,11 @@ func main() {
 
 	tbl := stats.NewTable("workload", "scheme", "pJ/write", "cells/write",
 		"disturb/write", "compressed")
+	var wearTbl *stats.Table
+	if *wearReport {
+		wearTbl = stats.NewTable("workload", "scheme", "cells/write", "max wear",
+			"p50", "p99", "imbalance", "writes to 1st failure")
+	}
 	var msys *memsys.Controller
 	if *useMemsys {
 		msys = memsys.New(memsys.TableII())
@@ -136,10 +153,22 @@ func main() {
 			totalWrites += uint64(m.Writes)
 			tbl.Row(ns.name, m.Scheme, m.AvgEnergy(), m.AvgUpdated(),
 				m.AvgDisturb(), stats.Percent(m.CompressedFraction()))
+			if wearTbl != nil {
+				w := m.Wear
+				wearTbl.Row(ns.name, m.Scheme, w.AvgUpdatedCells(),
+					fmt.Sprintf("%d", w.MaxCellWear),
+					fmt.Sprintf("%d", w.Quantile(0.5)), fmt.Sprintf("%d", w.Quantile(0.99)),
+					w.WearImbalance(),
+					fmt.Sprintf("%.3g", w.LifetimeWrites(wear.DefaultCellEndurance)))
+			}
 		}
 	}
 	elapsed := time.Since(start)
 	fmt.Print(tbl.String())
+	if wearTbl != nil {
+		fmt.Printf("\nper-cell wear (first-failure projection at %.0e program cycles):\n%s",
+			wear.DefaultCellEndurance, wearTbl.String())
+	}
 	if eng != nil {
 		fmt.Printf("\nreplayed %d scheme-writes in %v with %d workers over %d bank shards (%s)\n",
 			totalWrites, elapsed.Round(time.Millisecond), eng.Workers(), eng.Banks(),

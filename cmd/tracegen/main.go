@@ -3,6 +3,15 @@
 // which turns a store stream into the dirty write-back stream the
 // paper's Simics methodology captured) and inspects existing traces.
 //
+// With -out - the trace streams to stdout (summaries go to stderr), so
+// generated workloads pipe straight into pcmsim without a temp file:
+//
+//	tracegen -workload mcf -writes 100000 -out - | pcmsim -trace /dev/stdin
+//
+// Files written with -out <path> carry the real record count in the
+// header (back-patched on close); streamed output keeps the header's
+// count-unknown convention, which every reader accepts.
+//
 // Examples:
 //
 //	tracegen -workload mcf -writes 100000 -out mcf.wlct
@@ -29,7 +38,7 @@ func main() {
 	var (
 		wlName   = flag.String("workload", "gcc", "workload profile name or 'random'")
 		writes   = flag.Int("writes", 10000, "number of write requests to emit")
-		out      = flag.String("out", "", "output trace file (required unless -info)")
+		out      = flag.String("out", "", "output trace file, or '-' for stdout (required unless -info)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		footpr   = flag.Int("footprint", 0, "working-set lines (0 = profile default)")
 		useCache = flag.Bool("through-cache", false, "filter stores through the Table II L2; the trace holds its dirty write-backs")
@@ -59,12 +68,29 @@ func main() {
 	}
 	gen := workload.NewGenerator(prof, *footpr, *seed)
 
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
+	// With -out - the records stream to stdout and human-readable
+	// summaries move to stderr. Stdout is wrapped so the writer does not
+	// try to back-patch the header count — stdout is usually a pipe, and
+	// even when it is a file the stream convention (count 0 = unknown)
+	// keeps piped and redirected output identical.
+	var (
+		dst     io.Writer
+		closef  func() error
+		summary io.Writer = os.Stdout
+	)
+	if *out == "-" {
+		dst = struct{ io.Writer }{os.Stdout}
+		summary = os.Stderr
+		closef = func() error { return nil }
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dst = f
+		closef = f.Close
 	}
-	defer f.Close()
-	w, err := trace.NewWriter(f)
+	w, err := trace.NewWriter(dst)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +117,7 @@ func main() {
 			log.Fatal(sinkErr)
 		}
 		st := l2.Stats()
-		fmt.Printf("L2: %.1f%% hit rate, %d write-backs from %d stores\n",
+		fmt.Fprintf(summary, "L2: %.1f%% hit rate, %d write-backs from %d stores\n",
 			100*st.HitRate(), st.WriteBacks, *writes)
 	} else {
 		for i := 0; i < *writes; i++ {
@@ -101,10 +127,14 @@ func main() {
 			}
 		}
 	}
-	if err := w.Flush(); err != nil {
+	// Close back-patches the header record count on seekable outputs.
+	if err := w.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %d requests to %s\n", w.Count(), *out)
+	if err := closef(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(summary, "wrote %d requests to %s\n", w.Count(), *out)
 }
 
 func describe(path string) error {
@@ -116,6 +146,11 @@ func describe(path string) error {
 	rd, err := trace.NewReader(f)
 	if err != nil {
 		return err
+	}
+	if c := rd.Count(); c > 0 {
+		fmt.Printf("header count: %d\n", c)
+	} else {
+		fmt.Println("header count: unknown (streamed)")
 	}
 	var (
 		n        int

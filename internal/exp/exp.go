@@ -39,6 +39,13 @@ type Config struct {
 	// (0 = all CPUs, 1 = serial). Results are bit-identical for every
 	// value — see sim.Engine — so this is purely a speed knob.
 	Workers int
+	// TrackWear enables dense per-cell wear accounting in every replay;
+	// the wear digest lands in each result's M.Wear. Costs 4 bytes per
+	// tracked cell per scheme — fine at experiment scale.
+	TrackWear bool
+	// Progress, when non-nil, receives live dispatcher reports from
+	// every replay the experiments run (see sim.Options.Progress).
+	Progress func(sim.Progress)
 }
 
 // DefaultConfig returns laptop-scale defaults.
@@ -108,6 +115,8 @@ func simOptions(cfg Config) sim.Options {
 	o.Energy = cfg.Energy
 	o.Seed = cfg.Seed
 	o.Workers = cfg.Workers
+	o.TrackWear = cfg.TrackWear
+	o.Progress = cfg.Progress
 	return o
 }
 

@@ -68,6 +68,33 @@ func TestSteadyStateApplyZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSteadyStateApplyZeroAllocsWear extends the guarantee to dense
+// wear tracking: once a line has a wear slot, recording its programmed
+// cells is pure array increments.
+func TestSteadyStateApplyZeroAllocsWear(t *testing.T) {
+	for _, name := range []string{"Baseline", "WLCRC-16"} {
+		t.Run(name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Verify = false
+			opts.TrackWear = true
+			u, reqs := allocFixture(t, name, opts)
+			i := 0
+			avg := testing.AllocsPerRun(200, func() {
+				if err := u.apply(&reqs[i%len(reqs)]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s: wear-tracking apply allocates %.2f objects/op, want 0", name, avg)
+			}
+			if u.wear.Summary().MaxCellWear == 0 {
+				t.Errorf("%s: wear not recorded", name)
+			}
+		})
+	}
+}
+
 // TestSteadyStateApplyZeroAllocsVerify extends the guarantee to the
 // Verify path: decoding every write back through DecodeInto must not
 // allocate either.

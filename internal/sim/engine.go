@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wlcrc/internal/core"
 	"wlcrc/internal/memsys"
@@ -11,29 +12,47 @@ import (
 	"wlcrc/internal/trace"
 )
 
-// engineBatch is the number of requests the dispatcher groups per
-// broadcast. Large enough to amortize channel traffic, small enough to
-// keep every worker busy on short traces.
+// engineBatch is the per-worker batch capacity: the number of routed
+// requests the dispatcher accumulates for one worker before handing the
+// batch over. Large enough to amortize channel traffic, small enough to
+// bound how far a Snapshot can lag and to keep workers busy on short
+// traces.
 const engineBatch = 512
+
+// progressStride is how many dispatched requests pass between clock
+// checks for the Progress callback — the dispatch loop never reads the
+// clock more than once per stride. Must be a power of two.
+const progressStride = 1024
 
 // Engine is the concurrent sharded replay pipeline. It maintains one
 // shard per (scheme, bank) pair — the bank comes from the configured
 // memsys geometry, exactly the interleaving the Table II memory
-// controller uses — and fans each trace batch out to a pool of workers.
-// Every shard is owned by exactly one worker, so no locks guard
-// simulation state, and a shard sees its requests in trace order (the
-// dispatcher emits batches in order and a worker drains its channel in
-// FIFO order).
+// controller uses — and streams the trace through per-worker queues.
 //
-// Determinism: results never depend on Options.Workers. Each shard
-// accumulates its metrics sequentially in trace order regardless of
-// which worker owns it, each shard's PRNG substream is seeded only from
-// (Options.Seed, scheme, bank), and Metrics folds the per-bank shards in
+// Dispatch is routed, not broadcast: every bank is owned by exactly one
+// worker (bank mod workers, all schemes of the bank together), and the
+// dispatcher appends each request only to its owner's pending batch. A
+// request therefore crosses one channel once, so channel traffic is
+// O(batches) instead of the previous O(workers x batches), and a worker
+// only ever sees requests it will actually apply. Batch buffers recycle
+// through a sync.Pool: workers return drained buffers, the dispatcher
+// reuses them, and an arbitrarily long streamed trace runs with zero
+// steady-state dispatcher allocations.
+//
+// Determinism: results never depend on Options.Workers. Bank ownership
+// is static, so every shard sees its bank's requests in trace order (the
+// dispatcher reads the source sequentially and a worker drains its
+// queue FIFO); each shard's PRNG substream is seeded only from
+// (Options.Seed, scheme, bank); and Metrics folds the per-bank shards in
 // fixed bank order. Workers = 1 is therefore the serial mode of the same
 // engine, and a parallel run is bit-identical to it — floats included.
 //
-// An Engine is not safe for concurrent use: Run, Metrics and the Reset
-// methods must not be called concurrently with each other.
+// Observability: Snapshot may be called from any goroutine while Run is
+// executing — workers publish a copy of each shard's metrics after every
+// batch, so a snapshot lags a shard by at most one in-flight batch — and
+// Options.Progress delivers live dispatcher throughput. Run, Metrics and
+// the Reset methods themselves must still not be called concurrently
+// with each other.
 type Engine struct {
 	opts    Options
 	schemes []core.Scheme
@@ -42,11 +61,15 @@ type Engine struct {
 	workers int
 	// shards[i*banks+b] is scheme i's view of bank b.
 	shards []*shard
+	// bufPool recycles batch buffers across batches and across Run
+	// calls (warm-up then measure reuses the same pool).
+	bufPool sync.Pool
 }
 
 // NewEngine builds a sharded engine for the given schemes. Worker count
 // and bank geometry come from opts (zero values mean all CPUs and the
-// Table II geometry).
+// Table II geometry; worker counts above the bank count are capped at
+// it, since a bank is the unit of routing).
 func NewEngine(opts Options, schemes ...core.Scheme) *Engine {
 	if opts.MaxVnRIterations == 0 {
 		opts.MaxVnRIterations = 16
@@ -59,12 +82,19 @@ func NewEngine(opts Options, schemes ...core.Scheme) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > geo.Banks() {
+		workers = geo.Banks()
+	}
 	e := &Engine{
 		opts:    opts,
 		schemes: schemes,
 		geo:     geo,
 		banks:   geo.Banks(),
 		workers: workers,
+	}
+	e.bufPool.New = func() any {
+		s := make([]routedReq, 0, engineBatch)
+		return &s
 	}
 	e.shards = make([]*shard, len(schemes)*e.banks)
 	sampled := opts.SampleDisturb || opts.InjectFaults
@@ -95,32 +125,43 @@ func (e *Engine) Workers() int { return e.workers }
 // Banks returns the number of address shards per scheme.
 func (e *Engine) Banks() int { return e.banks }
 
-// batch is one dispatched group of requests. base is the global sequence
-// number of reqs[0]; workers use it to order verification failures. The
-// slice is shared read-only by every worker.
+// routedReq is one request annotated with its global trace sequence
+// number (for deterministic error ordering) and its resolved bank (so
+// workers do not recompute the routing function).
+type routedReq struct {
+	seq  uint64
+	bank int32
+	req  trace.Request
+}
+
+// batch is one dispatched group of requests for a single worker. The
+// buffer is owned by the receiving worker until it returns it to the
+// engine's pool.
 type batch struct {
-	base uint64
-	reqs []trace.Request
+	reqs *[]routedReq
 }
 
 // Run drains a source through the engine, stopping after max requests
 // when max > 0. The source is read sequentially on the calling
-// goroutine; requests fan out to the workers in batches.
+// goroutine; each request is routed to the single worker owning its
+// bank and travels in pooled batch buffers.
 //
-// On a verification failure the engine stops dispatching, lets in-flight
-// batches finish, and returns the error of the earliest failing request
-// in trace order — deterministic even though the failure is detected
-// concurrently (every dispatched batch is fully drained, and the batch
-// holding the globally-first failure is always dispatched before any
-// stop it can trigger). A shard that erred freezes, so its own metrics
-// cover exactly its prefix up to the failure; metrics of other shards
-// cover an unspecified prefix of the tail, since how many batches were
-// dispatched before the stop depends on timing. Metrics of error-free
-// runs are always exact and worker-count independent.
+// On a verification failure the engine stops reading the source,
+// flushes every pending batch (so all requests read before the stop are
+// applied), lets workers drain, and returns the error of the earliest
+// failing request in trace order — deterministic even though the
+// failure is detected concurrently: the globally-first failing request
+// was necessarily read before any failure that could trigger a stop,
+// so it is always dispatched and applied. A shard that erred freezes,
+// so its own metrics cover exactly its prefix up to the failure;
+// metrics of other shards cover an unspecified prefix of the tail,
+// since how many requests were read before the stop depends on timing.
+// Metrics of error-free runs are always exact and worker-count
+// independent.
 func (e *Engine) Run(src trace.Source, max int) error {
 	chans := make([]chan batch, e.workers)
 	for i := range chans {
-		chans[i] = make(chan batch, 2)
+		chans[i] = make(chan batch, 8)
 	}
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -129,19 +170,28 @@ func (e *Engine) Run(src trace.Source, max int) error {
 		go func(w int) {
 			defer wg.Done()
 			for b := range chans[w] {
-				e.applyBatch(w, b, &failed)
+				e.applyBatch(b, &failed)
+				*b.reqs = (*b.reqs)[:0]
+				e.bufPool.Put(b.reqs)
+				e.publishOwned(w)
 			}
+			e.publishOwned(w)
 		}(w)
 	}
 
-	dispatch := func(b batch) {
-		for _, c := range chans {
-			c <- b
-		}
+	var (
+		start    = time.Now()
+		lastTick = start
+		interval = e.opts.ProgressInterval
+		queue    []int
+	)
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
 	}
+
+	pending := make([]*[]routedReq, e.workers)
 	var seq uint64
 	n := 0
-	reqs := make([]trace.Request, 0, engineBatch)
 	for !failed.Load() {
 		if max > 0 && n >= max {
 			break
@@ -150,49 +200,99 @@ func (e *Engine) Run(src trace.Source, max int) error {
 		if !ok {
 			break
 		}
-		reqs = append(reqs, req)
+		bank := e.geo.BankOf(req.Addr)
+		w := bank % e.workers
+		p := pending[w]
+		if p == nil {
+			p = e.bufPool.Get().(*[]routedReq)
+			pending[w] = p
+		}
+		*p = append(*p, routedReq{seq: seq, bank: int32(bank), req: req})
 		seq++
 		n++
-		if len(reqs) == engineBatch {
-			dispatch(batch{base: seq - uint64(len(reqs)), reqs: reqs})
-			reqs = make([]trace.Request, 0, engineBatch)
+		if len(*p) == engineBatch {
+			chans[w] <- batch{reqs: p}
+			pending[w] = nil
+		}
+		if e.opts.Progress != nil && seq&(progressStride-1) == 0 {
+			if now := time.Now(); now.Sub(lastTick) >= interval {
+				lastTick = now
+				if queue == nil {
+					queue = make([]int, e.workers)
+				}
+				for i, c := range chans {
+					queue[i] = len(c)
+				}
+				e.opts.Progress(Progress{
+					Dispatched: seq,
+					Elapsed:    now.Sub(start),
+					QueueDepth: queue,
+				})
+			}
 		}
 	}
-	// A pending partial batch is dropped on failure: the earliest error
-	// is in an already-dispatched batch (its detection is why we are
-	// stopping), and every undispatched request has a higher sequence
-	// number, so the reported error cannot change.
-	if len(reqs) > 0 && !failed.Load() {
-		dispatch(batch{base: seq - uint64(len(reqs)), reqs: reqs})
+	// Flush every pending batch — even when stopping on a failure.
+	// Determinism of the reported error depends on it: the earliest
+	// failing request overall was read before the (later) failure whose
+	// detection triggered the stop, so it sits in an already-dispatched
+	// batch or in one of these pending buffers, and flushing guarantees
+	// it is applied and recorded.
+	for w, p := range pending {
+		if p != nil && len(*p) > 0 {
+			chans[w] <- batch{reqs: p}
+			pending[w] = nil
+		}
 	}
 	for _, c := range chans {
 		close(c)
 	}
 	wg.Wait()
+	if e.opts.Progress != nil {
+		if queue == nil {
+			queue = make([]int, e.workers)
+		}
+		for i := range queue {
+			queue[i] = 0
+		}
+		e.opts.Progress(Progress{
+			Dispatched: seq,
+			Elapsed:    time.Since(start),
+			QueueDepth: queue,
+			Done:       true,
+		})
+	}
 	return e.firstError()
 }
 
-// applyBatch replays the requests of one batch through every shard owned
-// by worker w. Ownership is static — shard u belongs to worker u mod
-// workers — so each shard is only ever touched by one goroutine.
-func (e *Engine) applyBatch(w int, b batch, failed *atomic.Bool) {
-	for j := range b.reqs {
-		req := &b.reqs[j]
-		bank := e.geo.BankOf(req.Addr)
+// applyBatch replays one routed batch. Every request in the batch maps
+// to a bank owned by the receiving worker, and all schemes' shards of a
+// bank share that owner, so no other goroutine ever touches the shards
+// referenced here.
+func (e *Engine) applyBatch(b batch, failed *atomic.Bool) {
+	rs := *b.reqs
+	for j := range rs {
+		rr := &rs[j]
+		bank := int(rr.bank)
 		for i := range e.schemes {
-			unit := i*e.banks + bank
-			if unit%e.workers != w {
-				continue
-			}
-			u := e.shards[unit]
+			u := e.shards[i*e.banks+bank]
 			if u.err != nil {
 				continue // frozen after its first failure
 			}
-			if err := u.apply(req); err != nil {
+			if err := u.apply(&rr.req); err != nil {
 				u.err = err
-				u.errSeq = b.base + uint64(j)
+				u.errSeq = rr.seq
 				failed.Store(true)
 			}
+		}
+	}
+}
+
+// publishOwned refreshes the snapshot copies of every shard worker w
+// owns (cheap for shards without new writes).
+func (e *Engine) publishOwned(w int) {
+	for b := w; b < e.banks; b += e.workers {
+		for i := range e.schemes {
+			e.shards[i*e.banks+b].publishIfDirty()
 		}
 	}
 }
@@ -212,13 +312,34 @@ func (e *Engine) firstError() error {
 
 // Metrics merges the per-bank shards of every scheme, in fixed bank
 // order, and returns the per-scheme metrics index-aligned with the
-// schemes passed to NewEngine.
+// schemes passed to NewEngine. It reads the live accumulators and must
+// not be called concurrently with Run — use Snapshot for that.
 func (e *Engine) Metrics() []Metrics {
 	out := make([]Metrics, len(e.schemes))
 	for i, sch := range e.schemes {
-		m := Metrics{Scheme: sch.Name()}
+		m := newMetrics(sch.Name())
 		for b := 0; b < e.banks; b++ {
-			m.Merge(e.shards[i*e.banks+b].m)
+			m.Merge(e.shards[i*e.banks+b].metricsView())
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// Snapshot merges the per-shard published metric copies, in the same
+// fixed bank order as Metrics, and is safe to call from any goroutine
+// while Run is executing. Workers publish after every batch, so a
+// snapshot lags each shard by at most one in-flight batch; once Run has
+// returned, Snapshot and Metrics agree exactly. Counters within one
+// scheme are mutually consistent per shard (each publish is an atomic
+// copy under the shard's lock), and Writes per scheme is monotonically
+// non-decreasing across snapshots.
+func (e *Engine) Snapshot() []Metrics {
+	out := make([]Metrics, len(e.schemes))
+	for i, sch := range e.schemes {
+		m := newMetrics(sch.Name())
+		for b := 0; b < e.banks; b++ {
+			m.Merge(e.shards[i*e.banks+b].snapshot())
 		}
 		out[i] = m
 	}
@@ -235,9 +356,10 @@ func (e *Engine) MetricsFor(name string) (Metrics, bool) {
 	return Metrics{}, false
 }
 
-// ResetMetrics clears the accumulated metrics but keeps every shard's
-// memory state — used after a warm-up phase so reported numbers reflect
-// steady-state behavior rather than cold first writes.
+// ResetMetrics clears the accumulated metrics (wear counts included;
+// the tracked footprint stays) but keeps every shard's memory state —
+// used after a warm-up phase so reported numbers reflect steady-state
+// behavior rather than cold first writes.
 func (e *Engine) ResetMetrics() {
 	for _, u := range e.shards {
 		u.resetMetrics()
@@ -260,6 +382,7 @@ func (e *Engine) Reset() {
 type Replayer interface {
 	Run(src trace.Source, max int) error
 	Metrics() []Metrics
+	Snapshot() []Metrics
 	MetricsFor(name string) (Metrics, bool)
 	ResetMetrics()
 	Reset()

@@ -2,12 +2,14 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"wlcrc/internal/core"
 	"wlcrc/internal/memline"
 	"wlcrc/internal/pcm"
 	"wlcrc/internal/prng"
 	"wlcrc/internal/trace"
+	"wlcrc/internal/wear"
 )
 
 // shard is the unit of simulation state: one scheme's view of one slice
@@ -53,6 +55,21 @@ type shard struct {
 	// sampled results do not depend on scheduling.
 	rnd *prng.Xoshiro256
 	m   Metrics
+	// wear records dense per-cell program counts when Options.TrackWear
+	// is set (nil otherwise). Owned by the shard's single goroutine;
+	// only its fixed-size Summary ever leaves, folded into metricsView.
+	wear *wear.Dense
+
+	// pub is the last published copy of this shard's metrics, the
+	// half that makes Engine.Snapshot safe during Run: the owning worker
+	// copies metricsView() into pub under pubMu (publish), and Snapshot
+	// readers copy it back out under the same lock, never touching the
+	// live accumulators. pubWrites is the Writes value at the last
+	// publish, the owner's cheap dirty check; it is only ever accessed
+	// by the owning worker.
+	pubMu     sync.Mutex
+	pub       Metrics
+	pubWrites int
 
 	// err records the first verification failure; errSeq is the global
 	// sequence number of the request that caused it. Both are maintained
@@ -72,7 +89,11 @@ func newShard(opts *Options, sch core.Scheme, rnd *prng.Xoshiro256) *shard {
 		scratch: make([]pcm.State, n),
 		changed: make([]bool, n),
 		rnd:     rnd,
-		m:       Metrics{Scheme: sch.Name()},
+		m:       newMetrics(sch.Name()),
+		pub:     newMetrics(sch.Name()),
+	}
+	if opts.TrackWear {
+		u.wear = wear.NewDense(n)
 	}
 	u.compressed = core.CompressedWriteFunc(sch)
 	return u
@@ -95,6 +116,11 @@ func (u *shard) apply(req *trace.Request) error {
 	st, changed := u.opts.Energy.DiffWriteMask(old, newCells, sch.DataCells(), u.changed)
 	m.Energy.Add(st)
 	u.changed = changed
+	m.EnergyHist.Observe(st.Energy())
+	m.UpdatedHist.Observe(float64(st.Updated()))
+	if u.wear != nil {
+		u.wear.RecordChanged(req.Addr, u.changed)
+	}
 	var sampler pcm.Sampler
 	if u.rnd != nil {
 		sampler = u.rnd
@@ -126,16 +152,67 @@ func (u *shard) apply(req *trace.Request) error {
 	return nil
 }
 
-// resetMetrics clears the accumulated metrics but keeps the memory state
-// (used after warm-up).
-func (u *shard) resetMetrics() {
-	u.m = Metrics{Scheme: u.scheme.Name()}
-	u.err = nil
-	u.errSeq = 0
+// metricsView returns the shard's current metrics with the wear digest
+// folded in. Only the owning goroutine (or a post-run caller) may use
+// it; concurrent readers go through the published copy instead.
+func (u *shard) metricsView() Metrics {
+	m := u.m
+	if u.wear != nil {
+		m.Wear = u.wear.Summary()
+	}
+	return m
 }
 
-// reset clears metrics and memory state.
+// publish copies the live metrics into the snapshot buffer. Called by
+// the owning worker after each batch (and at drain), so Snapshot
+// readers lag a shard by at most one in-flight batch.
+func (u *shard) publish() {
+	m := u.metricsView()
+	u.pubMu.Lock()
+	u.pub = m
+	u.pubMu.Unlock()
+}
+
+// publishIfDirty publishes only when writes landed since the last
+// publish, keeping the per-batch publish sweep cheap for untouched
+// shards. Owner-only, like publish.
+func (u *shard) publishIfDirty() {
+	if u.m.Writes == u.pubWrites {
+		return
+	}
+	u.pubWrites = u.m.Writes
+	u.publish()
+}
+
+// snapshot returns the last published metrics copy. Safe to call from
+// any goroutine at any time.
+func (u *shard) snapshot() Metrics {
+	u.pubMu.Lock()
+	m := u.pub
+	u.pubMu.Unlock()
+	return m
+}
+
+// resetMetrics clears the accumulated metrics (including wear counts —
+// the footprint stays) but keeps the memory state (used after warm-up).
+func (u *shard) resetMetrics() {
+	u.m = newMetrics(u.scheme.Name())
+	if u.wear != nil {
+		u.wear.Reset()
+	}
+	u.err = nil
+	u.errSeq = 0
+	u.pubWrites = 0
+	u.publish()
+}
+
+// reset clears metrics and memory state. The wear recorder is replaced
+// before resetMetrics runs so the old footprint is dropped rather than
+// pointlessly zeroed.
 func (u *shard) reset() {
-	u.resetMetrics()
 	u.mem = make(map[uint64][]pcm.State)
+	if u.wear != nil {
+		u.wear = wear.NewDense(u.scheme.TotalCells())
+	}
+	u.resetMetrics()
 }

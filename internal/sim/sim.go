@@ -18,11 +18,27 @@
 package sim
 
 import (
+	"fmt"
+	"io"
+	"time"
+
 	"wlcrc/internal/core"
 	"wlcrc/internal/memsys"
 	"wlcrc/internal/pcm"
 	"wlcrc/internal/prng"
+	"wlcrc/internal/stats"
 	"wlcrc/internal/trace"
+	"wlcrc/internal/wear"
+)
+
+// Bucket widths of the per-write metric histograms. Fixed so every
+// shard's histogram is mergeable with every other's: per-write energy in
+// 1024 pJ steps (64 buckets span 0..64k pJ, beyond the worst realistic
+// full-line write; the rest overflows), updated cells in steps of 8 (64
+// buckets span 0..512, above any scheme's total cell count).
+const (
+	energyHistBucketPJ     = 1024
+	updatedHistBucketCells = 8
 )
 
 // Metrics aggregates per-scheme results over a run.
@@ -49,6 +65,30 @@ type Metrics struct {
 	// VnR reports fault-injection / Verify-and-Restore activity when
 	// Options.InjectFaults is set.
 	VnR VnRStats
+
+	// EnergyHist is the distribution of per-write total programming
+	// energy (pJ), and UpdatedHist of per-write programmed cells — the
+	// online form of the Figure 8/9 series: fixed-bucket, mergeable, and
+	// cheap enough to maintain on every request.
+	EnergyHist  stats.Histogram
+	UpdatedHist stats.Histogram
+
+	// Wear digests the per-cell wear distribution (worst-cell wear,
+	// log2 wear-level CDF buckets, first-failure projection via
+	// Wear.LifetimeWrites) when Options.TrackWear is enabled; otherwise
+	// it stays zero.
+	Wear wear.Summary
+}
+
+// newMetrics returns an empty accumulator for one scheme with the
+// histogram bucket widths configured. All metric construction funnels
+// through here so every shard's histograms stay mergeable.
+func newMetrics(scheme string) Metrics {
+	return Metrics{
+		Scheme:      scheme,
+		EnergyHist:  stats.NewHistogram(energyHistBucketPJ),
+		UpdatedHist: stats.NewHistogram(updatedHistBucketCells),
+	}
 }
 
 // Merge folds another shard's metrics for the same scheme into m:
@@ -65,6 +105,9 @@ func (m *Metrics) Merge(o Metrics) {
 	m.CompressedWrites += o.CompressedWrites
 	m.DecodeErrors += o.DecodeErrors
 	m.VnR.Merge(o.VnR)
+	m.EnergyHist.Merge(o.EnergyHist)
+	m.UpdatedHist.Merge(o.UpdatedHist)
+	m.Wear.Merge(o.Wear)
 }
 
 // AvgVnRIterations returns mean restore iterations per write.
@@ -176,14 +219,76 @@ type Options struct {
 	MaxVnRIterations int
 
 	// Workers is the number of goroutines an Engine replays with.
-	// 0 means runtime.GOMAXPROCS(0); 1 is the serial mode. The worker
-	// count only changes wall-clock time, never results: Engine metrics
-	// are bit-identical across worker counts. Ignored by Simulator.
+	// 0 means runtime.GOMAXPROCS(0); 1 is the serial mode; values above
+	// the bank count are capped at it (a bank is the unit of routing).
+	// The worker count only changes wall-clock time, never results:
+	// Engine metrics are bit-identical across worker counts. Ignored by
+	// Simulator.
 	Workers int
 	// Geometry is the memory organization whose bank function shards the
 	// address space inside an Engine (the zero value means the paper's
 	// Table II geometry, 64 banks). Ignored by Simulator.
 	Geometry memsys.Config
+
+	// TrackWear enables dense per-cell wear accounting: every programmed
+	// cell of every touched line gets a uint32 program counter, and the
+	// mergeable wear digest (worst-cell wear, wear-level CDF,
+	// first-failure projection) is folded into Metrics.Wear. Off by
+	// default because the counters cost 4 bytes per tracked cell per
+	// scheme — enable it for endurance studies, not for unbounded
+	// streaming footprints. Cells programmed by the Verify-and-Restore
+	// repair loop are not counted, only the write itself.
+	TrackWear bool
+
+	// Progress, when non-nil, is called by Engine.Run on the dispatcher
+	// goroutine roughly every ProgressInterval with live throughput and
+	// queue-depth numbers, plus once when the run finishes. The callback
+	// must return quickly (it stalls dispatch) and must not retain the
+	// QueueDepth slice, which is reused between calls. Ignored by
+	// Simulator.
+	Progress func(Progress)
+	// ProgressInterval is the minimum time between Progress calls
+	// (0 = 500ms).
+	ProgressInterval time.Duration
+}
+
+// Progress is one live report from the Engine dispatcher.
+type Progress struct {
+	// Dispatched is the number of requests handed to workers so far.
+	Dispatched uint64
+	// Elapsed is the time since Run started.
+	Elapsed time.Duration
+	// QueueDepth holds the number of batches queued per worker, a
+	// saturation signal: depths pinned at the channel capacity mean the
+	// workers, not the trace source, bound throughput. The slice is
+	// reused between callbacks — copy it to keep it.
+	QueueDepth []int
+	// Done marks the final report of a Run.
+	Done bool
+}
+
+// Rate returns the average dispatch rate in requests per second.
+func (p Progress) Rate() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Dispatched) / p.Elapsed.Seconds()
+}
+
+// ProgressPrinter returns an Options.Progress callback that renders a
+// single live status line to w (mid-run reports overwrite in place via
+// \r; the final report ends the line) — the shared -progress
+// implementation of the CLIs.
+func ProgressPrinter(w io.Writer) func(Progress) {
+	return func(p Progress) {
+		if p.Done {
+			fmt.Fprintf(w, "\rreplayed %d requests in %v (%s)            \n",
+				p.Dispatched, p.Elapsed.Round(10*time.Millisecond), stats.Rate(p.Dispatched, p.Elapsed))
+			return
+		}
+		fmt.Fprintf(w, "\rreplaying: %d requests, %s, queues %v   ",
+			p.Dispatched, stats.Rate(p.Dispatched, p.Elapsed), p.QueueDepth)
+	}
 }
 
 // DefaultOptions returns the Table II configuration with deterministic
@@ -258,16 +363,21 @@ func (s *Simulator) Run(src trace.Source, max int) error {
 func (s *Simulator) Metrics() []Metrics {
 	out := make([]Metrics, len(s.shards))
 	for i, u := range s.shards {
-		out[i] = u.m
+		out[i] = u.metricsView()
 	}
 	return out
 }
+
+// Snapshot returns the same per-scheme metrics as Metrics. It exists
+// for Replayer-interface parity with Engine.Snapshot; the Simulator is
+// single-threaded, so there is no concurrent-read story to solve.
+func (s *Simulator) Snapshot() []Metrics { return s.Metrics() }
 
 // MetricsFor returns the metrics of the named scheme.
 func (s *Simulator) MetricsFor(name string) (Metrics, bool) {
 	for _, u := range s.shards {
 		if u.m.Scheme == name {
-			return u.m, true
+			return u.metricsView(), true
 		}
 	}
 	return Metrics{}, false

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []float64{0, 5, 9.99, 10, 25, 635, 640, 1e6, -3} {
+		h.Observe(v)
+	}
+	if h.N != 9 {
+		t.Errorf("N = %d, want 9", h.N)
+	}
+	if h.Counts[0] != 4 { // 0, 5, 9.99 and the clamped -3
+		t.Errorf("bucket 0 = %d, want 4", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Errorf("buckets 1,2 = %d,%d, want 1,1", h.Counts[1], h.Counts[2])
+	}
+	if h.Counts[63] != 1 { // 635 is in the last in-range bucket [630,640)
+		t.Errorf("bucket 63 = %d, want 1", h.Counts[63])
+	}
+	if h.Over != 2 { // 640 and 1e6
+		t.Errorf("Over = %d, want 2", h.Over)
+	}
+	if h.Max != 1e6 {
+		t.Errorf("Max = %v", h.Max)
+	}
+}
+
+func TestHistogramMergeIsAdditive(t *testing.T) {
+	// Splitting a sample stream across two histograms and merging must
+	// reproduce the single-histogram result exactly — the property the
+	// per-bank shard merge relies on.
+	whole := NewHistogram(4)
+	a, b := NewHistogram(4), NewHistogram(4)
+	for i := 0; i < 1000; i++ {
+		v := float64(i%300) * 1.1
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	if !reflect.DeepEqual(whole, a) {
+		t.Errorf("merged split differs from whole:\nwhole:  %+v\nmerged: %+v", whole, a)
+	}
+}
+
+func TestHistogramZeroValueMerge(t *testing.T) {
+	// A zero Metrics accumulator must be a merge identity and adopt the
+	// incoming width.
+	var acc Histogram
+	h := NewHistogram(2)
+	h.Observe(3)
+	acc.Merge(h)
+	if acc.Width != 2 || acc.N != 1 || acc.Counts[1] != 1 {
+		t.Errorf("zero-value merge = %+v", acc)
+	}
+	// Merging an untouched zero histogram in is a no-op.
+	before := acc
+	acc.Merge(Histogram{})
+	if !reflect.DeepEqual(before, acc) {
+		t.Error("merging a zero histogram changed the accumulator")
+	}
+}
+
+func TestHistogramWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging different widths did not panic")
+		}
+	}()
+	a, b := NewHistogram(1), NewHistogram(2)
+	b.Observe(1)
+	a.Merge(b)
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i)) // one sample per bucket 0..63, rest overflow
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("p50 = %v, want 50 (upper edge of bucket 49)", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 99 { // rank falls in overflow -> Max
+		t.Errorf("p100 = %v, want Max=99", got)
+	}
+	if got := h.Mean(); got != 49.5 {
+		t.Errorf("mean = %v, want 49.5", got)
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram quantile/mean not 0")
+	}
+}

@@ -35,13 +35,20 @@ type Request struct {
 	New  memline.Line // content to store
 }
 
+// countOffset is the byte offset of the header's count field (after the
+// 4-byte magic and the 4-byte version).
+const countOffset = 8
+
 // Writer streams requests to an io.Writer.
 type Writer struct {
+	under io.Writer
 	w     *bufio.Writer
 	count uint64
 }
 
 // NewWriter writes a header (with unknown count) and returns a Writer.
+// Call Close when done: for seekable destinations it back-patches the
+// header with the real record count.
 func NewWriter(w io.Writer) (*Writer, error) {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(Magic); err != nil {
@@ -53,7 +60,7 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return nil, err
 	}
-	return &Writer{w: bw}, nil
+	return &Writer{under: w, w: bw}, nil
 }
 
 // Write appends one request.
@@ -78,6 +85,35 @@ func (w *Writer) Count() uint64 { return w.count }
 
 // Flush flushes buffered records to the underlying writer.
 func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Close flushes buffered records and, when the underlying writer is an
+// io.WriteSeeker (an *os.File, typically), back-patches the header's
+// count field with the number of records written, leaving the write
+// position at the end of the stream. Unseekable destinations (pipes,
+// network streams, plain buffers) keep count 0, which readers treat as
+// "unknown/streamed". Close does not close the underlying writer —
+// the caller owns it — and the Writer must not be used afterwards.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	ws, ok := w.under.(io.WriteSeeker)
+	if !ok {
+		return nil
+	}
+	if _, err := ws.Seek(countOffset, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: seeking to header count: %w", err)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], w.count)
+	if _, err := ws.Write(buf[:]); err != nil {
+		return fmt.Errorf("trace: back-patching header count: %w", err)
+	}
+	if _, err := ws.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("trace: restoring write position: %w", err)
+	}
+	return nil
+}
 
 // Reader streams requests from an io.Reader.
 type Reader struct {
@@ -104,6 +140,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	}
 	return &Reader{r: br, count: binary.LittleEndian.Uint64(hdr[8:16])}, nil
 }
+
+// Count returns the record count declared in the header; 0 means the
+// producer streamed to an unseekable destination and the count is
+// unknown.
+func (r *Reader) Count() uint64 { return r.count }
 
 // Read returns the next request, or io.EOF at end of stream.
 func (r *Reader) Read() (Request, error) {

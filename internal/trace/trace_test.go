@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"wlcrc/internal/memline"
@@ -49,6 +51,103 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 	if _, err := rd.Read(); err != io.EOF {
 		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+// TestCloseBackPatchesCount writes a trace to a real file, closes it,
+// and checks that the header's count field — written as 0 up front —
+// was patched to the true record count, that the records survive, and
+// that appending position was restored (the stream is not truncated or
+// corrupted by the seek dance).
+func TestCloseBackPatchesCount(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.wlct")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(7)
+	var reqs []Request
+	for i := 0; i < 37; i++ {
+		var req Request
+		req.Addr = uint64(i * 3)
+		r.Fill(req.New[:])
+		reqs = append(reqs, req)
+		if err := w.Write(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	rd, err := NewReader(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Count() != 37 {
+		t.Errorf("header count = %d, want 37", rd.Count())
+	}
+	for i, want := range reqs {
+		got, err := rd.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d mismatch after back-patch", i)
+		}
+	}
+	if _, err := rd.Read(); err != io.EOF {
+		t.Errorf("expected EOF after %d records, got %v", len(reqs), err)
+	}
+}
+
+// TestCloseOnUnseekableKeepsZeroCount: pipes and buffers cannot be
+// back-patched; Close must still flush cleanly and leave the header's
+// streamed-count convention (0) intact.
+func TestCloseOnUnseekableKeepsZeroCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Write(Request{Addr: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Count() != 0 {
+		t.Errorf("unseekable header count = %d, want 0 (unknown)", rd.Count())
+	}
+	n := 0
+	for {
+		if _, err := rd.Read(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("read %d records, want 5", n)
 	}
 }
 

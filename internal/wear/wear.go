@@ -1,14 +1,24 @@
 // Package wear tracks per-cell program counts and projects array
 // lifetime. The paper evaluates endurance as the average number of
 // updated cells per write (Figure 9) because PCM cells wear out with
-// programming; this module extends that metric to the distributions a
-// lifetime analysis needs: per-cell wear, worst-cell wear, and a
-// first-cell-failure projection under a given cell endurance budget.
+// programming; this package extends that metric to the distributions a
+// lifetime analysis needs: dense per-cell wear counts, worst-cell wear,
+// a wear-level CDF, and a first-cell-failure projection under a given
+// cell endurance budget.
+//
+// The package is built for the streaming replay engine in internal/sim:
+// each single-threaded shard owns a Dense recorder (per-cell uint32
+// counts over the shard's line footprint, map-free on the hot path once
+// a line is known), and maintains a fixed-size, mergeable Summary
+// incrementally with every programmed cell. Only the Summary travels —
+// it is embedded in the simulator's Metrics, copied into concurrent
+// snapshots, and folded across shards with plain adds and maxes — while
+// the dense count array never leaves its owning shard.
 package wear
 
 import (
 	"math"
-	"sort"
+	"math/bits"
 
 	"wlcrc/internal/pcm"
 )
@@ -17,129 +27,147 @@ import (
 // (program cycles to failure); PCM literature reports 1e6..1e8 for MLC.
 const DefaultCellEndurance = 1e7
 
-// Tracker accumulates per-cell program counts for a set of lines.
-type Tracker struct {
-	cellsPerLine int
-	counts       map[uint64][]uint32
-	totalWrites  uint64
-	totalUpdates uint64
+// summaryBuckets is the number of wear-level buckets of a Summary:
+// bucket b (1..32) counts cells whose program count c has
+// bits.Len32(c) == b, i.e. c in [2^(b-1), 2^b). Bucket 0 is unused —
+// never-programmed cells are Cells - CellsTouched.
+const summaryBuckets = 33
+
+// Summary is the fixed-size, mergeable digest of a wear distribution.
+// It is a plain value (no slices), so the simulator can embed it in
+// metrics, copy it when publishing snapshots, and merge per-shard
+// partials deterministically: counters add, MaxCellWear takes the
+// maximum. Because shards partition the address space, cells are never
+// double-counted across merged summaries.
+type Summary struct {
+	// Writes is the number of recorded line writes.
+	Writes uint64
+	// Updates is the total number of cell programs (the Figure 9
+	// numerator).
+	Updates uint64
+	// Cells is the total number of tracked cells (touched lines times
+	// cells per line).
+	Cells uint64
+	// CellsTouched is the number of distinct cells programmed at least
+	// once.
+	CellsTouched uint64
+	// MaxCellWear is the largest per-cell program count seen.
+	MaxCellWear uint32
+	// Buckets[b] counts cells whose current wear c has bits.Len32(c)==b:
+	// a log2-scaled wear-level histogram over touched cells, maintained
+	// incrementally as counts move between levels.
+	Buckets [summaryBuckets]uint64
 }
 
-// NewTracker builds a tracker for lines of the given cell count.
-func NewTracker(cellsPerLine int) *Tracker {
-	if cellsPerLine <= 0 {
-		panic("wear: cellsPerLine must be positive")
+// Merge folds another shard's summary into s. Shards partition the
+// address space, so every tracked cell belongs to exactly one operand.
+func (s *Summary) Merge(o Summary) {
+	s.Writes += o.Writes
+	s.Updates += o.Updates
+	s.Cells += o.Cells
+	s.CellsTouched += o.CellsTouched
+	if o.MaxCellWear > s.MaxCellWear {
+		s.MaxCellWear = o.MaxCellWear
 	}
-	return &Tracker{
-		cellsPerLine: cellsPerLine,
-		counts:       make(map[uint64][]uint32),
-	}
-}
-
-// Record registers one write: every cell whose state changed between old
-// and new is counted as programmed.
-func (t *Tracker) Record(addr uint64, old, new []pcm.State) {
-	if len(old) != len(new) {
-		panic("wear: Record length mismatch")
-	}
-	c, ok := t.counts[addr]
-	if !ok {
-		c = make([]uint32, t.cellsPerLine)
-		t.counts[addr] = c
-	}
-	t.totalWrites++
-	for i := range new {
-		if old[i] != new[i] && i < len(c) {
-			c[i]++
-			t.totalUpdates++
-		}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
 	}
 }
-
-// Writes returns the number of recorded line writes.
-func (t *Tracker) Writes() uint64 { return t.totalWrites }
 
 // AvgUpdatedCells returns the Figure 9 metric over the recorded history.
-func (t *Tracker) AvgUpdatedCells() float64 {
-	if t.totalWrites == 0 {
+func (s Summary) AvgUpdatedCells() float64 {
+	if s.Writes == 0 {
 		return 0
 	}
-	return float64(t.totalUpdates) / float64(t.totalWrites)
+	return float64(s.Updates) / float64(s.Writes)
 }
 
-// MaxWear returns the largest per-cell program count seen.
-func (t *Tracker) MaxWear() uint32 {
-	var max uint32
-	for _, line := range t.counts {
-		for _, c := range line {
-			if c > max {
-				max = c
+// MeanWear returns the mean program count over cells programmed at
+// least once (0 when nothing was programmed).
+func (s Summary) MeanWear() float64 {
+	if s.CellsTouched == 0 {
+		return 0
+	}
+	return float64(s.Updates) / float64(s.CellsTouched)
+}
+
+// WearImbalance returns max wear divided by mean wear over programmed
+// cells (1.0 = perfectly even). Higher values mean hot cells will fail
+// far earlier than the array average.
+func (s Summary) WearImbalance() float64 {
+	mean := s.MeanWear()
+	if mean == 0 {
+		return 0
+	}
+	return float64(s.MaxCellWear) / mean
+}
+
+// BucketUpper returns the largest wear count belonging to bucket b
+// (inclusive), the x-axis of the wear CDF.
+func BucketUpper(b int) uint32 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 32 {
+		return math.MaxUint32
+	}
+	return 1<<uint(b) - 1
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) of
+// per-cell wear over all tracked cells, including never-programmed
+// ones: the upper edge of the log2 wear-level bucket holding the cell
+// of that rank. MaxCellWear is exact; Quantile trades exactness for a
+// fixed-size summary.
+func (s Summary) Quantile(q float64) uint32 {
+	if s.Cells == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Cells))
+	if rank == 0 {
+		rank = 1
+	}
+	cum := s.Cells - s.CellsTouched // never-programmed cells sort first
+	if cum >= rank {
+		return 0
+	}
+	for b := 1; b < summaryBuckets; b++ {
+		cum += s.Buckets[b]
+		if cum >= rank {
+			u := BucketUpper(b)
+			if u > s.MaxCellWear {
+				u = s.MaxCellWear
 			}
+			return u
 		}
 	}
-	return max
+	return s.MaxCellWear
 }
 
-// WearImbalance returns max wear divided by mean wear over cells that
-// were programmed at least once (1.0 = perfectly even). Higher values
-// mean hot cells will fail far earlier than the array average.
-func (t *Tracker) WearImbalance() float64 {
-	var sum float64
-	var n int
-	for _, line := range t.counts {
-		for _, c := range line {
-			if c > 0 {
-				sum += float64(c)
-				n++
-			}
-		}
-	}
-	if n == 0 || sum == 0 {
-		return 0
-	}
-	return float64(t.MaxWear()) / (sum / float64(n))
-}
-
-// Percentile returns the p-th percentile (0..100) of per-cell wear over
-// all tracked cells, including never-programmed ones.
-func (t *Tracker) Percentile(p float64) uint32 {
-	var all []uint32
-	for _, line := range t.counts {
-		all = append(all, line...)
-	}
-	if len(all) == 0 {
-		return 0
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	idx := int(math.Ceil(p/100*float64(len(all)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(all) {
-		idx = len(all) - 1
-	}
-	return all[idx]
-}
-
-// LifetimeWrites projects how many more writes (with the recorded
-// workload's wear pattern) the array survives before the hottest cell
-// exhausts cellEndurance program cycles. It scales the observed
-// worst-cell wear rate linearly, the standard first-failure model.
-func (t *Tracker) LifetimeWrites(cellEndurance float64) float64 {
-	max := float64(t.MaxWear())
-	if max == 0 || t.totalWrites == 0 {
+// LifetimeWrites projects how many writes (with the recorded workload's
+// wear pattern) the array survives before the hottest cell exhausts
+// cellEndurance program cycles. It scales the observed worst-cell wear
+// rate linearly, the standard first-failure model.
+func (s Summary) LifetimeWrites(cellEndurance float64) float64 {
+	if s.MaxCellWear == 0 || s.Writes == 0 {
 		return math.Inf(1)
 	}
-	perWrite := max / float64(t.totalWrites)
+	perWrite := float64(s.MaxCellWear) / float64(s.Writes)
 	return cellEndurance / perWrite
 }
 
 // RelativeLifetime returns how much longer (>1) or shorter (<1) this
-// tracker's projected lifetime is versus other, under the same cell
+// summary's projected lifetime is versus other, under the same cell
 // endurance. Useful for scheme-vs-scheme endurance comparisons beyond
 // the average-updates metric.
-func (t *Tracker) RelativeLifetime(other *Tracker) float64 {
-	a := t.LifetimeWrites(DefaultCellEndurance)
+func (s Summary) RelativeLifetime(other Summary) float64 {
+	a := s.LifetimeWrites(DefaultCellEndurance)
 	b := other.LifetimeWrites(DefaultCellEndurance)
 	if math.IsInf(a, 1) && math.IsInf(b, 1) {
 		return 1
@@ -148,4 +176,126 @@ func (t *Tracker) RelativeLifetime(other *Tracker) float64 {
 		return math.Inf(1)
 	}
 	return a / b
+}
+
+// Dense accumulates per-cell program counts for a set of lines in one
+// flat uint32 array. Lines get a slot on first touch; after that a
+// write is a map lookup plus direct array increments, allocation-free.
+// Dense is single-writer by design — in the replay engine exactly one
+// shard (hence one goroutine) owns each Dense — and the mergeable
+// Summary is maintained incrementally so readers never need to scan the
+// count array.
+type Dense struct {
+	cellsPerLine int
+	slots        map[uint64]int // line addr -> slot index
+	counts       []uint32       // slot*cellsPerLine + cell
+	zero         []uint32       // reusable zero block for new lines
+	s            Summary
+}
+
+// NewDense builds a recorder for lines of the given cell count.
+func NewDense(cellsPerLine int) *Dense {
+	if cellsPerLine <= 0 {
+		panic("wear: cellsPerLine must be positive")
+	}
+	return &Dense{
+		cellsPerLine: cellsPerLine,
+		slots:        make(map[uint64]int),
+		zero:         make([]uint32, cellsPerLine),
+	}
+}
+
+// CellsPerLine returns the per-line cell count the recorder was built
+// with.
+func (d *Dense) CellsPerLine() int { return d.cellsPerLine }
+
+// Lines returns the number of distinct lines touched.
+func (d *Dense) Lines() int { return len(d.slots) }
+
+// slot returns the count-array base index of addr, allocating a zeroed
+// block on first touch.
+func (d *Dense) slot(addr uint64) int {
+	sl, ok := d.slots[addr]
+	if !ok {
+		sl = len(d.slots)
+		d.slots[addr] = sl
+		d.counts = append(d.counts, d.zero...)
+		d.s.Cells += uint64(d.cellsPerLine)
+	}
+	return sl * d.cellsPerLine
+}
+
+// bump programs cell at flat index i once, keeping the summary's
+// touched-cell count, wear-level buckets and max in sync.
+func (d *Dense) bump(i int) {
+	c := d.counts[i] + 1
+	d.counts[i] = c
+	d.s.Updates++
+	if c == 1 {
+		d.s.CellsTouched++
+	} else {
+		d.s.Buckets[bits.Len32(c-1)]--
+	}
+	d.s.Buckets[bits.Len32(c)]++
+	if c > d.s.MaxCellWear {
+		d.s.MaxCellWear = c
+	}
+}
+
+// RecordChanged registers one line write from a differential-write
+// change mask: changed[i] reports whether cell i was programmed. The
+// mask must have the recorder's cells-per-line length. This is the
+// replay hot path — the simulator already computes the mask for energy
+// accounting and hands it over for free.
+func (d *Dense) RecordChanged(addr uint64, changed []bool) {
+	if len(changed) != d.cellsPerLine {
+		panic("wear: RecordChanged mask length mismatch")
+	}
+	base := d.slot(addr)
+	d.s.Writes++
+	for i, ch := range changed {
+		if ch {
+			d.bump(base + i)
+		}
+	}
+}
+
+// Record registers one write by diffing cell states: every cell whose
+// state changed between old and new is counted as programmed. The
+// slices must have equal, cells-per-line length.
+func (d *Dense) Record(addr uint64, old, new []pcm.State) {
+	if len(old) != len(new) || len(new) != d.cellsPerLine {
+		panic("wear: Record length mismatch")
+	}
+	base := d.slot(addr)
+	d.s.Writes++
+	for i := range new {
+		if old[i] != new[i] {
+			d.bump(base + i)
+		}
+	}
+}
+
+// CellWear returns the program count of one cell of a line (0 for
+// untracked lines).
+func (d *Dense) CellWear(addr uint64, cell int) uint32 {
+	sl, ok := d.slots[addr]
+	if !ok || cell < 0 || cell >= d.cellsPerLine {
+		return 0
+	}
+	return d.counts[sl*d.cellsPerLine+cell]
+}
+
+// Summary returns the current mergeable digest. The copy is detached:
+// later writes do not affect it.
+func (d *Dense) Summary() Summary { return d.s }
+
+// Reset zeroes all wear counts and the summary but keeps the line
+// footprint (slots stay allocated, Cells is preserved), mirroring the
+// simulator's reset-metrics-after-warmup flow.
+func (d *Dense) Reset() {
+	for i := range d.counts {
+		d.counts[i] = 0
+	}
+	d.s = Summary{Cells: uint64(len(d.slots) * d.cellsPerLine)}
 }

@@ -9,9 +9,16 @@ import (
 
 // Metrics is the per-scheme result of a Replay: write counts,
 // accumulated energy, programmed cells, disturbance errors, compression
-// coverage and Verify-and-Restore activity, with Avg* accessors for the
-// per-write figures the paper reports.
+// coverage, Verify-and-Restore activity, per-write energy and
+// updated-cell histograms, and (with TrackWear) the per-cell wear
+// digest, with Avg* accessors for the per-write figures the paper
+// reports.
 type Metrics = sim.Metrics
+
+// Progress is one live report from the replay dispatcher: requests
+// dispatched, elapsed time (Rate() combines them), and per-worker queue
+// depths.
+type Progress = sim.Progress
 
 // ReplayOptions configures Replay.
 type ReplayOptions struct {
@@ -25,6 +32,13 @@ type ReplayOptions struct {
 	SampleDisturb bool
 	// Seed drives the sampled-disturbance PRNG substreams.
 	Seed uint64
+	// TrackWear enables dense per-cell wear accounting; the wear digest
+	// (worst-cell wear, wear CDF, first-failure projection) lands in
+	// each scheme's Metrics.Wear.
+	TrackWear bool
+	// Progress, when non-nil, receives live dispatcher reports roughly
+	// twice a second while the replay runs.
+	Progress func(Progress)
 }
 
 // Replay replays n requests from the workload through every scheme on
@@ -41,6 +55,8 @@ func Replay(w *Workload, n int, opts ReplayOptions, schemes ...Scheme) ([]Metric
 	o.Workers = opts.Workers
 	o.SampleDisturb = opts.SampleDisturb
 	o.Seed = opts.Seed
+	o.TrackWear = opts.TrackWear
+	o.Progress = opts.Progress
 	e := sim.NewEngine(o, schemes...)
 	if err := e.Run(w.gen, n); err != nil {
 		return nil, err
