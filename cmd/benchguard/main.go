@@ -44,6 +44,11 @@ import (
 
 type baseline struct {
 	EncodePR3 map[string]float64 `json:"encode_into_ns_per_op_pr3"`
+	// EncodeVCC is the PR 5 encrypted-PCM scheme family (VCC-n, Enc).
+	// It is gated separately from EncodePR3, each family normalized by
+	// its own geometric mean, because the two were measured on
+	// different days and absolute machine speed drifts between sessions.
+	EncodeVCC map[string]float64 `json:"encode_into_ns_per_op_vcc_pr5"`
 	Replay    *replayBaseline    `json:"replay_parallel_pr4"`
 }
 
@@ -83,13 +88,15 @@ func main() {
 	}
 
 	if *emit {
-		names := make([]string, 0, len(base.EncodePR3))
-		for n := range base.EncodePR3 {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Printf("BenchmarkEncodeInto/%s 1 %g ns/op\n", n, base.EncodePR3[n])
+		for _, series := range []map[string]float64{base.EncodePR3, base.EncodeVCC} {
+			names := make([]string, 0, len(series))
+			for n := range series {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Printf("BenchmarkEncodeInto/%s 1 %g ns/op\n", n, series[n])
+			}
 		}
 		return
 	}
@@ -102,11 +109,27 @@ func main() {
 		log.Fatal("no BenchmarkEncodeInto results in input")
 	}
 
-	// Normalize by the geometric mean over the schemes present in both
-	// series: a uniformly slower machine shifts every scheme equally and
-	// cancels out, while a single-scheme hot-path regression stands out.
+	failed := guardSeries("pr3", base.EncodePR3, got, *tol, true)
+	if len(base.EncodeVCC) > 0 {
+		failed = guardSeries("vcc_pr5", base.EncodeVCC, got, *tol, false) || failed
+	}
+	if failed {
+		log.Fatalf("encode hot path regressed beyond %.0f%% (geomean-normalized)", 100**tol)
+	}
+	fmt.Println("benchguard: encode hot path within baseline")
+}
+
+// guardSeries compares one baseline family against the run, normalized
+// by the family's own geometric mean over the schemes present in both:
+// a uniformly slower machine shifts every scheme equally and cancels
+// out, while a single-scheme hot-path regression stands out. It reports
+// whether any scheme regressed beyond tol. A run with no overlap at all
+// is fatal for a required family but only a warning for an optional one
+// (filtered bench runs and pre-PR5 outputs legitimately lack the VCC
+// series).
+func guardSeries(label string, series, got map[string]float64, tol float64, required bool) bool {
 	var names []string
-	for n := range base.EncodePR3 {
+	for n := range series {
 		if _, ok := got[n]; ok {
 			names = append(names, n)
 		} else {
@@ -115,27 +138,28 @@ func main() {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		log.Fatal("no overlap between baseline and bench run")
+		if required {
+			log.Fatalf("no overlap between the %s baseline and the bench run", label)
+		}
+		log.Printf("WARN: no overlap between the %s baseline and the bench run; skipping the family", label)
+		return false
 	}
-	baseNorm, gotNorm := geomean(base.EncodePR3, names), geomean(got, names)
+	baseNorm, gotNorm := geomean(series, names), geomean(got, names)
 
 	failed := false
 	for _, n := range names {
-		baseRatio := base.EncodePR3[n] / baseNorm
+		baseRatio := series[n] / baseNorm
 		curRatio := got[n] / gotNorm
 		delta := curRatio/baseRatio - 1
 		status := "ok"
-		if delta > *tol {
+		if delta > tol {
 			status = "REGRESSION"
 			failed = true
 		}
 		fmt.Printf("%-14s baseline %8.1f ns (x%.2f)   run %8.1f ns (x%.2f)   %+6.1f%%  %s\n",
-			n, base.EncodePR3[n], baseRatio, got[n], curRatio, 100*delta, status)
+			n, series[n], baseRatio, got[n], curRatio, 100*delta, status)
 	}
-	if failed {
-		log.Fatalf("encode hot path regressed beyond %.0f%% (geomean-normalized)", 100**tol)
-	}
-	fmt.Println("benchguard: encode hot path within baseline")
+	return failed
 }
 
 // openInput returns the bench output to parse: the first positional

@@ -9,7 +9,14 @@
 //	experiments -run fig1a,fig4,hw
 //
 // Valid experiment ids: fig1a fig1b fig2 fig3 fig4 fig5 fig8 fig9 fig10
-// fig11 fig12 fig13 fig14 multiobj ablation hw headline wear all.
+// fig11 fig12 fig13 fig14 multiobj ablation hw headline wear encrypted
+// all.
+//
+// -encrypted replays every experiment's workloads in counter-mode
+// encrypted (whitened) form; -vcc appends the VCC schemes to the
+// Figure 8/9/10 evaluation matrix; -run encrypted prints the dedicated
+// plaintext-vs-ciphertext study (raw / FlipMin / WLCRC / Enc / VCC
+// energy, updated cells and p50/p99 per-write energy).
 package main
 
 import (
@@ -27,12 +34,15 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated experiment ids (fig1a..fig14, multiobj, ablation, hw, headline, wear, all)")
-		writes   = flag.Int("writes", 2000, "write requests per benchmark")
-		random   = flag.Int("random-writes", 4000, "write requests for random-workload figures")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "replay worker goroutines (1 = serial; results are identical for any value)")
-		progress = flag.Bool("progress", false, "print live replay throughput to stderr")
+		run       = flag.String("run", "all", "comma-separated experiment ids (fig1a..fig14, multiobj, ablation, hw, headline, wear, encrypted, all)")
+		writes    = flag.Int("writes", 2000, "write requests per benchmark")
+		random    = flag.Int("random-writes", 4000, "write requests for random-workload figures")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "replay worker goroutines (1 = serial; results are identical for any value)")
+		progress  = flag.Bool("progress", false, "print live replay throughput to stderr")
+		encrypted = flag.Bool("encrypted", false, "replay every workload in counter-mode encrypted (whitened) form")
+		key       = flag.Uint64("key", 0, "encryption key for -encrypted and the VCC/Enc schemes (0 = default key)")
+		useVCC    = flag.Bool("vcc", false, "append VCC-2,VCC-4,VCC-8 to the fig8/9/10 evaluation matrix")
 	)
 	flag.Parse()
 
@@ -41,6 +51,11 @@ func main() {
 	cfg.RandomWrites = *random
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Encrypted = *encrypted
+	cfg.EncryptionKey = *key
+	if *useVCC {
+		cfg.ExtraSchemes = append(cfg.ExtraSchemes, "VCC-2", "VCC-4", "VCC-8")
+	}
 	if *progress {
 		cfg.Progress = sim.ProgressPrinter(os.Stderr)
 	}
@@ -50,7 +65,7 @@ func main() {
 		// fig11 prints the combined 11-13 sweep table.
 		ids = []string{"fig1a", "fig1b", "fig2", "fig3", "fig4", "fig5",
 			"fig8", "fig9", "fig10", "fig11", "fig14",
-			"multiobj", "ablation", "hw", "wear", "headline"}
+			"multiobj", "ablation", "hw", "wear", "encrypted", "headline"}
 	}
 	// The wear report digests the shared fig8/9/10 evaluation rather
 	// than replaying its own matrix, so wear tracking must be on before
@@ -120,6 +135,9 @@ func main() {
 		case "wear":
 			_, t := exp.WearReportFrom(getEval())
 			section("Wear: per-cell wear distribution and first-failure projection (Fig 9 extended)", t)
+		case "encrypted":
+			_, t := exp.EncryptedStudy(cfg)
+			section("Encrypted PCM: compression-gate collapse and the VCC recovery", t)
 		case "ablation":
 			section("Ablation: multi-objective threshold sweep",
 				exp.AblationMultiObjective(cfg, []float64{0.01, 0.05, 0.2}))

@@ -2,8 +2,20 @@
 // through one or more encoding schemes and reports the paper's three
 // metrics — write energy, updated cells, disturbance errors — plus
 // compression coverage. With -memsys it also pushes the write stream
-// through the Table II memory-system model and reports latency and
-// utilization.
+// through the Table II memory-system model, one controller per scheme
+// with every write's bank-busy time scaled by that scheme's
+// programmed-cell count (P&V iterations), and reports per-scheme
+// latency and utilization — fewer updated cells shows up directly as a
+// latency/bandwidth win. The cell counts come from per-scheme shadow
+// memories on the source path, so -memsys roughly doubles the encode
+// work and serializes it ahead of the engine; it is a timing study
+// knob, not a throughput mode.
+//
+// -encrypted replays the stream in its counter-mode encrypted form (the
+// ciphertext an encrypted DIMM stores; -key picks the key), under which
+// compression-gated schemes collapse to their raw fallback. -vcc
+// appends the virtual coset coding schemes VCC-2/4/8, which recover
+// coset-style write reduction on exactly that traffic.
 //
 // Replay runs on the parallel sharded engine: every scheme replays
 // concurrently, and within a scheme the address space is sharded by bank
@@ -22,6 +34,7 @@
 //	pcmsim -trace writes.wlct -schemes WLCRC-16 -progress
 //	pcmsim -workload all -schemes Baseline,6cosets,WLCRC-16 -memsys
 //	pcmsim -workload all -schemes Baseline,WLCRC-16 -workers 1 -wear
+//	pcmsim -workload gcc -schemes "Baseline,WLCRC-16" -encrypted -vcc
 package main
 
 import (
@@ -33,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"wlcrc"
 	"wlcrc/internal/core"
 	"wlcrc/internal/memsys"
 	"wlcrc/internal/sim"
@@ -57,13 +71,29 @@ func main() {
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "replay worker goroutines (1 = serial; results are identical for any value)")
 		progress    = flag.Bool("progress", false, "stream live replay throughput and queue depths to stderr")
 		wearReport  = flag.Bool("wear", false, "track dense per-cell wear and report the wear distribution per scheme")
+		encrypted   = flag.Bool("encrypted", false, "replay the counter-mode encrypted (whitened) form of the write stream")
+		key         = flag.Uint64("key", 0, "encryption key for -encrypted and the VCC/Enc schemes (0 = default key)")
+		useVCC      = flag.Bool("vcc", false, "append the virtual coset coding schemes VCC-2,VCC-4,VCC-8")
 	)
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
+	cfg.EncryptionKey = *key
+	names := strings.Split(*schemesFlag, ",")
+	if *useVCC {
+		names = append(names, "VCC-2", "VCC-4", "VCC-8")
+	}
 	var schemes []core.Scheme
-	for _, name := range strings.Split(*schemesFlag, ",") {
-		s, err := core.NewScheme(strings.TrimSpace(name), cfg)
+	seen := map[string]bool{}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		// Dedup so e.g. `-schemes VCC-4 -vcc` replays (and, with
+		// -memsys, shadow-encodes) each scheme once.
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		s, err := core.NewScheme(name, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -130,9 +160,14 @@ func main() {
 		wearTbl = stats.NewTable("workload", "scheme", "cells/write", "max wear",
 			"p50", "p99", "imbalance", "writes to 1st failure")
 	}
-	var msys *memsys.Controller
+	var timers []*schemeTimer
 	if *useMemsys {
-		msys = memsys.New(memsys.TableII())
+		for _, s := range schemes {
+			timers = append(timers, &schemeTimer{
+				scheme: s,
+				ctrl:   memsys.New(memsys.TableII()),
+			})
+		}
 	}
 	var totalWrites uint64
 	start := time.Now()
@@ -140,11 +175,19 @@ func main() {
 	for _, ns := range sources {
 		eng = sim.NewEngine(opts, schemes...)
 		src := ns.src
+		if *encrypted {
+			src = workload.Encrypted(src, *key)
+		}
 		if ns.n > 0 {
 			src = &workload.Limited{Src: src, N: ns.n}
 		}
-		if msys != nil {
-			src = &timingTap{src: src, ctrl: msys}
+		if timers != nil {
+			// Each source replays against fresh shadow memories, like the
+			// fresh engine above; the controllers keep accumulating.
+			for _, st := range timers {
+				st.mem = wlcrc.NewMemory(st.scheme)
+			}
+			src = &timingTap{src: src, timers: timers}
 		}
 		if err := eng.Run(src, 0); err != nil {
 			log.Fatal(err)
@@ -174,29 +217,56 @@ func main() {
 			totalWrites, elapsed.Round(time.Millisecond), eng.Workers(), eng.Banks(),
 			stats.Rate(totalWrites, elapsed))
 	}
-	if msys != nil {
-		msys.Drain()
-		st := msys.Stats()
-		fmt.Printf("\nmemory system (%s):\n", memsys.TableII())
-		fmt.Printf("  writes %d, avg write latency %.0f cycles, pauses %d, drains %d, utilization %s\n",
-			st.Writes, st.AvgWriteLatency(), st.WritePauses, st.DrainEvents,
-			stats.Percent(st.Utilization()))
+	if timers != nil {
+		fmt.Printf("\nmemory system (%s), write busy time scaled by programmed cells:\n",
+			memsys.TableII())
+		mt := stats.NewTable("scheme", "writes", "avg write latency", "pauses",
+			"drains", "utilization")
+		for _, st := range timers {
+			st.ctrl.Drain()
+			s := st.ctrl.Stats()
+			mt.Row(st.scheme.Name(), fmt.Sprintf("%d", s.Writes),
+				fmt.Sprintf("%.0f cyc", s.AvgWriteLatency()),
+				fmt.Sprintf("%d", s.WritePauses), fmt.Sprintf("%d", s.DrainEvents),
+				stats.Percent(s.Utilization()))
+		}
+		fmt.Print(mt.String())
 	}
 }
 
-// timingTap feeds every request into the memory-system model as it
-// passes through.
+// schemeTimer pairs one scheme's cycle-based controller with the shadow
+// memory that prices each write's programmed-cell count for it.
+type schemeTimer struct {
+	scheme core.Scheme
+	mem    *wlcrc.Memory
+	ctrl   *memsys.Controller
+}
+
+// timingTap feeds every request into each scheme's memory-system model
+// as it passes through: the shadow memory encodes the write exactly as
+// the replay engine will, and its updated-cell count scales the write's
+// bank-busy time (memsys.Config.WriteCyclesFor).
 type timingTap struct {
-	src  trace.Source
-	ctrl *memsys.Controller
+	src    trace.Source
+	timers []*schemeTimer
 }
 
 // Next implements trace.Source.
 func (t *timingTap) Next() (trace.Request, bool) {
 	req, ok := t.src.Next()
 	if ok {
-		t.ctrl.Enqueue(memsys.Access{Kind: memsys.Write, Addr: req.Addr})
-		t.ctrl.Step(40) // nominal inter-arrival gap
+		for _, st := range t.timers {
+			info := st.mem.Write(req.Addr, req.New)
+			// Access.Cells = 0 means "unknown" (full WriteCycles), so a
+			// genuinely silent store — zero updated cells — is billed as
+			// one cell: the floor-cost verify pass, not a full write.
+			cells := info.UpdatedCells
+			if cells < 1 {
+				cells = 1
+			}
+			st.ctrl.Enqueue(memsys.Access{Kind: memsys.Write, Addr: req.Addr, Cells: cells})
+			st.ctrl.Step(40) // nominal inter-arrival gap
+		}
 	}
 	return req, ok
 }

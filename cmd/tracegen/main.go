@@ -12,10 +12,22 @@
 // header (back-patched on close); streamed output keeps the header's
 // count-unknown convention, which every reader accepts.
 //
+// With -encrypt the emitted trace is the counter-mode encrypted
+// (whitened) form of the stream — the ciphertext an encrypted DIMM
+// stores, with per-line write counters advanced deterministically —
+// so any recorded workload can be replayed as encrypted traffic. The
+// transform is keyed (-key) and is its own inverse. With -from the
+// requests come from an existing trace file instead of a synthetic
+// workload (reading it to the end; the workload flags are ignored), so
+// -from enc.wlct -encrypt with the same key decrypts an encrypted
+// trace back to plaintext.
+//
 // Examples:
 //
 //	tracegen -workload mcf -writes 100000 -out mcf.wlct
 //	tracegen -workload lesl -writes 50000 -through-cache -out lesl.wlct
+//	tracegen -workload gcc -writes 50000 -encrypt -out gcc-enc.wlct
+//	tracegen -from gcc-enc.wlct -encrypt -out gcc-plain.wlct   # decrypt
 //	tracegen -info mcf.wlct
 package main
 
@@ -25,10 +37,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 
 	"wlcrc/internal/cache"
 	"wlcrc/internal/memline"
 	"wlcrc/internal/trace"
+	"wlcrc/internal/vcc"
 	"wlcrc/internal/workload"
 )
 
@@ -42,6 +56,9 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		footpr   = flag.Int("footprint", 0, "working-set lines (0 = profile default)")
 		useCache = flag.Bool("through-cache", false, "filter stores through the Table II L2; the trace holds its dirty write-backs")
+		encrypt  = flag.Bool("encrypt", false, "emit the counter-mode encrypted (whitened) form of the stream")
+		key      = flag.Uint64("key", 0, "encryption key for -encrypt (0 = default key)")
+		from     = flag.String("from", "", "read requests from an existing trace file instead of a synthetic workload (read to the end; workload flags ignored)")
 		info     = flag.String("info", "", "print a summary of an existing trace file and exit")
 	)
 	flag.Parse()
@@ -56,17 +73,40 @@ func main() {
 		log.Fatal("-out is required (or use -info)")
 	}
 
-	var prof workload.Profile
-	if *wlName == "random" {
-		prof = workload.RandomProfile()
-	} else {
-		var ok bool
-		prof, ok = workload.ProfileByName(*wlName)
-		if !ok {
-			log.Fatalf("unknown workload %q", *wlName)
+	// The request source: a synthetic workload generator, or with -from
+	// an existing trace (drained to its end, so -writes is ignored too).
+	var src trace.Source
+	limit := *writes
+	if *from != "" {
+		// os.Create(*out) truncates before the first record is read, so
+		// an in-place transform would silently destroy the input.
+		if *out != "-" && samePath(*from, *out) {
+			log.Fatalf("-from and -out name the same file %q; write to a new file instead", *out)
 		}
+		f, err := os.Open(*from)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		rd, err := trace.NewReader(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = &trace.ReaderSource{R: rd}
+		limit = -1
+	} else {
+		var prof workload.Profile
+		if *wlName == "random" {
+			prof = workload.RandomProfile()
+		} else {
+			var ok bool
+			prof, ok = workload.ProfileByName(*wlName)
+			if !ok {
+				log.Fatalf("unknown workload %q", *wlName)
+			}
+		}
+		src = workload.NewGenerator(prof, *footpr, *seed)
 	}
-	gen := workload.NewGenerator(prof, *footpr, *seed)
 
 	// With -out - the records stream to stdout and human-readable
 	// summaries move to stderr. Stdout is wrapped so the writer does not
@@ -95,6 +135,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// With -encrypt every record is whitened on its way into the writer,
+	// after the cache filter (the DIMM sees the write-back stream).
+	var enc *vcc.StreamEncryptor
+	if *encrypt {
+		enc = vcc.NewStreamEncryptor(*key)
+	}
+	emit := func(r trace.Request) error {
+		if enc != nil {
+			enc.Apply(&r)
+		}
+		return w.Write(r)
+	}
+
 	if *useCache {
 		// Stores go through the L2; the trace records its dirty
 		// write-backs, each carrying the previous memory content.
@@ -102,11 +155,15 @@ func main() {
 		var sinkErr error
 		l2 := cache.New(cache.TableII(), mem, func(r trace.Request) {
 			if sinkErr == nil {
-				sinkErr = w.Write(r)
+				sinkErr = emit(r)
 			}
 		})
-		for i := 0; i < *writes; i++ {
-			req, _ := gen.Next()
+		stores := 0
+		for ; limit < 0 || stores < limit; stores++ {
+			req, ok := src.Next()
+			if !ok {
+				break
+			}
 			l2.Store(req.Addr, req.New)
 			if sinkErr != nil {
 				log.Fatal(sinkErr)
@@ -118,14 +175,20 @@ func main() {
 		}
 		st := l2.Stats()
 		fmt.Fprintf(summary, "L2: %.1f%% hit rate, %d write-backs from %d stores\n",
-			100*st.HitRate(), st.WriteBacks, *writes)
+			100*st.HitRate(), st.WriteBacks, stores)
 	} else {
-		for i := 0; i < *writes; i++ {
-			req, _ := gen.Next()
-			if err := w.Write(req); err != nil {
+		for i := 0; limit < 0 || i < limit; i++ {
+			req, ok := src.Next()
+			if !ok {
+				break
+			}
+			if err := emit(req); err != nil {
 				log.Fatal(err)
 			}
 		}
+	}
+	if rs, ok := src.(*trace.ReaderSource); ok && rs.Err() != nil {
+		log.Fatal(rs.Err())
 	}
 	// Close back-patches the header record count on seekable outputs.
 	if err := w.Close(); err != nil {
@@ -135,6 +198,20 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(summary, "wrote %d requests to %s\n", w.Count(), *out)
+}
+
+// samePath reports whether two paths name the same file, falling back
+// to a lexical comparison when either cannot be resolved (e.g. the
+// output does not exist yet).
+func samePath(a, b string) bool {
+	ai, errA := os.Stat(a)
+	bi, errB := os.Stat(b)
+	if errA == nil && errB == nil {
+		return os.SameFile(ai, bi)
+	}
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	return errA == nil && errB == nil && aa == bb
 }
 
 func describe(path string) error {

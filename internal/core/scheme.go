@@ -15,10 +15,12 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"wlcrc/internal/coset"
 	"wlcrc/internal/memline"
 	"wlcrc/internal/pcm"
+	"wlcrc/internal/vcc"
 )
 
 // Scheme is one write-encoding scheme for 512-bit MLC PCM lines.
@@ -65,6 +67,59 @@ type CompressionGate interface {
 	// CompressedWrite reports whether the stored cell vector took the
 	// scheme's encoded (compressed) path.
 	CompressedWrite(cells []pcm.State) bool
+}
+
+// CounterScheme is the optional extension for schemes whose encoding
+// depends on the line address and its per-line write counter — the
+// virtual-coset and encrypted schemes of internal/vcc, whose keystreams
+// and candidate vectors derive from (key, addr, counter). The counter
+// models the counter store a counter-mode encryption engine already
+// maintains: the replay frontends (sim shards, the public Memory) own
+// it, incrementing it on every write to an address and presenting the
+// same value back at decode. Requests to one address replay in trace
+// order on a single shard, so the counters — and therefore all results —
+// stay bit-identical across worker counts.
+//
+// CounterSchemes still implement the plain EncodeInto/DecodeInto, which
+// must be the degenerate (addr=0, ctr=0) form of the counter-aware
+// pair, so every generic Scheme property (round trip, idempotence of
+// decode, full dst overwrite) keeps holding.
+type CounterScheme interface {
+	// EncodeCtrInto is EncodeInto keyed by (addr, ctr).
+	EncodeCtrInto(dst, old []pcm.State, addr, ctr uint64, data *memline.Line)
+	// DecodeCtrInto is DecodeInto keyed by (addr, ctr); ctr must be the
+	// value used by the write that stored cells.
+	DecodeCtrInto(cells []pcm.State, addr, ctr uint64, dst *memline.Line)
+}
+
+// UsesCounters reports whether s needs the per-line write counter —
+// frontends use it to decide whether to maintain a counter map at all.
+func UsesCounters(s Scheme) bool {
+	_, ok := s.(CounterScheme)
+	return ok
+}
+
+// EncodeCtrFunc resolves a scheme's encode entry point once: counter
+// schemes get their keyed path, everything else ignores (addr, ctr).
+// Replay frontends resolve at construction instead of type-switching
+// per request.
+func EncodeCtrFunc(s Scheme) func(dst, old []pcm.State, addr, ctr uint64, data *memline.Line) {
+	if cs, ok := s.(CounterScheme); ok {
+		return cs.EncodeCtrInto
+	}
+	return func(dst, old []pcm.State, addr, ctr uint64, data *memline.Line) {
+		s.EncodeInto(dst, old, data)
+	}
+}
+
+// DecodeCtrFunc is the decode-side counterpart of EncodeCtrFunc.
+func DecodeCtrFunc(s Scheme) func(cells []pcm.State, addr, ctr uint64, dst *memline.Line) {
+	if cs, ok := s.(CounterScheme); ok {
+		return cs.DecodeCtrInto
+	}
+	return func(cells []pcm.State, addr, ctr uint64, dst *memline.Line) {
+		s.DecodeInto(cells, dst)
+	}
 }
 
 // CompressedWriteFunc resolves a scheme's write classifier once:
@@ -174,6 +229,10 @@ type Config struct {
 	// Disturb is the disturbance model the WD-aware extension prices
 	// against; the zero value means Table II defaults.
 	Disturb pcm.DisturbModel
+	// EncryptionKey keys the counter-mode encryption model of the VCC-n
+	// and Enc(...) schemes. Zero means vcc.DefaultKey, keeping every
+	// experiment reproducible by default.
+	EncryptionKey uint64
 }
 
 // DefaultConfig returns the Table II configuration.
@@ -183,8 +242,20 @@ func DefaultConfig() Config {
 
 // NewScheme constructs a scheme by its evaluation-section name. Valid
 // names: Baseline, FlipMin, FNW, DIN, 6cosets, COC+4cosets, WLC+4cosets,
-// WLC+3cosets, WLCRC-8, WLCRC-16, WLCRC-32, WLCRC-64.
+// WLC+3cosets, WLCRC-8, WLCRC-16, WLCRC-32, WLCRC-64, the encrypted-PCM
+// schemes VCC-2, VCC-4, VCC-8, and Enc(<inner>) for any non-counter
+// inner scheme name (e.g. Enc(WLCRC-16), the encrypted-WLCRC baseline).
 func NewScheme(name string, cfg Config) (Scheme, error) {
+	if inner, ok := strings.CutPrefix(name, "Enc("); ok && strings.HasSuffix(inner, ")") {
+		is, err := NewScheme(strings.TrimSuffix(inner, ")"), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		if UsesCounters(is) {
+			return nil, fmt.Errorf("core: %s: inner scheme is already counter-keyed", name)
+		}
+		return vcc.NewEncrypted(is, cfg.EncryptionKey), nil
+	}
 	switch name {
 	case "Baseline":
 		return NewBaseline(), nil
@@ -210,8 +281,21 @@ func NewScheme(name string, cfg Config) (Scheme, error) {
 		return NewWLCRC(cfg, 32)
 	case "WLCRC-64":
 		return NewWLCRC(cfg, 64)
+	case "VCC-2":
+		return vcc.New(cfg.Energy, 2, cfg.EncryptionKey)
+	case "VCC-4":
+		return vcc.New(cfg.Energy, 4, cfg.EncryptionKey)
+	case "VCC-8":
+		return vcc.New(cfg.Energy, 8, cfg.EncryptionKey)
 	}
 	return nil, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// EncryptedSchemes lists the schemes of the encrypted-memory study: the
+// raw encrypted write, the collapsed compression-gated baseline, and the
+// VCC family that recovers coset coding on ciphertext.
+func EncryptedSchemes() []string {
+	return []string{"Enc(Baseline)", "Enc(FlipMin)", "Enc(WLCRC-16)", "VCC-2", "VCC-4", "VCC-8"}
 }
 
 // EvaluationSchemes lists the eight schemes of Figures 8–10 in paper

@@ -366,3 +366,83 @@ func TestMultiObjectiveReducesUpdates(t *testing.T) {
 		t.Errorf("multi-objective energy %.0f exceeds plain %.0f by >5%%", eM, eP)
 	}
 }
+
+// TestEncryptedSchemeRegistry covers the counter-keyed scheme names:
+// VCC-n and the Enc(inner) wrapper form, including nesting rules.
+func TestEncryptedSchemeRegistry(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, name := range EncryptedSchemes() {
+		s, err := NewScheme(name, cfg)
+		if err != nil {
+			t.Fatalf("NewScheme(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+		if s.DataCells() != memline.LineCells {
+			t.Errorf("%s: DataCells = %d", name, s.DataCells())
+		}
+	}
+	// VCC and Enc are counter schemes; the classics are not.
+	for name, want := range map[string]bool{
+		"VCC-4": true, "Enc(WLCRC-16)": true, "WLCRC-16": false, "Baseline": false,
+	} {
+		s, err := NewScheme(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if UsesCounters(s) != want {
+			t.Errorf("UsesCounters(%s) = %v, want %v", name, !want, want)
+		}
+	}
+	if _, err := NewScheme("Enc(nope)", cfg); err == nil {
+		t.Error("Enc of an unknown inner scheme must fail")
+	}
+	if _, err := NewScheme("Enc(VCC-2)", cfg); err == nil {
+		t.Error("Enc of a counter-keyed inner scheme must fail")
+	}
+	if _, err := NewScheme("Enc(Enc(Baseline))", cfg); err == nil {
+		t.Error("nested Enc must fail")
+	}
+}
+
+// TestCtrFuncFallbacks pins the resolved entry points: non-counter
+// schemes ignore (addr, ctr); counter schemes' plain forms equal their
+// (0, 0) keyed forms — which is what keeps every generic Scheme
+// property valid for them.
+func TestCtrFuncFallbacks(t *testing.T) {
+	r := prng.New(91)
+	for _, name := range []string{"WLCRC-16", "VCC-8", "Enc(WLCRC-16)"} {
+		s, err := NewScheme(name, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := EncodeCtrFunc(s)
+		dec := DecodeCtrFunc(s)
+		data := randomBiasedLine(r)
+		old := InitialCells(s.TotalCells())
+		a := make([]pcm.State, s.TotalCells())
+		b := make([]pcm.State, s.TotalCells())
+		s.EncodeInto(a, old, &data)
+		enc(b, old, 0, 0, &data)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: EncodeCtrFunc(0,0) differs from EncodeInto", name)
+			}
+		}
+		var got memline.Line
+		dec(b, 0, 0, &got)
+		if !got.Equal(&data) {
+			t.Fatalf("%s: DecodeCtrFunc(0,0) round trip failed", name)
+		}
+		if !UsesCounters(s) {
+			// Non-counter schemes must ignore arbitrary (addr, ctr).
+			enc(b, old, 123, 456, &data)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: non-counter scheme depends on (addr, ctr)", name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"testing"
+
+	"wlcrc/internal/sim"
+)
+
+func encryptedTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WritesPerBenchmark = 300
+	cfg.Footprint = 128
+	return cfg
+}
+
+// TestEncryptedStudyAcceptance asserts the encrypted scenario's
+// headline claims at test scale: the compression gate collapses to ~0
+// on ciphertext while it stays high on plaintext, every VCC scheme
+// reduces energy and updated cells against the raw encrypted write, the
+// recovery grows with the candidate count, and the quantile columns are
+// coherent.
+func TestEncryptedStudyAcceptance(t *testing.T) {
+	rows, tbl := EncryptedStudy(encryptedTestConfig())
+	if tbl == nil || len(rows) == 0 {
+		t.Fatal("empty study")
+	}
+	byKey := map[[2]string]EncryptedRow{}
+	for _, r := range rows {
+		byKey[[2]string{r.Mode, r.Scheme}] = r
+		if r.EnergyP50 > r.EnergyP99 {
+			t.Errorf("%s/%s: p50 %.0f > p99 %.0f", r.Mode, r.Scheme, r.EnergyP50, r.EnergyP99)
+		}
+		if r.EnergyP50 <= 0 || r.Energy <= 0 {
+			t.Errorf("%s/%s: degenerate energy stats", r.Mode, r.Scheme)
+		}
+	}
+
+	// Gate collapse: WLCRC compresses >80% of plaintext writes, ~0% of
+	// encrypted ones; the Enc(WLCRC-16) wrapper shows the same collapse
+	// already on plaintext.
+	if f := byKey[[2]string{"plain", "WLCRC-16"}].Compressed; f < 0.8 {
+		t.Errorf("plaintext WLCRC-16 compressed %.2f, want > 0.8", f)
+	}
+	if f := byKey[[2]string{"encrypted", "WLCRC-16"}].Compressed; f > 0.001 {
+		t.Errorf("encrypted WLCRC-16 compressed %.4f, want ~0", f)
+	}
+	if f := byKey[[2]string{"plain", "Enc(WLCRC-16)"}].Compressed; f > 0.001 {
+		t.Errorf("Enc(WLCRC-16) compressed %.4f on plaintext, want ~0", f)
+	}
+
+	// VCC recovery against the raw encrypted write, in both modes (VCC
+	// is data-agnostic, so both rows describe encrypted-memory traffic).
+	for _, mode := range []string{"plain", "encrypted"} {
+		raw := byKey[[2]string{mode, "Enc(Baseline)"}]
+		prev := raw.Energy
+		for _, n := range []string{"VCC-2", "VCC-4", "VCC-8"} {
+			r := byKey[[2]string{mode, n}]
+			if r.Energy >= raw.Energy {
+				t.Errorf("%s/%s energy %.0f >= raw encrypted %.0f", mode, n, r.Energy, raw.Energy)
+			}
+			if r.Updated >= raw.Updated {
+				t.Errorf("%s/%s updated %.1f >= raw encrypted %.1f", mode, n, r.Updated, raw.Updated)
+			}
+			if r.Energy >= prev {
+				t.Errorf("%s/%s energy %.0f not below the smaller pool's %.0f", mode, n, r.Energy, prev)
+			}
+			prev = r.Energy
+		}
+	}
+}
+
+// TestEncryptedConfigWhitensEveryExperiment spot-checks the global
+// Config.Encrypted switch: the fig8 matrix run under it must show the
+// WLCRC gate collapsed.
+func TestEncryptedConfigWhitensEveryExperiment(t *testing.T) {
+	cfg := encryptedTestConfig()
+	cfg.Encrypted = true
+	e := RunEvaluation(cfg)
+	var writes, compressed int
+	for _, r := range e.Results {
+		if r.Scheme != "WLCRC-16" {
+			continue
+		}
+		writes += r.M.Writes
+		compressed += r.M.CompressedWrites
+	}
+	if writes == 0 {
+		t.Fatal("no WLCRC-16 results")
+	}
+	if f := float64(compressed) / float64(writes); f > 0.001 {
+		t.Errorf("encrypted evaluation still compresses %.4f of WLCRC-16 writes", f)
+	}
+}
+
+// TestExtraSchemesJoinEvaluation covers the -vcc path: extra schemes
+// appear in the matrix with populated metrics.
+func TestExtraSchemesJoinEvaluation(t *testing.T) {
+	cfg := encryptedTestConfig()
+	cfg.WritesPerBenchmark = 100
+	cfg.ExtraSchemes = []string{"VCC-4"}
+	e := RunEvaluation(cfg)
+	if got := e.Schemes[len(e.Schemes)-1]; got != "VCC-4" {
+		t.Fatalf("ExtraSchemes not appended: %v", e.Schemes)
+	}
+	if v := e.Average("VCC-4", sim.Metrics.AvgEnergy); v <= 0 {
+		t.Errorf("VCC-4 average energy %v", v)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"wlcrc/internal/pcm"
 	"wlcrc/internal/sim"
 	"wlcrc/internal/stats"
+	"wlcrc/internal/trace"
 	"wlcrc/internal/workload"
 )
 
@@ -39,6 +40,18 @@ type Config struct {
 	// (0 = all CPUs, 1 = serial). Results are bit-identical for every
 	// value — see sim.Engine — so this is purely a speed knob.
 	Workers int
+	// Encrypted replays every workload in its counter-mode encrypted
+	// (whitened) form — the ciphertext an encrypted DIMM stores — using
+	// EncryptionKey (0 = the default key). Compression-gated schemes
+	// collapse under it; the encrypted study quantifies the damage and
+	// the VCC recovery.
+	Encrypted bool
+	// EncryptionKey keys both the workload whitening (Encrypted) and the
+	// VCC/Enc schemes built by the experiments.
+	EncryptionKey uint64
+	// ExtraSchemes are appended to the Figure 8/9/10 evaluation matrix
+	// (e.g. the VCC family via cmd/experiments -vcc).
+	ExtraSchemes []string
 	// TrackWear enables dense per-cell wear accounting in every replay;
 	// the wear digest lands in each result's M.Wear. Costs 4 bytes per
 	// tracked cell per scheme — fine at experiment scale.
@@ -59,7 +72,16 @@ func DefaultConfig() Config {
 }
 
 func (c Config) coreConfig() core.Config {
-	return core.Config{Energy: c.Energy}
+	return core.Config{Energy: c.Energy, EncryptionKey: c.EncryptionKey}
+}
+
+// source wraps a generator per the workload mode: plaintext, or the
+// counter-mode encrypted stream when cfg.Encrypted is set.
+func (c Config) source(gen trace.Source) trace.Source {
+	if !c.Encrypted {
+		return gen
+	}
+	return workload.Encrypted(gen, c.EncryptionKey)
 }
 
 // BenchResult holds one scheme's metrics on one benchmark.
@@ -77,7 +99,7 @@ func runMatrix(cfg Config, profiles []workload.Profile, schemes []core.Scheme) [
 	var out []BenchResult
 	for _, p := range profiles {
 		s := sim.NewEngine(simOptions(cfg), schemes...)
-		gen := workload.NewGenerator(p, cfg.Footprint, cfg.Seed)
+		gen := cfg.source(workload.NewGenerator(p, cfg.Footprint, cfg.Seed))
 		if w := cfg.warmup(p); w > 0 {
 			if err := s.Run(&workload.Limited{Src: gen, N: w}, 0); err != nil {
 				panic(fmt.Sprintf("exp: %s warmup: %v", p.Name, err))
@@ -124,7 +146,7 @@ func simOptions(cfg Config) sim.Options {
 func runRandom(cfg Config, schemes []core.Scheme) []sim.Metrics {
 	s := sim.NewEngine(simOptions(cfg), schemes...)
 	p := workload.RandomProfile()
-	gen := workload.NewGenerator(p, cfg.Footprint, cfg.Seed)
+	gen := cfg.source(workload.NewGenerator(p, cfg.Footprint, cfg.Seed))
 	if w := cfg.warmup(p); w > 0 {
 		if err := s.Run(&workload.Limited{Src: gen, N: w}, 0); err != nil {
 			panic(fmt.Sprintf("exp: random warmup: %v", err))

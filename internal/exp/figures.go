@@ -221,9 +221,10 @@ type Evaluation struct {
 	Schemes []string
 }
 
-// RunEvaluation executes the main evaluation matrix.
+// RunEvaluation executes the main evaluation matrix, appending any
+// Config.ExtraSchemes (e.g. the VCC family) to the paper's eight.
 func RunEvaluation(cfg Config) *Evaluation {
-	names := core.EvaluationSchemes()
+	names := append(core.EvaluationSchemes(), cfg.ExtraSchemes...)
 	var schemes []core.Scheme
 	for _, n := range names {
 		s, err := core.NewScheme(n, cfg.coreConfig())

@@ -27,6 +27,14 @@ type Config struct {
 	ReadCycles     int     // bank-busy cycles for an array read
 	WriteCycles    int     // bank-busy cycles for a full MLC write (P&V)
 	PauseOverhead  int     // cycles lost when pausing an in-flight write
+	// WriteMinCycles is the bank-busy floor of a write that programs
+	// very few cells (decode, row activation and at least one
+	// program-and-verify iteration still happen). Zero means ReadCycles.
+	WriteMinCycles int
+	// CellsPerLine is the programmed-cell count of a full-line write,
+	// the denominator of the P&V scaling in WriteCyclesFor. Zero means
+	// 256 (one 512-bit MLC line).
+	CellsPerLine int
 }
 
 // TableII returns the paper's configuration. Timing reflects MLC PCM's
@@ -41,7 +49,44 @@ func TableII() Config {
 		ReadCycles:     75,
 		WriteCycles:    750,
 		PauseOverhead:  20,
+		WriteMinCycles: 75,
+		CellsPerLine:   256,
 	}
+}
+
+// WriteCyclesFor returns the bank-busy cycles of a write that programs
+// the given number of cells. MLC PCM writes are iterative
+// program-and-verify sweeps over the cells being updated, so the busy
+// time scales with the programmed-cell count: a full-line write (cells
+// >= CellsPerLine) costs WriteCycles, fewer updated cells interpolate
+// linearly down to the WriteMinCycles floor, and cells <= 0 — "unknown",
+// the zero value of Access.Cells — conservatively costs the full
+// WriteCycles. Callers that do know the count and want a silent store
+// (zero updated cells) priced at the floor should clamp it to 1 before
+// enqueueing, as pcmsim's timing tap does. This is how the encoders'
+// endurance savings become a latency/bandwidth win: a coset-coded write
+// that programs a quarter of the cells occupies its bank for roughly a
+// quarter of the time.
+func (c Config) WriteCyclesFor(cells int) int {
+	if cells <= 0 {
+		return c.WriteCycles
+	}
+	perLine := c.CellsPerLine
+	if perLine <= 0 {
+		perLine = 256
+	}
+	min := c.WriteMinCycles
+	if min <= 0 {
+		min = c.ReadCycles
+	}
+	if min > c.WriteCycles {
+		min = c.WriteCycles
+	}
+	if cells >= perLine {
+		return c.WriteCycles
+	}
+	cyc := min + (c.WriteCycles-min)*cells/perLine
+	return cyc
 }
 
 // Banks returns the total bank count.
@@ -69,6 +114,11 @@ const (
 type Access struct {
 	Kind AccessKind
 	Addr uint64 // line address
+	// Cells is the number of cells the write programs (the encoder's
+	// updated-cell count), which scales the write's bank-busy time via
+	// Config.WriteCyclesFor. 0 means unknown: the write is charged the
+	// full WriteCycles. Ignored for reads.
+	Cells int
 	// Arrival is the cycle the request enters the controller.
 	Arrival uint64
 }
@@ -247,7 +297,7 @@ func (c *Controller) issue(b *bankState) {
 func (c *Controller) startWrite(b *bankState) {
 	a := b.writeQ.Remove(b.writeQ.Front()).(Access)
 	b.inflight = a
-	b.busyUntil = c.now + uint64(c.cfg.WriteCycles)
+	b.busyUntil = c.now + uint64(c.cfg.WriteCyclesFor(a.Cells))
 	c.stats.Writes++
 	c.stats.WriteCycles += b.busyUntil - a.Arrival
 }

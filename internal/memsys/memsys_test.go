@@ -144,3 +144,63 @@ func TestMixedWorkloadCompletes(t *testing.T) {
 		t.Errorf("write latency %v below the device write time", st.AvgWriteLatency())
 	}
 }
+
+func TestWriteCyclesForScaling(t *testing.T) {
+	cfg := TableII()
+	if got := cfg.WriteCyclesFor(0); got != cfg.WriteCycles {
+		t.Errorf("unknown cell count: %d cycles, want full %d", got, cfg.WriteCycles)
+	}
+	if got := cfg.WriteCyclesFor(cfg.CellsPerLine); got != cfg.WriteCycles {
+		t.Errorf("full line: %d cycles, want %d", got, cfg.WriteCycles)
+	}
+	if got := cfg.WriteCyclesFor(10 * cfg.CellsPerLine); got != cfg.WriteCycles {
+		t.Errorf("over-full line: %d cycles, want clamp at %d", got, cfg.WriteCycles)
+	}
+	if got := cfg.WriteCyclesFor(1); got != cfg.WriteMinCycles+
+		(cfg.WriteCycles-cfg.WriteMinCycles)/cfg.CellsPerLine {
+		t.Errorf("one cell: %d cycles", got)
+	}
+	half := cfg.WriteCyclesFor(cfg.CellsPerLine / 2)
+	if half >= cfg.WriteCycles || half <= cfg.WriteMinCycles {
+		t.Errorf("half line: %d cycles not strictly between floor %d and full %d",
+			half, cfg.WriteMinCycles, cfg.WriteCycles)
+	}
+	// Monotone in the programmed-cell count.
+	prev := 0
+	for cells := 1; cells <= cfg.CellsPerLine; cells++ {
+		cyc := cfg.WriteCyclesFor(cells)
+		if cyc < prev {
+			t.Fatalf("WriteCyclesFor not monotone at %d cells", cells)
+		}
+		prev = cyc
+	}
+	// Zero-value fallbacks: floor defaults to ReadCycles, line size to 256.
+	bare := Config{ReadCycles: 75, WriteCycles: 750}
+	if got := bare.WriteCyclesFor(256); got != 750 {
+		t.Errorf("bare full line: %d", got)
+	}
+	if got := bare.WriteCyclesFor(1); got < 75 || got >= 750 {
+		t.Errorf("bare one cell: %d", got)
+	}
+}
+
+// TestFewerProgrammedCellsLowerLatency is the satellite's acceptance
+// check: the same write stream with small per-write programmed-cell
+// counts (a coset-coded scheme) must finish with strictly lower average
+// write latency than the full-line writes of an unencoded scheme.
+func TestFewerProgrammedCellsLowerLatency(t *testing.T) {
+	run := func(cells int) float64 {
+		c := New(TableII())
+		for i := 0; i < 200; i++ {
+			c.Enqueue(Access{Kind: Write, Addr: uint64(i), Cells: cells})
+			c.Step(5)
+		}
+		c.Drain()
+		return c.Stats().AvgWriteLatency()
+	}
+	full := run(0)   // unknown -> full WriteCycles
+	coded := run(48) // ~WLCRC-grade updated-cell count
+	if coded >= full {
+		t.Errorf("coded writes (48 cells) latency %.0f >= full-line latency %.0f", coded, full)
+	}
+}

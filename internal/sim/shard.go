@@ -31,8 +31,20 @@ type shard struct {
 	// construction, from the scheme's optional CompressionGate — not
 	// per request via name switches.
 	compressed func([]pcm.State) bool
+	// encodeCtr / decodeCtr are the codec entry points resolved once
+	// from the scheme's optional CounterScheme extension: counter-keyed
+	// schemes (VCC, Enc) get the per-line write counter, everything else
+	// ignores it.
+	encodeCtr func(dst, old []pcm.State, addr, ctr uint64, data *memline.Line)
+	decodeCtr func(cells []pcm.State, addr, ctr uint64, dst *memline.Line)
 	// mem is this shard's cell-state view of its addresses.
 	mem map[uint64][]pcm.State
+	// ctrs is the per-line write-counter store (the shard-local slice of
+	// an encryption engine's counter cache); nil unless the scheme is a
+	// CounterScheme. Requests to one address always replay in trace
+	// order on one shard, so counters are deterministic for every worker
+	// count.
+	ctrs map[uint64]uint64
 	// scratch is the double buffer EncodeInto targets: after each
 	// request it swaps roles with the stored line, so the previous
 	// states become the next scratch and no per-request slice is ever
@@ -96,6 +108,11 @@ func newShard(opts *Options, sch core.Scheme, rnd *prng.Xoshiro256) *shard {
 		u.wear = wear.NewDense(n)
 	}
 	u.compressed = core.CompressedWriteFunc(sch)
+	u.encodeCtr = core.EncodeCtrFunc(sch)
+	u.decodeCtr = core.DecodeCtrFunc(sch)
+	if core.UsesCounters(sch) {
+		u.ctrs = make(map[uint64]uint64)
+	}
 	return u
 }
 
@@ -109,8 +126,13 @@ func (u *shard) apply(req *trace.Request) error {
 	if !ok {
 		old = core.InitialCells(sch.TotalCells())
 	}
+	var ctr uint64
+	if u.ctrs != nil {
+		ctr = u.ctrs[req.Addr] + 1
+		u.ctrs[req.Addr] = ctr
+	}
 	newCells := u.scratch
-	sch.EncodeInto(newCells, old, &req.New)
+	u.encodeCtr(newCells, old, req.Addr, ctr, &req.New)
 	m := &u.m
 	m.Writes++
 	st, changed := u.opts.Energy.DiffWriteMask(old, newCells, sch.DataCells(), u.changed)
@@ -143,7 +165,7 @@ func (u *shard) apply(req *trace.Request) error {
 	u.scratch = old
 	if u.opts.Verify {
 		got := &u.decodeBuf
-		sch.DecodeInto(newCells, got)
+		u.decodeCtr(newCells, req.Addr, ctr, got)
 		if !got.Equal(&req.New) {
 			m.DecodeErrors++
 			return fmt.Errorf("sim: %s: decode mismatch at addr %#x", sch.Name(), req.Addr)
@@ -211,6 +233,9 @@ func (u *shard) resetMetrics() {
 // pointlessly zeroed.
 func (u *shard) reset() {
 	u.mem = make(map[uint64][]pcm.State)
+	if u.ctrs != nil {
+		u.ctrs = make(map[uint64]uint64)
+	}
 	if u.wear != nil {
 		u.wear = wear.NewDense(u.scheme.TotalCells())
 	}

@@ -102,3 +102,26 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Error("empty histogram quantile/mean not 0")
 	}
 }
+
+// TestHistogramQuantileAfterMerge covers the way the encrypted study
+// uses Quantile: per-benchmark histograms merge first, and quantiles of
+// the merged distribution must reflect all shards' samples.
+func TestHistogramQuantileAfterMerge(t *testing.T) {
+	a, b := NewHistogram(10), NewHistogram(10)
+	for i := 0; i < 90; i++ {
+		a.Observe(5) // bucket 0
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(455) // bucket 45
+	}
+	a.Merge(b)
+	if got := a.Quantile(0.5); got != 10 {
+		t.Errorf("merged p50 = %v, want 10", got)
+	}
+	if got := a.Quantile(0.99); got != 460 {
+		t.Errorf("merged p99 = %v, want 460 (upper edge of bucket 45)", got)
+	}
+	if a.N != 100 {
+		t.Errorf("merged N = %d", a.N)
+	}
+}

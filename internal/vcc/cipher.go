@@ -1,0 +1,124 @@
+// Package vcc implements Virtual Coset Coding for counter-mode
+// encrypted PCM, after Longofono, Seyedzadeh & Jones (arXiv:2112.01658).
+//
+// Counter-mode memory encryption hands the write encoder uniformly
+// random ciphertext: every write re-encrypts the whole line under a
+// fresh per-line counter, so compression-gated schemes like WLCRC lose
+// their gate (no line is WLC-compressible) and differential write loses
+// its locality (the ciphertext changes wholesale even when the
+// plaintext barely moved). VCC recovers coset-style write reduction on
+// exactly this traffic: instead of the fixed Table-I candidates it
+// derives n fresh pseudo-random candidate vectors per write from the
+// same (key, address, counter) tuple the encryption pad comes from, XORs
+// each candidate into the ciphertext word, prices the results with the
+// word-parallel SWAR machinery of package coset, and stores only the
+// winning candidate's index in auxiliary cells. Decode regenerates the
+// identical candidates from (key, address, counter) — the counter is
+// already maintained by the encryption engine, so it costs VCC nothing —
+// undoes the winning XOR and then the encryption pad.
+//
+// The package provides three layers:
+//
+//   - Cipher: the deterministic keystream model — per-(key, addr,
+//     counter) pads and candidate vectors (cipher.go).
+//   - Scheme (VCC-2/4/8) and Encrypted (a wrapper that runs any inner
+//     scheme on ciphertext): core.Scheme implementations registered in
+//     internal/core (vcc.go, encrypted.go). Both implement the
+//     core.CounterScheme extension; their address/counter-blind
+//     EncodeInto/DecodeInto forms fall back to (addr=0, ctr=0).
+//   - StreamEncryptor / EncryptSource: whiten a whole write-request
+//     stream the way an encrypted DIMM would see it, for workloads and
+//     traces (source.go).
+package vcc
+
+import (
+	"wlcrc/internal/memline"
+	"wlcrc/internal/prng"
+)
+
+// DefaultKey is the encryption key used when a caller does not supply
+// one. Like core's flipMinSeed it pins the pseudo-random streams so
+// every experiment is reproducible; it is not a security parameter.
+const DefaultKey uint64 = 0x5EC2E7C0DE5EED01
+
+// MaxCandidates bounds the per-word candidate count (VCC-8).
+const MaxCandidates = 8
+
+// Cipher is the deterministic counter-mode encryption model: a keyed
+// keystream PRNG addressed by (line address, per-line write counter).
+// The zero value uses DefaultKey. Cipher is a value type with no
+// mutable state, so it is safe to share across goroutines.
+type Cipher struct {
+	// Key is the memory encryption key; 0 means DefaultKey.
+	Key uint64
+}
+
+// key returns the effective key.
+func (c Cipher) key() uint64 {
+	if c.Key == 0 {
+		return DefaultKey
+	}
+	return c.Key
+}
+
+// mix64 is the splitmix64 output finalizer, used to whiten the
+// (key, addr, ctr) tuple into a stream seed.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// seed derives the per-(addr, ctr) stream seed. Address and counter are
+// folded in through distinct odd multipliers before the finalizer so
+// (addr, ctr) and (ctr, addr) collide only accidentally.
+func (c Cipher) seed(addr, ctr uint64) uint64 {
+	return mix64(mix64(c.key()^addr*0x9e3779b97f4a7c15) ^ ctr*0xd1342543de82ef95)
+}
+
+// Pad fills pad with the eight 64-bit keystream words of (addr, ctr) —
+// the one-time pad a counter-mode AES engine would produce for the
+// line. XORing the pad into a line encrypts it; XORing again decrypts.
+func (c Cipher) Pad(addr, ctr uint64, pad *[memline.LineWords]uint64) {
+	sm := prng.NewSplitMix64(c.seed(addr, ctr))
+	for w := range pad {
+		pad[w] = sm.Uint64()
+	}
+}
+
+// WhitenLine XORs the (addr, ctr) keystream into l in place. The
+// operation is an involution: applying it twice with the same (addr,
+// ctr) restores l, so the same call encrypts and decrypts.
+func (c Cipher) WhitenLine(l *memline.Line, addr, ctr uint64) {
+	var pad [memline.LineWords]uint64
+	c.Pad(addr, ctr, &pad)
+	for w := 0; w < memline.LineWords; w++ {
+		l.SetWord(w, l.Word(w)^pad[w])
+	}
+}
+
+// Candidates fills pad with the line's keystream and vecs[0..n) with the
+// n virtual coset candidate vectors of (addr, ctr), one 8-word vector
+// per candidate. Candidate 0 is always the zero vector, so the raw
+// ciphertext is a member of every candidate set and VCC can never do
+// worse than the raw encrypted write on the cells it prices; candidates
+// 1..n-1 are fresh pseudo-random draws from the continuation of the pad
+// stream. n must be in [1, MaxCandidates].
+func (c Cipher) Candidates(addr, ctr uint64, n int,
+	pad *[memline.LineWords]uint64, vecs *[MaxCandidates][memline.LineWords]uint64) {
+	if n < 1 || n > MaxCandidates {
+		panic("vcc: candidate count out of range")
+	}
+	sm := prng.NewSplitMix64(c.seed(addr, ctr))
+	for w := range pad {
+		pad[w] = sm.Uint64()
+	}
+	for w := range vecs[0] {
+		vecs[0][w] = 0
+	}
+	for v := 1; v < n; v++ {
+		for w := range vecs[v] {
+			vecs[v][w] = sm.Uint64()
+		}
+	}
+}

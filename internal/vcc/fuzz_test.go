@@ -1,0 +1,117 @@
+package vcc
+
+import (
+	"testing"
+
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+)
+
+// Fuzz targets for the virtual-coset subsystem: candidate generation
+// and the encode/decode round trip through decrypt, cross-checked
+// against the scalar reference encoder. The seeded corpus lives in
+// testdata/fuzz; `go test` replays it on every run and `go test -fuzz
+// FuzzVCC` explores further (wired into the CI fuzz smoke loop).
+
+// fuzzN maps a selector byte onto a valid candidate count.
+func fuzzN(sel byte) int {
+	return []int{2, 4, 8}[int(sel)%3]
+}
+
+// fuzzOld derives a full old-state vector from packed 2-bit state
+// words, repeating the 64-byte pattern across data and aux cells.
+func fuzzOld(oldBits []byte, n int) []pcm.State {
+	old := make([]pcm.State, n)
+	for i := range old {
+		var b byte
+		if len(oldBits) > 0 {
+			b = oldBits[i%len(oldBits)]
+		}
+		old[i] = pcm.State(b >> uint(2*(i%4)) & 3)
+	}
+	return old
+}
+
+// FuzzVCCRoundTrip asserts, for arbitrary plaintext, old states, keys,
+// addresses and counters: the full-line encode decodes bit-exactly back
+// to the plaintext, and every word's SWAR candidate choice and output
+// states match the scalar CostTable reference.
+func FuzzVCCRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint64(0), uint64(0), uint64(0), byte(2))
+	f.Add([]byte{0xFF, 0x00, 0xAA}, uint64(1), uint64(1), uint64(7), byte(0))
+	f.Add([]byte("counter mode whitening makes every line incompressible.."),
+		uint64(0xDEAD), uint64(42), uint64(0x5EC2E7C0DE5EED01), byte(1))
+	f.Fuzz(func(t *testing.T, raw []byte, addr, ctr, key uint64, nSel byte) {
+		n := fuzzN(nSel)
+		s, err := New(pcm.DefaultEnergy(), n, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var data memline.Line
+		copy(data[:], raw)
+		old := fuzzOld(raw, s.TotalCells())
+		dst := make([]pcm.State, s.TotalCells())
+		s.EncodeCtrInto(dst, old, addr, ctr, &data)
+
+		var got memline.Line
+		s.DecodeCtrInto(dst, addr, ctr, &got)
+		if !got.Equal(&data) {
+			t.Fatalf("VCC-%d: round trip failed (addr %#x ctr %d key %#x)", n, addr, ctr, key)
+		}
+
+		var pad [memline.LineWords]uint64
+		var vecs [MaxCandidates][memline.LineWords]uint64
+		s.cipher.Candidates(addr, ctr, n, &pad, &vecs)
+		var idx [memline.LineWords]uint8
+		s.unpackIndices(dst[memline.LineCells:s.TotalCells()], &idx)
+		var refOut [memline.WordCells]pcm.State
+		for w := 0; w < memline.LineWords; w++ {
+			refIdx := s.encodeWordScalar(data.Word(w)^pad[w], &vecs, w, old[w*memline.WordCells:], refOut[:])
+			if refIdx != idx[w] {
+				t.Fatalf("word %d: SWAR index %d != scalar %d", w, idx[w], refIdx)
+			}
+			for c := 0; c < memline.WordCells; c++ {
+				if dst[w*memline.WordCells+c] != refOut[c] {
+					t.Fatalf("word %d cell %d: SWAR %v != scalar %v", w, c,
+						dst[w*memline.WordCells+c], refOut[c])
+				}
+			}
+		}
+	})
+}
+
+// FuzzVCCCandidates asserts candidate-generation invariants for
+// arbitrary (key, addr, ctr): determinism, the zero candidate, pad
+// consistency with Pad, and the whitening involution.
+func FuzzVCCCandidates(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), byte(2))
+	f.Add(uint64(1)<<63, ^uint64(0), uint64(3), byte(1))
+	f.Add(uint64(0xABCDEF), uint64(9), uint64(0xC0FFEE), byte(0))
+	f.Fuzz(func(t *testing.T, addr, ctr, key uint64, nSel byte) {
+		n := fuzzN(nSel)
+		c := Cipher{Key: key}
+		var pad1, pad2 [memline.LineWords]uint64
+		var v1, v2 [MaxCandidates][memline.LineWords]uint64
+		c.Candidates(addr, ctr, n, &pad1, &v1)
+		c.Candidates(addr, ctr, n, &pad2, &v2)
+		if pad1 != pad2 || v1 != v2 {
+			t.Fatal("candidate generation not deterministic")
+		}
+		var pad3 [memline.LineWords]uint64
+		c.Pad(addr, ctr, &pad3)
+		if pad1 != pad3 {
+			t.Fatal("Candidates pad differs from Pad")
+		}
+		if v1[0] != ([memline.LineWords]uint64{}) {
+			t.Fatal("candidate 0 is not the zero vector")
+		}
+		var l memline.Line
+		copy(l[:], []byte{byte(addr), byte(ctr), byte(key)})
+		orig := l
+		c.WhitenLine(&l, addr, ctr)
+		c.WhitenLine(&l, addr, ctr)
+		if !l.Equal(&orig) {
+			t.Fatal("whitening is not an involution")
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package vcc
+
+import "wlcrc/internal/trace"
+
+// StreamEncryptor whitens a write-request stream the way a counter-mode
+// encrypted DIMM would store it: it maintains the per-line write
+// counter (incremented on every write to an address, exactly the
+// counter a real encryption engine keeps in its counter store) and XORs
+// each request's New content with the pad of (addr, counter) and its Old
+// content with the pad of the previous write (addr, counter-1). The
+// first write to a line leaves Old untouched — there was no previous
+// encrypted content.
+//
+// Because the pad XOR is an involution, applying a second
+// StreamEncryptor with the same key to an already-encrypted stream
+// decrypts it; the counters resynchronize because both passes see the
+// same request order. That makes the transform its own inverse, which
+// the trace round-trip tests rely on.
+type StreamEncryptor struct {
+	c    Cipher
+	ctrs map[uint64]uint64
+}
+
+// streamDomain separates the stream-whitening keyspace from the
+// scheme-side engine's: a whitened stream replayed through a VCC or
+// Enc(...) scheme built from the same user key models two independent
+// encryption engines (upstream link/OS encryption plus the DIMM's own),
+// not one engine applied twice — without the separation the two pads
+// would cancel bit for bit and silently hand the encoder plaintext.
+const streamDomain uint64 = 0x9D39247E33776D41
+
+// NewStreamEncryptor returns an encryptor with fresh counters. key 0
+// means DefaultKey. The effective whitening key is domain-separated
+// from the scheme-side engine's (see streamDomain); two
+// StreamEncryptors built from the same key still share a keystream, so
+// applying the transform twice remains the identity.
+func NewStreamEncryptor(key uint64) *StreamEncryptor {
+	return &StreamEncryptor{
+		c:    Cipher{Key: mix64(Cipher{Key: key}.key() ^ streamDomain)},
+		ctrs: make(map[uint64]uint64),
+	}
+}
+
+// Apply advances the address's write counter and whitens the request in
+// place.
+func (e *StreamEncryptor) Apply(r *trace.Request) {
+	n := e.ctrs[r.Addr] + 1
+	e.ctrs[r.Addr] = n
+	if n > 1 {
+		e.c.WhitenLine(&r.Old, r.Addr, n-1)
+	}
+	e.c.WhitenLine(&r.New, r.Addr, n)
+}
+
+// Counter returns the current write counter of addr (0 = never written).
+func (e *StreamEncryptor) Counter(addr uint64) uint64 { return e.ctrs[addr] }
+
+// EncryptSource wraps a request source with a StreamEncryptor, yielding
+// the stream's ciphertext form — the encrypted workload mode of
+// internal/workload and the tracegen -encrypt transform.
+type EncryptSource struct {
+	Src trace.Source
+	E   *StreamEncryptor
+}
+
+// NewEncryptSource wraps src with a fresh encryptor. key 0 means
+// DefaultKey.
+func NewEncryptSource(src trace.Source, key uint64) *EncryptSource {
+	return &EncryptSource{Src: src, E: NewStreamEncryptor(key)}
+}
+
+// Next implements trace.Source.
+func (s *EncryptSource) Next() (trace.Request, bool) {
+	req, ok := s.Src.Next()
+	if !ok {
+		return trace.Request{}, false
+	}
+	s.E.Apply(&req)
+	return req, true
+}

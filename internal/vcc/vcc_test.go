@@ -1,0 +1,452 @@
+package vcc
+
+import (
+	"testing"
+
+	"wlcrc/internal/coset"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/prng"
+	"wlcrc/internal/trace"
+)
+
+func randomLine(r *prng.Xoshiro256) memline.Line {
+	var l memline.Line
+	r.Fill(l[:])
+	return l
+}
+
+func randomOld(r *prng.Xoshiro256, n int) []pcm.State {
+	old := make([]pcm.State, n)
+	for i := range old {
+		old[i] = pcm.State(r.Intn(pcm.NumStates))
+	}
+	return old
+}
+
+func newVCC(t *testing.T, n int) *Scheme {
+	t.Helper()
+	s, err := New(pcm.DefaultEnergy(), n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewRejectsBadCandidateCounts(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 5, 16} {
+		if _, err := New(pcm.DefaultEnergy(), n, 0); err == nil {
+			t.Errorf("n=%d: expected error", n)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	want := map[int]int{2: 260, 4: 264, 8: 268}
+	for n, total := range want {
+		s := newVCC(t, n)
+		if s.TotalCells() != total {
+			t.Errorf("VCC-%d: TotalCells = %d, want %d", n, s.TotalCells(), total)
+		}
+		if s.DataCells() != memline.LineCells {
+			t.Errorf("VCC-%d: DataCells = %d", n, s.DataCells())
+		}
+		if s.Candidates() != n {
+			t.Errorf("VCC-%d: Candidates = %d", n, s.Candidates())
+		}
+	}
+}
+
+// TestRoundTripCtr is the central property: EncodeCtrInto followed by
+// DecodeCtrInto with the same (addr, ctr) recovers the plaintext
+// exactly, from any old state, for every candidate count — the "decodes
+// bit-exactly through decrypt" acceptance criterion.
+func TestRoundTripCtr(t *testing.T) {
+	r := prng.New(1)
+	for _, n := range []int{2, 4, 8} {
+		s := newVCC(t, n)
+		for trial := 0; trial < 200; trial++ {
+			data := randomLine(r)
+			old := randomOld(r, s.TotalCells())
+			addr, ctr := r.Uint64()%4096, r.Uint64()%1024
+			dst := make([]pcm.State, s.TotalCells())
+			s.EncodeCtrInto(dst, old, addr, ctr, &data)
+			var got memline.Line
+			s.DecodeCtrInto(dst, addr, ctr, &got)
+			if !got.Equal(&data) {
+				t.Fatalf("VCC-%d: round trip failed at trial %d (addr %d ctr %d)", n, trial, addr, ctr)
+			}
+		}
+	}
+}
+
+// TestRoundTripChained replays consecutive counter-incrementing writes
+// over the scheme's own previous output, the way a shard drives it.
+func TestRoundTripChained(t *testing.T) {
+	r := prng.New(2)
+	for _, n := range []int{2, 4, 8} {
+		s := newVCC(t, n)
+		cells := make([]pcm.State, s.TotalCells())
+		scratch := make([]pcm.State, s.TotalCells())
+		const addr = 77
+		for ctr := uint64(1); ctr <= 50; ctr++ {
+			data := randomLine(r)
+			s.EncodeCtrInto(scratch, cells, addr, ctr, &data)
+			cells, scratch = scratch, cells
+			var got memline.Line
+			s.DecodeCtrInto(cells, addr, ctr, &got)
+			if !got.Equal(&data) {
+				t.Fatalf("VCC-%d: chained round trip failed at ctr %d", n, ctr)
+			}
+		}
+	}
+}
+
+// TestCounterBlindFormsAreCtrZero pins the Scheme-interface fallback:
+// EncodeInto/DecodeInto must be exactly the (addr=0, ctr=0) keyed pair.
+func TestCounterBlindFormsAreCtrZero(t *testing.T) {
+	r := prng.New(3)
+	s := newVCC(t, 4)
+	data := randomLine(r)
+	old := randomOld(r, s.TotalCells())
+	a := make([]pcm.State, s.TotalCells())
+	b := make([]pcm.State, s.TotalCells())
+	s.EncodeInto(a, old, &data)
+	s.EncodeCtrInto(b, old, 0, 0, &data)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("EncodeInto differs from EncodeCtrInto(0,0) at cell %d", i)
+		}
+	}
+	var got memline.Line
+	s.DecodeInto(a, &got)
+	if !got.Equal(&data) {
+		t.Fatal("counter-blind round trip failed")
+	}
+}
+
+// TestEncodeIntoContract mirrors core's generic scheme contract:
+// Encode == EncodeInto over garbage dst, and old is never mutated.
+func TestEncodeIntoContract(t *testing.T) {
+	r := prng.New(4)
+	for _, n := range []int{2, 4, 8} {
+		s := newVCC(t, n)
+		data := randomLine(r)
+		old := randomOld(r, s.TotalCells())
+		snapshot := append([]pcm.State(nil), old...)
+		dst := make([]pcm.State, s.TotalCells())
+		for i := range dst {
+			dst[i] = pcm.State(3)
+		}
+		s.EncodeInto(dst, old, &data)
+		ref := s.Encode(old, &data)
+		for i := range dst {
+			if dst[i] != ref[i] {
+				t.Fatalf("VCC-%d: EncodeInto differs from Encode at cell %d", n, i)
+			}
+		}
+		for i := range old {
+			if old[i] != snapshot[i] {
+				t.Fatalf("VCC-%d: EncodeInto mutated old", n)
+			}
+		}
+	}
+}
+
+// TestSWARMatchesScalar asserts the word-parallel encode path is
+// bit-identical to the scalar CostTable reference: same chosen
+// candidate index, same output states, for every word.
+func TestSWARMatchesScalar(t *testing.T) {
+	r := prng.New(5)
+	for _, n := range []int{2, 4, 8} {
+		s := newVCC(t, n)
+		for trial := 0; trial < 100; trial++ {
+			data := randomLine(r)
+			old := randomOld(r, s.TotalCells())
+			addr, ctr := r.Uint64(), r.Uint64()
+			dst := make([]pcm.State, s.TotalCells())
+			s.EncodeCtrInto(dst, old, addr, ctr, &data)
+
+			var pad [memline.LineWords]uint64
+			var vecs [MaxCandidates][memline.LineWords]uint64
+			s.cipher.Candidates(addr, ctr, s.n, &pad, &vecs)
+			var idx [memline.LineWords]uint8
+			s.unpackIndices(dst[memline.LineCells:s.TotalCells()], &idx)
+			var refOut [memline.WordCells]pcm.State
+			for w := 0; w < memline.LineWords; w++ {
+				cw := data.Word(w) ^ pad[w]
+				refIdx := s.encodeWordScalar(cw, &vecs, w, old[w*memline.WordCells:], refOut[:])
+				if refIdx != idx[w] {
+					t.Fatalf("VCC-%d word %d: SWAR picked %d, scalar %d", n, w, idx[w], refIdx)
+				}
+				for c := 0; c < memline.WordCells; c++ {
+					if dst[w*memline.WordCells+c] != refOut[c] {
+						t.Fatalf("VCC-%d word %d cell %d: SWAR state %v != scalar %v",
+							n, w, c, dst[w*memline.WordCells+c], refOut[c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeterministicAndKeyed: the same (key, addr, ctr, data, old)
+// encodes identically; a different key or counter encodes differently
+// (with overwhelming probability on random data).
+func TestDeterministicAndKeyed(t *testing.T) {
+	r := prng.New(6)
+	s1, _ := New(pcm.DefaultEnergy(), 8, 0)
+	s2, _ := New(pcm.DefaultEnergy(), 8, 0)
+	s3, _ := New(pcm.DefaultEnergy(), 8, 12345)
+	data := randomLine(r)
+	old := randomOld(r, s1.TotalCells())
+	a := s1.Encode(old, &data)
+	b := s2.Encode(old, &data)
+	c := s3.Encode(old, &data)
+	same := func(x, y []pcm.State) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("identical schemes encode differently")
+	}
+	if same(a, c) {
+		t.Error("different keys encode identically")
+	}
+	d1 := make([]pcm.State, s1.TotalCells())
+	d2 := make([]pcm.State, s1.TotalCells())
+	s1.EncodeCtrInto(d1, old, 9, 1, &data)
+	s1.EncodeCtrInto(d2, old, 9, 2, &data)
+	if same(d1, d2) {
+		t.Error("consecutive counters encode identically")
+	}
+}
+
+// TestReducesEnergyOnCiphertext: against the raw C1 write of the same
+// ciphertext over the same old states, picking the cheapest of n
+// candidates must reduce total energy, more with larger n — the VCC
+// value proposition on encrypted traffic. Updated cells (including the
+// index aux cells) must not regress either.
+func TestReducesEnergyOnCiphertext(t *testing.T) {
+	r := prng.New(7)
+	em := pcm.DefaultEnergy()
+	const trials = 600
+	raw := 0.0
+	rawUpd := 0
+	energy := map[int]float64{}
+	upd := map[int]int{}
+	schemes := map[int]*Scheme{2: newVCC(t, 2), 4: newVCC(t, 4), 8: newVCC(t, 8)}
+	for trial := 0; trial < trials; trial++ {
+		data := randomLine(r)
+		old := randomOld(r, 268) // max TotalCells; schemes slice their prefix
+		addr, ctr := r.Uint64(), r.Uint64()
+
+		// Raw encrypted write: ciphertext through the fixed C1 mapping.
+		cipher := data
+		Cipher{}.WhitenLine(&cipher, addr, ctr)
+		rawCells := make([]pcm.State, memline.LineCells)
+		var syms [memline.LineCells]uint8
+		cipher.SymbolsInto(&syms)
+		tab := coset.C1.CostTable(&em)
+		tab.Encode(syms[:], rawCells)
+		st := em.DiffWrite(old[:memline.LineCells], rawCells, memline.LineCells)
+		raw += st.Energy()
+		rawUpd += st.Updated()
+
+		for n, s := range schemes {
+			dst := make([]pcm.State, s.TotalCells())
+			s.EncodeCtrInto(dst, old[:s.TotalCells()], addr, ctr, &data)
+			st := em.DiffWrite(old[:s.TotalCells()], dst, s.DataCells())
+			energy[n] += st.Energy()
+			upd[n] += st.Updated()
+		}
+	}
+	if !(energy[8] < energy[4] && energy[4] < energy[2] && energy[2] < raw) {
+		t.Errorf("energy not monotonically improving: raw %.0f, VCC-2 %.0f, VCC-4 %.0f, VCC-8 %.0f",
+			raw, energy[2], energy[4], energy[8])
+	}
+	// VCC-8 should recover well over 10% of the raw encrypted write.
+	if energy[8] > 0.9*raw {
+		t.Errorf("VCC-8 energy %.0f recovers <10%% of raw %.0f", energy[8], raw)
+	}
+	for n := range schemes {
+		if upd[n] >= rawUpd {
+			t.Errorf("VCC-%d updated cells %d >= raw %d", n, upd[n], rawUpd)
+		}
+	}
+}
+
+// TestEncryptedWrapperRoundTrip: Enc(inner) must round-trip plaintext
+// through encrypt -> inner encode -> inner decode -> decrypt for keyed
+// and counter-blind forms.
+func TestEncryptedWrapperRoundTrip(t *testing.T) {
+	r := prng.New(8)
+	inner := newVCCInnerStub()
+	e := NewEncrypted(inner, 0)
+	if e.Name() != "Enc(stub)" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if e.TotalCells() != inner.TotalCells() || e.DataCells() != inner.DataCells() {
+		t.Error("wrapper geometry must delegate")
+	}
+	for trial := 0; trial < 100; trial++ {
+		data := randomLine(r)
+		old := randomOld(r, e.TotalCells())
+		addr, ctr := r.Uint64()%512, r.Uint64()%64
+		dst := make([]pcm.State, e.TotalCells())
+		e.EncodeCtrInto(dst, old, addr, ctr, &data)
+		var got memline.Line
+		e.DecodeCtrInto(dst, addr, ctr, &got)
+		if !got.Equal(&data) {
+			t.Fatalf("wrapper round trip failed at trial %d", trial)
+		}
+		// The inner scheme must have seen ciphertext, not the plaintext.
+		var innerView memline.Line
+		inner.DecodeInto(dst, &innerView)
+		if innerView.Equal(&data) {
+			t.Fatal("inner scheme stored plaintext — no encryption happened")
+		}
+	}
+	var got memline.Line
+	data := randomLine(r)
+	cells := e.Encode(make([]pcm.State, e.TotalCells()), &data)
+	e.DecodeInto(cells, &got)
+	if !got.Equal(&data) {
+		t.Fatal("counter-blind wrapper round trip failed")
+	}
+}
+
+// vccInnerStub is a trivial raw C1 inner scheme for wrapper tests.
+type vccInnerStub struct {
+	tab coset.CostTable
+}
+
+func newVCCInnerStub() *vccInnerStub {
+	em := pcm.DefaultEnergy()
+	return &vccInnerStub{tab: coset.C1.CostTable(&em)}
+}
+
+func (s *vccInnerStub) Name() string    { return "stub" }
+func (s *vccInnerStub) TotalCells() int { return memline.LineCells }
+func (s *vccInnerStub) DataCells() int  { return memline.LineCells }
+
+func (s *vccInnerStub) EncodeInto(dst, old []pcm.State, data *memline.Line) {
+	var syms [memline.LineCells]uint8
+	data.SymbolsInto(&syms)
+	s.tab.Encode(syms[:], dst[:memline.LineCells])
+}
+
+func (s *vccInnerStub) DecodeInto(cells []pcm.State, dst *memline.Line) {
+	var syms [memline.LineCells]uint8
+	for i := 0; i < memline.LineCells; i++ {
+		syms[i] = s.tab.Inv[cells[i]]
+	}
+	dst.SetSymbolsFrom(&syms)
+}
+
+// TestStreamEncryptorRoundTrip: whitening a recorded stream twice with
+// the same key restores it exactly — the tracegen -encrypt round trip.
+func TestStreamEncryptorRoundTrip(t *testing.T) {
+	r := prng.New(9)
+	var reqs []trace.Request
+	for i := 0; i < 300; i++ {
+		reqs = append(reqs, trace.Request{
+			Addr: uint64(r.Intn(16)), // few addresses: counters climb
+			Old:  randomLine(r),
+			New:  randomLine(r),
+		})
+	}
+	src := &trace.SliceSource{Reqs: reqs}
+	enc := NewEncryptSource(src, 42)
+	dec := NewEncryptSource(enc, 42)
+	for i := range reqs {
+		got, ok := dec.Next()
+		if !ok {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		if got.Addr != reqs[i].Addr || !got.New.Equal(&reqs[i].New) || !got.Old.Equal(&reqs[i].Old) {
+			t.Fatalf("round trip mismatch at request %d", i)
+		}
+	}
+	if _, ok := dec.Next(); ok {
+		t.Fatal("stream should have ended")
+	}
+}
+
+// TestStreamEncryptorWhitens: the encrypted form of a highly biased
+// stream must differ from the plaintext and advance per-line counters.
+func TestStreamEncryptorWhitens(t *testing.T) {
+	var biased memline.Line // all zero: maximally compressible
+	src := &trace.SliceSource{Reqs: []trace.Request{
+		{Addr: 5, New: biased},
+		{Addr: 5, New: biased},
+	}}
+	enc := NewEncryptSource(src, 0)
+	a, _ := enc.Next()
+	b, _ := enc.Next()
+	if a.New.Equal(&biased) || b.New.Equal(&biased) {
+		t.Fatal("whitened line equals plaintext")
+	}
+	if a.New.Equal(&b.New) {
+		t.Fatal("two writes of identical plaintext produced identical ciphertext — counter not advancing")
+	}
+	// The second request's Old must be the first request's ciphertext.
+	if !b.Old.Equal(&a.New) {
+		t.Fatal("Old of write 2 is not the stored ciphertext of write 1")
+	}
+	if enc.E.Counter(5) != 2 {
+		t.Fatalf("counter = %d, want 2", enc.E.Counter(5))
+	}
+}
+
+// TestCipherPadDeterminism pins the keystream: same (key, addr, ctr) →
+// same pad; different ctr → different pad; candidate 0 is always zero.
+func TestCipherPadDeterminism(t *testing.T) {
+	c := Cipher{Key: 7}
+	var p1, p2, p3 [memline.LineWords]uint64
+	c.Pad(3, 9, &p1)
+	c.Pad(3, 9, &p2)
+	c.Pad(3, 10, &p3)
+	if p1 != p2 {
+		t.Error("pad not deterministic")
+	}
+	if p1 == p3 {
+		t.Error("pad ignores the counter")
+	}
+	var pad [memline.LineWords]uint64
+	var vecs [MaxCandidates][memline.LineWords]uint64
+	c.Candidates(3, 9, 8, &pad, &vecs)
+	if pad != p1 {
+		t.Error("Candidates pad differs from Pad")
+	}
+	if vecs[0] != ([memline.LineWords]uint64{}) {
+		t.Error("candidate 0 must be the zero vector")
+	}
+	seen := map[[memline.LineWords]uint64]bool{}
+	for v := 1; v < 8; v++ {
+		if seen[vecs[v]] {
+			t.Errorf("candidate %d repeats", v)
+		}
+		seen[vecs[v]] = true
+	}
+}
+
+// TestWhitenLineInvolution: whitening twice restores the line.
+func TestWhitenLineInvolution(t *testing.T) {
+	r := prng.New(10)
+	c := Cipher{}
+	l := randomLine(r)
+	orig := l
+	c.WhitenLine(&l, 11, 22)
+	if l.Equal(&orig) {
+		t.Fatal("whitening did nothing")
+	}
+	c.WhitenLine(&l, 11, 22)
+	if !l.Equal(&orig) {
+		t.Fatal("whitening is not an involution")
+	}
+}

@@ -1,0 +1,17 @@
+package workload
+
+import (
+	"wlcrc/internal/trace"
+	"wlcrc/internal/vcc"
+)
+
+// Encrypted wraps any write-request source in the counter-mode
+// encryption model of internal/vcc: the stream the simulator replays is
+// the ciphertext an encrypted DIMM would actually store, with every
+// write re-encrypted under the line's incremented counter. This is the
+// encrypted workload mode of the evaluation — under it no line is
+// WLC-compressible, so compression-gated schemes collapse to their raw
+// fallback. key 0 means vcc.DefaultKey.
+func Encrypted(src trace.Source, key uint64) trace.Source {
+	return vcc.NewEncryptSource(src, key)
+}

@@ -72,11 +72,16 @@ func WithMemEnergy(em pcm.EnergyModel) MemOption {
 type Memory struct {
 	scheme     Scheme
 	compressed func([]pcm.State) bool
+	encodeCtr  func(dst, old []pcm.State, addr, ctr uint64, data *Line)
+	decodeCtr  func(cells []pcm.State, addr, ctr uint64, dst *Line)
 	energy     pcm.EnergyModel
 	disturb    pcm.DisturbModel
 	cells      map[uint64][]pcm.State
-	scratch    []pcm.State
-	changed    []bool
+	// ctrs is the per-line write-counter store counter-keyed schemes
+	// (VCC-n, Enc) encode and decode against; nil for ordinary schemes.
+	ctrs    map[uint64]uint64
+	scratch []pcm.State
+	changed []bool
 	// lineBuf stages the written line: passing a stack copy's address
 	// through the Scheme interface would force a per-write heap escape.
 	lineBuf Line
@@ -95,6 +100,11 @@ func NewMemory(scheme Scheme, opts ...MemOption) *Memory {
 		changed: make([]bool, scheme.TotalCells()),
 	}
 	m.compressed = core.CompressedWriteFunc(scheme)
+	m.encodeCtr = core.EncodeCtrFunc(scheme)
+	m.decodeCtr = core.DecodeCtrFunc(scheme)
+	if core.UsesCounters(scheme) {
+		m.ctrs = make(map[uint64]uint64)
+	}
 	for _, o := range opts {
 		o(m)
 	}
@@ -110,9 +120,14 @@ func (m *Memory) Write(addr uint64, data Line) WriteInfo {
 	if !ok {
 		old = core.InitialCells(m.scheme.TotalCells())
 	}
+	var ctr uint64
+	if m.ctrs != nil {
+		ctr = m.ctrs[addr] + 1
+		m.ctrs[addr] = ctr
+	}
 	next := m.scratch
 	m.lineBuf = data
-	m.scheme.EncodeInto(next, old, &m.lineBuf)
+	m.encodeCtr(next, old, addr, ctr, &m.lineBuf)
 	ws := m.energy.DiffWrite(old, next, m.scheme.DataCells())
 	m.changed = pcm.ChangedMaskInto(m.changed, old, next)
 	var sampler pcm.Sampler
@@ -149,7 +164,11 @@ func (m *Memory) Read(addr uint64) Line {
 		return Line{}
 	}
 	var l Line
-	m.scheme.DecodeInto(cells, &l)
+	var ctr uint64
+	if m.ctrs != nil {
+		ctr = m.ctrs[addr]
+	}
+	m.decodeCtr(cells, addr, ctr, &l)
 	return l
 }
 

@@ -58,7 +58,7 @@ func Replay(w *Workload, n int, opts ReplayOptions, schemes ...Scheme) ([]Metric
 	o.TrackWear = opts.TrackWear
 	o.Progress = opts.Progress
 	e := sim.NewEngine(o, schemes...)
-	if err := e.Run(w.gen, n); err != nil {
+	if err := e.Run(w.src, n); err != nil {
 		return nil, err
 	}
 	return e.Metrics(), nil

@@ -57,3 +57,91 @@ func TestReplaySampledDeterministic(t *testing.T) {
 		t.Error("sampled replay depends on worker count")
 	}
 }
+
+// TestReplayEncryptedWorkload drives the encrypted-PCM scenario through
+// the public API: an encrypted workload collapses WLCRC's compression
+// gate while VCC-8 keeps reducing energy and updated cells against the
+// raw encrypted write, with decode verification on throughout and
+// results identical for serial and parallel replays.
+func TestReplayEncryptedWorkload(t *testing.T) {
+	run := func(workers int) []wlcrc.Metrics {
+		w, err := wlcrc.NewWorkload("gcc", 256, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Encrypt(0)
+		ms, err := wlcrc.Replay(w, 2000, wlcrc.ReplayOptions{Workers: workers},
+			wlcrc.MustScheme("Baseline"), wlcrc.MustScheme("WLCRC-16"),
+			wlcrc.MustScheme("VCC-8"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	serial := run(1)
+	if !reflect.DeepEqual(serial, run(0)) {
+		t.Error("parallel encrypted replay differs from serial")
+	}
+	base, wl, v8 := serial[0], serial[1], serial[2]
+	if f := wl.CompressedFraction(); f > 0.001 {
+		t.Errorf("WLCRC-16 compressed %.4f of encrypted writes, want ~0", f)
+	}
+	if v8.AvgEnergy() >= base.AvgEnergy() {
+		t.Errorf("VCC-8 energy %.0f >= raw encrypted %.0f", v8.AvgEnergy(), base.AvgEnergy())
+	}
+	if v8.AvgUpdated() >= base.AvgUpdated() {
+		t.Errorf("VCC-8 updated %.1f >= raw encrypted %.1f", v8.AvgUpdated(), base.AvgUpdated())
+	}
+}
+
+// TestMemoryCounterSchemeRoundTrip checks the public Memory with a
+// counter-keyed scheme: reads decode through the current counter, and
+// rewriting the same plaintext re-encrypts (costs energy) rather than
+// being differential-write free.
+func TestMemoryCounterSchemeRoundTrip(t *testing.T) {
+	mem := wlcrc.NewMemory(wlcrc.MustScheme("VCC-4"))
+	data := wlcrc.LineFromWords([8]uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	first := mem.Write(9, data)
+	if got := mem.Read(9); got != data {
+		t.Fatalf("read-back mismatch after first write")
+	}
+	again := mem.Write(9, data)
+	if got := mem.Read(9); got != data {
+		t.Fatalf("read-back mismatch after rewrite")
+	}
+	if again.UpdatedCells == 0 {
+		t.Error("re-encrypted rewrite programmed zero cells — counter not advancing")
+	}
+	if first.EnergyPJ <= 0 || again.EnergyPJ <= 0 {
+		t.Error("writes should cost energy")
+	}
+}
+
+// TestWorkloadEncryptIdempotent pins the double-Encrypt guard: a second
+// Encrypt call must not stack a second whitening pass (which, being an
+// involution, would silently decrypt the stream back to plaintext).
+func TestWorkloadEncryptIdempotent(t *testing.T) {
+	once, _ := wlcrc.NewWorkload("gcc", 128, 3)
+	once.Encrypt(0)
+	twice, _ := wlcrc.NewWorkload("gcc", 128, 3)
+	twice.Encrypt(0).Encrypt(0)
+	for i := 0; i < 200; i++ {
+		a, b := once.Next(), twice.Next()
+		if a != b {
+			t.Fatalf("double Encrypt changed the stream at request %d", i)
+		}
+	}
+}
+
+// TestWorkloadEncryptConflictingKeyPanics: a re-key attempt cannot be
+// honored and must not silently keep the old key.
+func TestWorkloadEncryptConflictingKeyPanics(t *testing.T) {
+	w, _ := wlcrc.NewWorkload("gcc", 128, 3)
+	w.Encrypt(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Encrypt with a different key did not panic")
+		}
+	}()
+	w.Encrypt(2)
+}

@@ -63,12 +63,22 @@ func WithMultiObjective(t float64) Option {
 	return func(c *core.Config) { c.MultiObjectiveT = t }
 }
 
-// SchemeNames lists every constructible scheme name.
+// WithEncryptionKey keys the counter-mode encryption model of the
+// encrypted-PCM schemes (VCC-2/4/8 and Enc(...)). Zero keeps the
+// deterministic default key.
+func WithEncryptionKey(key uint64) Option {
+	return func(c *core.Config) { c.EncryptionKey = key }
+}
+
+// SchemeNames lists every constructible scheme name. Enc(...) accepts
+// any non-counter inner scheme; only the evaluated Enc(WLCRC-16)
+// encrypted-baseline form is listed.
 func SchemeNames() []string {
 	names := []string{
 		"Baseline", "FlipMin", "FNW", "DIN", "6cosets", "COC+4cosets",
 		"WLC+4cosets", "WLC+3cosets",
 		"WLCRC-8", "WLCRC-16", "WLCRC-32", "WLCRC-64",
+		"VCC-2", "VCC-4", "VCC-8", "Enc(WLCRC-16)",
 	}
 	sort.Strings(names)
 	return names

@@ -3,6 +3,8 @@ package wlcrc
 import (
 	"fmt"
 
+	"wlcrc/internal/trace"
+	"wlcrc/internal/vcc"
 	"wlcrc/internal/workload"
 )
 
@@ -16,7 +18,10 @@ type WriteRequest struct {
 
 // Workload is a synthetic write-request stream.
 type Workload struct {
-	gen *workload.Generator
+	src trace.Source
+	// encKey remembers the effective Encrypt key (0 = not encrypted),
+	// so repeated same-key calls are no-ops and conflicting keys panic.
+	encKey uint64
 }
 
 // WorkloadNames lists the benchmark profiles of the paper's evaluation
@@ -34,17 +39,47 @@ func WorkloadNames() []string {
 // seed. footprint overrides the working-set size in lines when positive.
 func NewWorkload(name string, footprint int, seed uint64) (*Workload, error) {
 	if name == "random" {
-		return &Workload{gen: workload.NewGenerator(workload.RandomProfile(), footprint, seed)}, nil
+		return &Workload{src: workload.NewGenerator(workload.RandomProfile(), footprint, seed)}, nil
 	}
 	p, ok := workload.ProfileByName(name)
 	if !ok {
 		return nil, fmt.Errorf("wlcrc: unknown workload %q (see WorkloadNames)", name)
 	}
-	return &Workload{gen: workload.NewGenerator(p, footprint, seed)}, nil
+	return &Workload{src: workload.NewGenerator(p, footprint, seed)}, nil
+}
+
+// Encrypt switches the workload to its counter-mode encrypted form:
+// from the next request on, the stream carries the ciphertext an
+// encrypted DIMM would store (every write re-encrypted under the line's
+// incremented counter), which makes the content incompressible and
+// defeats compression-gated encoders. key 0 uses the default key. It
+// returns w for chaining; call it before the first Next or Replay.
+//
+// Encrypting an already-encrypted workload with the same key is a
+// no-op: the whitening transform is an involution, so stacking a second
+// pass would silently decrypt the stream back to plaintext — exactly
+// the opposite of what a defensive second call intends. Calling Encrypt
+// again with a different key panics, since the stream cannot honor both
+// keys and silently keeping the first would be indistinguishable from
+// a successful re-key.
+func (w *Workload) Encrypt(key uint64) *Workload {
+	eff := key
+	if eff == 0 {
+		eff = vcc.DefaultKey
+	}
+	if w.encKey == eff {
+		return w
+	}
+	if w.encKey != 0 {
+		panic(fmt.Sprintf("wlcrc: Workload already encrypted with a different key (%#x)", w.encKey))
+	}
+	w.encKey = eff
+	w.src = workload.Encrypted(w.src, key)
+	return w
 }
 
 // Next returns the next write request; the stream never ends.
 func (w *Workload) Next() WriteRequest {
-	req, _ := w.gen.Next()
+	req, _ := w.src.Next()
 	return WriteRequest{Addr: req.Addr, Old: req.Old, New: req.New}
 }
