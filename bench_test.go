@@ -254,6 +254,25 @@ func BenchmarkReplaySerial(b *testing.B) { benchReplay(b, 1) }
 
 func BenchmarkReplayParallel(b *testing.B) { benchReplay(b, runtime.GOMAXPROCS(0)) }
 
+// BenchmarkReplayParallelScaling replays the fixture at fixed worker
+// counts — the scaling curve the benchguard replay_parallel_pr6 series
+// gates. Fixed counts (not GOMAXPROCS) keep the series comparable
+// across machines: benchguard reads the workers=1 time as the serial
+// baseline and gates the parallel/serial wall-clock ratio, never
+// absolute times.
+func BenchmarkReplayParallelScaling(b *testing.B) {
+	schemes, src := engineFixture(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				replayOnce(b, schemes, src, workers)
+			}
+			writes := float64(len(src.Reqs) * len(schemes) * b.N)
+			b.ReportMetric(writes/b.Elapsed().Seconds(), "writes/s")
+		})
+	}
+}
+
 // BenchmarkReplaySpeedup interleaves serial and parallel replays of the
 // same trace and reports their wall-clock ratio ("speedup-x") plus the
 // worker count used, the headline number for the parallel engine.

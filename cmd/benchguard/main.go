@@ -15,17 +15,21 @@
 //	go test -run xxx -bench BenchmarkEncodeInto -benchtime 1s . | benchguard
 //	benchguard -emit-baseline > old.txt   # baseline in benchstat format
 //
-// With -replay it guards the parallel replay dispatcher instead: it
-// parses BenchmarkReplaySerial and BenchmarkReplayParallel ns/op and
-// compares the parallel-over-serial wall-clock ratio against the
-// committed baseline ratio. The ratio is machine-speed independent
-// (both benchmarks run on the same box) and is exactly what a dispatch
-// regression moves — a broadcast-style fan-out or a lost parallelism
-// bug drags parallel toward (or past) serial. Machines with more cores
-// than the baseline's only improve the ratio, so the gate stays sound
-// across CI hardware.
+// With -replay it guards the parallel replay dispatcher instead. It
+// prefers the PR 6 scaling series — BenchmarkReplayParallelScaling/
+// workers=N at fixed worker counts — reading the workers=1 time as the
+// serial reference and gating the parallel-over-serial wall-clock ratio
+// at the baseline's gate_workers count against the committed
+// replay_parallel_pr6 ratio. Inputs without the scaling series (pre-PR6
+// bench runs) fall back to BenchmarkReplaySerial/BenchmarkReplayParallel
+// against the replay_parallel_pr4 baseline. Either way the gated number
+// is a same-box wall-clock ratio, machine-speed independent, and exactly
+// what a dispatch regression moves — a broadcast-style fan-out or a lost
+// parallelism bug drags parallel toward (or past) serial. Machines with
+// more cores than the baseline's only improve the ratio, so the gate
+// stays sound across CI hardware.
 //
-//	go test -run xxx -bench 'BenchmarkReplay(Serial|Parallel)$' -benchtime 2x -count 3 . | benchguard -replay
+//	go test -run xxx -bench 'BenchmarkReplayParallelScaling' -benchtime 2x -count 3 . | benchguard -replay
 package main
 
 import (
@@ -50,6 +54,9 @@ type baseline struct {
 	// different days and absolute machine speed drifts between sessions.
 	EncodeVCC map[string]float64 `json:"encode_into_ns_per_op_vcc_pr5"`
 	Replay    *replayBaseline    `json:"replay_parallel_pr4"`
+	// ReplayScaling is the PR 6 sub-bank-sharded pipeline series,
+	// measured by BenchmarkReplayParallelScaling at fixed worker counts.
+	ReplayScaling *replayScalingBaseline `json:"replay_parallel_pr6"`
 }
 
 type replayBaseline struct {
@@ -57,6 +64,15 @@ type replayBaseline struct {
 	ParallelNS float64 `json:"parallel_ns_per_run"`
 	Ratio      float64 `json:"parallel_over_serial"`
 	Workers    int     `json:"workers"`
+}
+
+// replayScalingBaseline records the fixed-worker scaling curve. The gate
+// compares the measured parallel(gate_workers)/serial(workers=1) ratio
+// against Ratio; NSPerRun keeps the whole curve for the record.
+type replayScalingBaseline struct {
+	NSPerRun    map[string]float64 `json:"ns_per_run_by_workers"`
+	Ratio       float64            `json:"parallel_over_serial"`
+	GateWorkers int                `json:"gate_workers"`
 }
 
 func main() {
@@ -178,43 +194,64 @@ func openInput() io.Reader {
 
 // guardReplay enforces the routed-dispatch baseline: the measured
 // parallel-over-serial replay ratio must not exceed the committed ratio
-// by more than tol (relative).
+// by more than tol (relative). It gates the PR 6 scaling series when the
+// input carries it, and falls back to the PR 4 serial/parallel pair for
+// older bench outputs.
 func guardReplay(base baseline, in io.Reader, tol float64) {
-	if base.Replay == nil || base.Replay.Ratio == 0 {
-		log.Fatal("baseline has no replay_parallel_pr4 series")
-	}
-	serial, parallel, err := parseReplay(in)
+	m, err := parseReplayBench(in)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if bs := base.ReplayScaling; bs != nil && bs.Ratio != 0 {
+		gateKey := fmt.Sprintf("workers=%d", bs.GateWorkers)
+		serial, parallel := m["workers=1"], m[gateKey]
+		if serial != 0 && parallel != 0 {
+			gateRatio(serial, parallel, bs.Ratio, bs.GateWorkers, tol, "replay_parallel_pr6")
+			return
+		}
+		log.Printf("WARN: input has no BenchmarkReplayParallelScaling workers=1/%s results; "+
+			"falling back to the pr4 serial/parallel pair", gateKey)
+	}
+	if base.Replay == nil || base.Replay.Ratio == 0 {
+		log.Fatal("baseline has no replay_parallel_pr6 or replay_parallel_pr4 series")
+	}
+	serial, parallel := m["BenchmarkReplaySerial"], m["BenchmarkReplayParallel"]
 	if serial == 0 || parallel == 0 {
 		log.Fatal("input is missing BenchmarkReplaySerial or BenchmarkReplayParallel results")
 	}
+	gateRatio(serial, parallel, base.Replay.Ratio, base.Replay.Workers, tol, "replay_parallel_pr4")
+}
+
+// gateRatio applies the machine-independent check shared by both replay
+// series: measured parallel/serial must stay within tol of the committed
+// ratio.
+func gateRatio(serial, parallel, baseRatio float64, workers int, tol float64, series string) {
 	ratio := parallel / serial
-	limit := base.Replay.Ratio * (1 + tol)
+	limit := baseRatio * (1 + tol)
 	fmt.Printf("replay: serial %.1fms, parallel %.1fms, parallel/serial %.3f "+
-		"(baseline %.3f at %d workers, limit %.3f)\n",
-		serial/1e6, parallel/1e6, ratio, base.Replay.Ratio, base.Replay.Workers, limit)
+		"(%s baseline %.3f at %d workers, limit %.3f)\n",
+		serial/1e6, parallel/1e6, ratio, series, baseRatio, workers, limit)
 	if ratio > limit {
 		log.Fatalf("parallel replay dispatch regressed: ratio %.3f exceeds %.3f "+
-			"(baseline %.3f +%.0f%%)", ratio, limit, base.Replay.Ratio, 100*tol)
+			"(baseline %.3f +%.0f%%)", ratio, limit, baseRatio, 100*tol)
 	}
 	fmt.Println("benchguard: parallel replay dispatch within baseline")
 }
 
-// parseReplay extracts the mean ns/op of BenchmarkReplaySerial and
-// BenchmarkReplayParallel from bench output (averaging -count repeats).
-func parseReplay(r io.Reader) (serial, parallel float64, err error) {
-	m, err := parseBenchLines(r, func(name string) (string, bool) {
+// parseReplayBench extracts the mean ns/op of every replay benchmark in
+// one pass (the input reader cannot rewind): the PR 6 scaling series
+// keyed "workers=N" plus the legacy serial/parallel pair keyed by full
+// benchmark name.
+func parseReplayBench(r io.Reader) (map[string]float64, error) {
+	return parseBenchLines(r, func(name string) (string, bool) {
+		if k, ok := strings.CutPrefix(name, "BenchmarkReplayParallelScaling/"); ok {
+			return k, true
+		}
 		if name == "BenchmarkReplaySerial" || name == "BenchmarkReplayParallel" {
 			return name, true
 		}
 		return "", false
 	})
-	if err != nil {
-		return 0, 0, err
-	}
-	return m["BenchmarkReplaySerial"], m["BenchmarkReplayParallel"], nil
 }
 
 // geomean returns the geometric mean of m over names.
@@ -235,9 +272,15 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 }
 
 // parseBenchLines scans `go test -bench` output and returns mean ns/op
-// per key (averaging -count repeats). match maps a benchmark name — the
-// trailing -GOMAXPROCS suffix already stripped — to its result key, or
-// rejects the line.
+// per key (averaging -count repeats). match maps a benchmark name to its
+// result key, or rejects the line. Each line is offered to match twice:
+// as printed, and with the trailing "-N" stripped. Whether that suffix
+// is Go's -GOMAXPROCS decoration or part of the benchmark's own name
+// (BenchmarkEncodeInto/WLCRC-16 on a GOMAXPROCS=1 box has no decoration)
+// cannot be told apart locally, so both candidate keys are recorded —
+// the wrong variant never matches a committed baseline name, while
+// picking one interpretation silently dropped real schemes from the
+// gate on single-CPU machines.
 func parseBenchLines(r io.Reader, match func(name string) (key string, ok bool)) (map[string]float64, error) {
 	sum := map[string]float64{}
 	cnt := map[string]int{}
@@ -248,12 +291,21 @@ func parseBenchLines(r io.Reader, match func(name string) (key string, ok bool))
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			name = name[:i]
+		raw := fields[0]
+		names := []string{raw}
+		if i := strings.LastIndex(raw, "-"); i > 0 {
+			names = append(names, raw[:i])
 		}
-		key, ok := match(name)
-		if !ok {
+		var keys []string
+		for _, name := range names {
+			if key, ok := match(name); ok {
+				keys = append(keys, key)
+			}
+		}
+		if len(keys) == 2 && keys[0] == keys[1] {
+			keys = keys[:1]
+		}
+		if len(keys) == 0 {
 			continue
 		}
 		var ns float64
@@ -270,8 +322,10 @@ func parseBenchLines(r io.Reader, match func(name string) (key string, ok bool))
 		if ns == 0 {
 			continue
 		}
-		sum[key] += ns
-		cnt[key]++
+		for _, key := range keys {
+			sum[key] += ns
+			cnt[key]++
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

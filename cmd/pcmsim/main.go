@@ -18,10 +18,13 @@
 // coset-style write reduction on exactly that traffic.
 //
 // Replay runs on the parallel sharded engine: every scheme replays
-// concurrently, and within a scheme the address space is sharded by bank
-// so independent lines replay in parallel. -workers bounds the
-// goroutines (default: all CPUs); results are bit-identical for every
-// worker count, so -workers 1 reproduces the serial numbers exactly.
+// concurrently, and within a scheme the address space is sharded by
+// (bank, sub-shard) routing unit — each bank splits into
+// address-interleaved sub-shards, so useful worker counts extend well
+// past the bank count (256 units under the Table II geometry). -workers
+// bounds the goroutines (default: all CPUs); results are bit-identical
+// for every worker count, so -workers 1 reproduces the serial numbers
+// exactly.
 //
 // -progress streams live dispatcher throughput and per-worker queue
 // depths to stderr while a replay runs; -wear enables dense per-cell
@@ -68,7 +71,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "workload seed")
 		sample      = flag.Bool("sample-disturb", false, "sample disturbance instead of expected values")
 		useMemsys   = flag.Bool("memsys", false, "also run the Table II memory-system timing model")
-		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "replay worker goroutines (1 = serial; results are identical for any value)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "replay worker goroutines, up to banks x sub-shards (1 = serial; results are identical for any value)")
 		progress    = flag.Bool("progress", false, "stream live replay throughput and queue depths to stderr")
 		wearReport  = flag.Bool("wear", false, "track dense per-cell wear and report the wear distribution per scheme")
 		encrypted   = flag.Bool("encrypted", false, "replay the counter-mode encrypted (whitened) form of the write stream")
@@ -213,9 +216,9 @@ func main() {
 			wear.DefaultCellEndurance, wearTbl.String())
 	}
 	if eng != nil {
-		fmt.Printf("\nreplayed %d scheme-writes in %v with %d workers over %d bank shards (%s)\n",
-			totalWrites, elapsed.Round(time.Millisecond), eng.Workers(), eng.Banks(),
-			stats.Rate(totalWrites, elapsed))
+		fmt.Printf("\nreplayed %d scheme-writes in %v with %d workers over %d routing units (%d banks x %d sub-shards, %s)\n",
+			totalWrites, elapsed.Round(time.Millisecond), eng.Workers(), eng.Units(),
+			eng.Banks(), eng.SubShards(), stats.Rate(totalWrites, elapsed))
 	}
 	if timers != nil {
 		fmt.Printf("\nmemory system (%s), write busy time scaled by programmed cells:\n",

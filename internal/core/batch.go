@@ -1,0 +1,50 @@
+package core
+
+import (
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+)
+
+// EncodeJob is one line of a batch encode: the destination cell vector,
+// the line's current cells, the routing/counter context, and the data to
+// store. Dst and Old must not alias, and no two jobs of one batch may
+// share an address (the caller breaks batches on address repeats, since
+// the second write's Old would be the first write's Dst).
+type EncodeJob struct {
+	Dst, Old []pcm.State
+	Addr     uint64
+	Ctr      uint64
+	Data     *memline.Line
+}
+
+// BatchEncoder is the optional Scheme extension for encoders that can
+// price several lines per call. A single EncodeBatchInto invocation must
+// be equivalent to calling the (counter-aware) per-line encode on each
+// job in order; its point is amortization — SWAR cost tables, coset
+// selectors and per-scheme lookup state are loaded once and stay hot in
+// cache across the whole batch instead of being re-fetched line by line.
+type BatchEncoder interface {
+	EncodeBatchInto(jobs []EncodeJob)
+}
+
+// EncodeBatchFunc resolves a scheme's line-batch encode entry point
+// once, the batch counterpart of EncodeCtrFunc: schemes implementing
+// BatchEncoder get their native multi-line path; everything else gets a
+// tight loop over the resolved counter-aware encode, which still hoists
+// the interface dispatch and counter-scheme type test out of the
+// per-line path. Replay frontends resolve at construction and feed the
+// returned function runs of independent lines, so one scheme's tables
+// are reused across the run instead of competing with every other
+// scheme's on every request.
+func EncodeBatchFunc(s Scheme) func(jobs []EncodeJob) {
+	if bs, ok := s.(BatchEncoder); ok {
+		return bs.EncodeBatchInto
+	}
+	enc := EncodeCtrFunc(s)
+	return func(jobs []EncodeJob) {
+		for k := range jobs {
+			j := &jobs[k]
+			enc(j.Dst, j.Old, j.Addr, j.Ctr, j.Data)
+		}
+	}
+}

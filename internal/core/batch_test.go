@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/prng"
+)
+
+// batchSchemes is allSchemes plus the counter-keyed families, whose
+// batch path must thread the per-job counter through unchanged.
+func batchSchemes(t *testing.T) []Scheme {
+	t.Helper()
+	out := allSchemes(t)
+	for _, n := range []string{"VCC-2", "VCC-4", "VCC-8", "Enc(WLCRC-16)"} {
+		s, err := NewScheme(n, DefaultConfig())
+		if err != nil {
+			t.Fatalf("NewScheme(%q): %v", n, err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestEncodeBatchMatchesPerLine is the batch entry point's contract: for
+// every scheme, one EncodeBatchFunc call over a run of address-distinct
+// jobs must produce, job for job, exactly the cell vectors the resolved
+// per-line counter-aware encode produces — and every encoded line must
+// still decode back to its data.
+func TestEncodeBatchMatchesPerLine(t *testing.T) {
+	rnd := prng.New(99)
+	for _, s := range batchSchemes(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			n := s.TotalCells()
+			enc := EncodeCtrFunc(s)
+			encBatch := EncodeBatchFunc(s)
+			dec := DecodeCtrFunc(s)
+			for round := 0; round < 8; round++ {
+				const runLen = 7
+				jobs := make([]EncodeJob, runLen)
+				data := make([]memline.Line, runLen)
+				olds := make([][]pcm.State, runLen)
+				for k := 0; k < runLen; k++ {
+					data[k] = randomBiasedLine(rnd)
+					olds[k] = InitialCells(n)
+					if round > 0 { // rewrite path: start from a previous encode
+						enc(olds[k], InitialCells(n), uint64(k), 1, &data[k])
+						data[k] = randomBiasedLine(rnd)
+					}
+					jobs[k] = EncodeJob{
+						Dst:  make([]pcm.State, n),
+						Old:  append([]pcm.State(nil), olds[k]...),
+						Addr: uint64(round*runLen + k),
+						Ctr:  uint64(round + 1),
+						Data: &data[k],
+					}
+				}
+				encBatch(jobs)
+				for k := range jobs {
+					j := &jobs[k]
+					want := make([]pcm.State, n)
+					enc(want, olds[k], j.Addr, j.Ctr, &data[k])
+					for c := range want {
+						if j.Dst[c] != want[c] {
+							t.Fatalf("round %d job %d: batch encode differs from per-line encode at cell %d",
+								round, k, c)
+						}
+					}
+					var back memline.Line
+					dec(j.Dst, j.Addr, j.Ctr, &back)
+					if !back.Equal(&data[k]) {
+						t.Fatalf("round %d job %d: batch-encoded line fails decode round-trip", round, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeBatchDoesNotMutateOldOrData pins the aliasing contract the
+// shard relies on: the batch encode reads Old and Data but never writes
+// them (Old buffers are recycled as future encode targets only after
+// the batch settles).
+func TestEncodeBatchDoesNotMutateOldOrData(t *testing.T) {
+	rnd := prng.New(3)
+	for _, s := range batchSchemes(t) {
+		n := s.TotalCells()
+		encBatch := EncodeBatchFunc(s)
+		const runLen = 4
+		jobs := make([]EncodeJob, runLen)
+		data := make([]memline.Line, runLen)
+		oldCopies := make([][]pcm.State, runLen)
+		dataCopies := make([]memline.Line, runLen)
+		for k := 0; k < runLen; k++ {
+			data[k] = randomBiasedLine(rnd)
+			old := InitialCells(n)
+			oldCopies[k] = append([]pcm.State(nil), old...)
+			dataCopies[k] = data[k]
+			jobs[k] = EncodeJob{Dst: make([]pcm.State, n), Old: old,
+				Addr: uint64(k), Ctr: 1, Data: &data[k]}
+		}
+		encBatch(jobs)
+		for k := range jobs {
+			for c := range oldCopies[k] {
+				if jobs[k].Old[c] != oldCopies[k][c] {
+					t.Fatalf("%s: batch encode mutated job %d's Old at cell %d", s.Name(), k, c)
+				}
+			}
+			if !data[k].Equal(&dataCopies[k]) {
+				t.Fatalf("%s: batch encode mutated job %d's Data", s.Name(), k)
+			}
+		}
+	}
+}

@@ -35,7 +35,22 @@ type Config struct {
 	// the denominator of the P&V scaling in WriteCyclesFor. Zero means
 	// 256 (one 512-bit MLC line).
 	CellsPerLine int
+	// SubShards is the number of address-interleaved sub-shards each
+	// bank is split into for parallel replay. A bank is the hardware's
+	// unit of independence, but it is not the smallest one the software
+	// can exploit: lines within a bank never share encoder state, so the
+	// replay engine splits every bank into SubShards routing units and
+	// is no longer capped at the bank count. The split is part of the
+	// deterministic geometry — sub-shard assignment depends only on the
+	// address, never on worker count — so results stay bit-identical
+	// however many workers replay them. Zero means DefaultSubShards.
+	SubShards int
 }
+
+// DefaultSubShards is the per-bank sub-shard count used when
+// Config.SubShards is zero: enough to let worker counts run well past
+// the bank count without inflating the shard table.
+const DefaultSubShards = 4
 
 // TableII returns the paper's configuration. Timing reflects MLC PCM's
 // ~10x write/read asymmetry.
@@ -51,6 +66,7 @@ func TableII() Config {
 		PauseOverhead:  20,
 		WriteMinCycles: 75,
 		CellsPerLine:   256,
+		SubShards:      DefaultSubShards,
 	}
 }
 
@@ -99,6 +115,39 @@ func (c Config) Banks() int { return c.Channels * c.DIMMsPerChan * c.BanksPerDIM
 // notion of independent lines.
 func (c Config) BankOf(addr uint64) int {
 	return int(addr % uint64(c.Banks()))
+}
+
+// SubShardsPerBank returns the resolved per-bank sub-shard count
+// (Config.SubShards, or DefaultSubShards when unset).
+func (c Config) SubShardsPerBank() int {
+	if c.SubShards <= 0 {
+		return DefaultSubShards
+	}
+	return c.SubShards
+}
+
+// SubShardOf maps a line address to its sub-shard within its bank:
+// consecutive lines of one bank round-robin across the bank's
+// sub-shards, the same interleaving idea BankOf applies across banks.
+// The assignment depends only on the address and the geometry.
+func (c Config) SubShardOf(addr uint64) int {
+	return int((addr / uint64(c.Banks())) % uint64(c.SubShardsPerBank()))
+}
+
+// RouteUnits returns the total number of routing units the replay
+// engine shards each scheme's address space into: one per (bank,
+// sub-shard) pair.
+func (c Config) RouteUnits() int { return c.Banks() * c.SubShardsPerBank() }
+
+// RouteOf maps a line address to its flat routing unit, ordered bank-
+// major: unit = bank*SubShardsPerBank() + subShard. RouteOf/BankOf/
+// SubShardOf are consistent by construction: RouteOf(a) /
+// SubShardsPerBank() == BankOf(a) and RouteOf(a) % SubShardsPerBank()
+// == SubShardOf(a).
+func (c Config) RouteOf(addr uint64) int {
+	banks := uint64(c.Banks())
+	k := uint64(c.SubShardsPerBank())
+	return int((addr%banks)*k + (addr/banks)%k)
 }
 
 // AccessKind distinguishes reads from writes.

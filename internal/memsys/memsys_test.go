@@ -204,3 +204,77 @@ func TestFewerProgrammedCellsLowerLatency(t *testing.T) {
 		t.Errorf("coded writes (48 cells) latency %.0f >= full-line latency %.0f", coded, full)
 	}
 }
+
+// TestSubShardRouting pins the sub-bank routing contract the replay
+// engine builds on: RouteOf decomposes into exactly (BankOf,
+// SubShardOf), every unit index is in range, unset SubShards resolves
+// to the default, and the interleaving actually spreads consecutive
+// same-bank lines across all sub-shards.
+func TestSubShardRouting(t *testing.T) {
+	cfgs := []Config{
+		TableII(),
+		{Channels: 1, DIMMsPerChan: 1, BanksPerDIMM: 4, WriteQueueCap: 8, DrainThreshold: 0.8},
+		{Channels: 1, DIMMsPerChan: 1, BanksPerDIMM: 3, SubShards: 2, WriteQueueCap: 8, DrainThreshold: 0.8},
+		{Channels: 1, DIMMsPerChan: 1, BanksPerDIMM: 1, SubShards: 1, WriteQueueCap: 8, DrainThreshold: 0.8},
+	}
+	rnd := prng.New(7)
+	for ci, c := range cfgs {
+		k := c.SubShardsPerBank()
+		if c.SubShards <= 0 && k != DefaultSubShards {
+			t.Errorf("cfg %d: unset SubShards resolved to %d, want default %d", ci, k, DefaultSubShards)
+		}
+		if got := c.RouteUnits(); got != c.Banks()*k {
+			t.Errorf("cfg %d: RouteUnits = %d, want banks*k = %d", ci, got, c.Banks()*k)
+		}
+		hit := make([]bool, c.RouteUnits())
+		check := func(addr uint64) {
+			u := c.RouteOf(addr)
+			if u < 0 || u >= c.RouteUnits() {
+				t.Fatalf("cfg %d: RouteOf(%#x) = %d out of [0,%d)", ci, addr, u, c.RouteUnits())
+			}
+			hit[u] = true
+			if u/k != c.BankOf(addr) {
+				t.Fatalf("cfg %d: RouteOf(%#x)=%d implies bank %d, BankOf says %d",
+					ci, addr, u, u/k, c.BankOf(addr))
+			}
+			if u%k != c.SubShardOf(addr) {
+				t.Fatalf("cfg %d: RouteOf(%#x)=%d implies sub-shard %d, SubShardOf says %d",
+					ci, addr, u, u%k, c.SubShardOf(addr))
+			}
+		}
+		for addr := uint64(0); addr < uint64(4*c.RouteUnits()); addr++ {
+			check(addr)
+		}
+		for i := 0; i < 1000; i++ {
+			check(rnd.Uint64())
+		}
+		for u, ok := range hit {
+			if !ok {
+				t.Errorf("cfg %d: unit %d never hit by a dense address sweep", ci, u)
+			}
+		}
+		// Consecutive lines of one bank must round-robin the sub-shards.
+		bank0 := make([]bool, k)
+		for i := 0; i < k; i++ {
+			bank0[c.SubShardOf(uint64(i*c.Banks()))] = true
+		}
+		for s, ok := range bank0 {
+			if !ok {
+				t.Errorf("cfg %d: sub-shard %d of bank 0 unreachable by consecutive lines", ci, s)
+			}
+		}
+	}
+}
+
+// TestTableIIRouteUnits pins the headline number: the paper's geometry
+// exposes 64 banks x 4 sub-shards = 256 routing units, the new ceiling
+// on useful replay workers (the old one was the bank count).
+func TestTableIIRouteUnits(t *testing.T) {
+	c := TableII()
+	if c.SubShardsPerBank() != DefaultSubShards {
+		t.Errorf("TableII sub-shards = %d, want %d", c.SubShardsPerBank(), DefaultSubShards)
+	}
+	if got := c.RouteUnits(); got != 256 {
+		t.Errorf("TableII route units = %d, want 256", got)
+	}
+}

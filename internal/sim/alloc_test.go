@@ -99,6 +99,56 @@ func TestSteadyStateApplyZeroAllocsWear(t *testing.T) {
 	}
 }
 
+// routedBatch wraps warmed requests as one routed unit-batch so the
+// alloc tests can drive the engine's batch-encode entry point
+// (shard.applyRun) directly.
+func routedBatch(reqs []trace.Request) []routedReq {
+	rs := make([]routedReq, len(reqs))
+	for i := range reqs {
+		rs[i] = routedReq{seq: uint64(i), req: reqs[i]}
+	}
+	return rs
+}
+
+// TestSteadyStateApplyRunZeroAllocs pins the batch-encode path: after a
+// warm-up pass has grown the run buffers (jobs, jobSeqs, the spare cell
+// stack) to their steady-state capacity, replaying whole routed batches
+// through applyRun must allocate nothing — with Verify off and on, for
+// every scheme. This is the path every Engine worker runs, so it is the
+// pipeline's real zero-alloc guarantee.
+func TestSteadyStateApplyRunZeroAllocs(t *testing.T) {
+	for _, verify := range []bool{false, true} {
+		name := "verify=off"
+		if verify {
+			name = "verify=on"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, scheme := range allocSchemes {
+				t.Run(scheme, func(t *testing.T) {
+					opts := DefaultOptions()
+					opts.Verify = verify
+					u, reqs := allocFixture(t, scheme, opts)
+					rs := routedBatch(reqs)
+					// Warm the run buffers themselves (allocFixture warmed
+					// via the single-request path only).
+					if _, err := u.applyRun(rs); err != nil {
+						t.Fatal(err)
+					}
+					avg := testing.AllocsPerRun(20, func() {
+						if _, err := u.applyRun(rs); err != nil {
+							t.Fatal(err)
+						}
+					})
+					if avg != 0 {
+						t.Errorf("%s: steady-state applyRun allocates %.2f objects/batch, want 0",
+							scheme, avg)
+					}
+				})
+			}
+		})
+	}
+}
+
 // TestSteadyStateApplyZeroAllocsVerify extends the guarantee to the
 // Verify path: decoding every write back through DecodeInto must not
 // allocate either.

@@ -1,0 +1,142 @@
+package sim
+
+// Per-layer replay benchmarks, the bottom two rungs of the ladder the
+// root package's replay benchmarks sit on:
+//
+//	word:   internal/coset BenchmarkSWARBestWord / BenchmarkSWARApplyWord
+//	line:   root BenchmarkEncodeInto (codec hot path, no simulation state)
+//	shard:  BenchmarkShardApply / BenchmarkShardApplyRun (this file)
+//	engine: BenchmarkEngineRun (this file), root BenchmarkReplaySerial /
+//	        BenchmarkReplayParallelScaling (full dispatch pipeline)
+//
+// Comparing adjacent layers attributes regressions: a shard slowdown
+// with flat line cost is accounting overhead; an engine slowdown with
+// flat shard cost is dispatch overhead.
+
+import (
+	"fmt"
+	"testing"
+
+	"wlcrc/internal/core"
+	"wlcrc/internal/trace"
+	"wlcrc/internal/workload"
+)
+
+// benchShard builds a warmed shard and request set for b, mirroring the
+// alloc tests' fixture: every address pre-written once so the measured
+// loop is the steady-state rewrite path.
+func benchShard(b *testing.B, scheme string, opts Options) (*shard, []trace.Request) {
+	b.Helper()
+	sch, err := core.NewScheme(scheme, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if opts.MaxVnRIterations == 0 {
+		opts.MaxVnRIterations = 16
+	}
+	u := newShard(&opts, sch, nil)
+	p, ok := workload.ProfileByName("gcc")
+	if !ok {
+		b.Fatal("gcc profile missing")
+	}
+	src := trace.Record(workload.NewGenerator(p, 64, 11), 256)
+	for i := range src.Reqs {
+		if err := u.apply(&src.Reqs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return u, src.Reqs
+}
+
+// benchShardSchemes spans the cost spectrum: plain differential write,
+// the paper's headline scheme, and a counter-keyed encrypted scheme.
+var benchShardSchemes = []string{"Baseline", "WLCRC-16", "VCC-4"}
+
+// BenchmarkShardApply measures the shard layer one request at a time —
+// the serial Simulator's inner loop.
+func BenchmarkShardApply(b *testing.B) {
+	for _, scheme := range benchShardSchemes {
+		b.Run(scheme, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Verify = false
+			u, reqs := benchShard(b, scheme, opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := u.apply(&reqs[i%len(reqs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(64)
+		})
+	}
+}
+
+// BenchmarkShardApplyRun measures the same work through the batch-encode
+// path the Engine workers run — the delta against BenchmarkShardApply is
+// what batching the scheme calls buys at the shard layer.
+func BenchmarkShardApplyRun(b *testing.B) {
+	for _, scheme := range benchShardSchemes {
+		b.Run(scheme, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Verify = false
+			u, reqs := benchShard(b, scheme, opts)
+			rs := make([]routedReq, len(reqs))
+			for i := range reqs {
+				rs[i] = routedReq{seq: uint64(i), req: reqs[i]}
+			}
+			if _, err := u.applyRun(rs); err != nil { // warm run buffers
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := u.applyRun(rs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(64 * len(rs)))
+		})
+	}
+}
+
+// BenchmarkEngineRun measures the full engine layer at fixed small
+// worker counts on a single-scheme load, isolating dispatch overhead
+// from the root package's multi-scheme replay benchmarks.
+func BenchmarkEngineRun(b *testing.B) {
+	p, ok := workload.ProfileByName("gcc")
+	if !ok {
+		b.Fatal("gcc profile missing")
+	}
+	src := trace.Record(workload.NewGenerator(p, 1024, 17), 4000)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Verify = false
+			opts.Workers = workers
+			e := NewEngine(opts, schemesForBench(b, "WLCRC-16")...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Rewind()
+				if err := e.Run(src, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			writes := float64(len(src.Reqs) * b.N)
+			b.ReportMetric(writes/b.Elapsed().Seconds(), "writes/s")
+		})
+	}
+}
+
+func schemesForBench(b *testing.B, names ...string) []core.Scheme {
+	b.Helper()
+	out := make([]core.Scheme, len(names))
+	for i, n := range names {
+		s, err := core.NewScheme(n, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = s
+	}
+	return out
+}

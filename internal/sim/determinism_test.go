@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"wlcrc/internal/memsys"
+	"wlcrc/internal/trace"
+)
+
+// determinismGeometry is a deliberately small bank array so the worker
+// set {banks, banks+1} sits well inside the test's time budget while
+// still exercising uneven unit-to-worker wrapping (units = banks x 4
+// sub-shards = 32).
+func determinismGeometry() memsys.Config {
+	return memsys.Config{Channels: 1, DIMMsPerChan: 2, BanksPerDIMM: 4,
+		WriteQueueCap: 16, DrainThreshold: 0.8}
+}
+
+// determinismWorkerSet is the matrix axis from the sub-bank sharding
+// PR: the serial reference, small counts that wrap the units unevenly,
+// the bank count itself (the old cap), one past it (the old silent-cap
+// regression point), and twice the machine's CPU count.
+func determinismWorkerSet(banks int) []int {
+	set := []int{1, 2, 3, banks, banks + 1, 2 * runtime.NumCPU()}
+	seen := map[int]bool{}
+	out := set[:0]
+	for _, w := range set {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TestEngineDeterminismMatrix is the PR's layered determinism net: for
+// every accounting mode (deterministic, sampled disturbance, fault
+// injection + VnR, and counter-keyed encrypted replay) and every worker
+// count in the matrix, the engine's Metrics, post-run Snapshot and wear
+// summaries must be bit-identical — reflect.DeepEqual, floats included —
+// to the Workers=1 run of the same trace. The -race CI job runs this
+// matrix too, so the guarantee is checked under the race detector.
+func TestEngineDeterminismMatrix(t *testing.T) {
+	geo := determinismGeometry()
+	banks := geo.Banks()
+	modes := []struct {
+		name    string
+		schemes []string
+		src     func(t *testing.T) *trace.SliceSource
+		tweak   func(*Options)
+	}{
+		{
+			name:    "deterministic",
+			schemes: engineSchemeNames,
+			src:     func(t *testing.T) *trace.SliceSource { return fixedTrace(t, "gcc", 512, 2500, 11) },
+			tweak:   func(o *Options) {},
+		},
+		{
+			name:    "sampled",
+			schemes: engineSchemeNames,
+			src:     func(t *testing.T) *trace.SliceSource { return fixedTrace(t, "mcf", 512, 2500, 23) },
+			tweak:   func(o *Options) { o.SampleDisturb = true; o.Seed = 42 },
+		},
+		{
+			name:    "faults",
+			schemes: engineSchemeNames,
+			src:     func(t *testing.T) *trace.SliceSource { return fixedTrace(t, "libq", 512, 2500, 5) },
+			tweak:   func(o *Options) { o.InjectFaults = true; o.Seed = 7 },
+		},
+		{
+			name:    "encrypted",
+			schemes: []string{"Baseline", "Enc(WLCRC-16)", "VCC-4"},
+			src:     func(t *testing.T) *trace.SliceSource { return encryptedTrace(t, 2500) },
+			tweak:   func(o *Options) {}, // Verify stays on: every write round-trips decrypt
+		},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			src := mode.src(t)
+			run := func(workers int) (metrics, snapshot []Metrics) {
+				src.Rewind()
+				opts := DefaultOptions()
+				opts.Geometry = geo
+				opts.Workers = workers
+				opts.TrackWear = true
+				mode.tweak(&opts)
+				e := NewEngine(opts, schemesForTest(t, mode.schemes...)...)
+				if err := e.Run(src, 0); err != nil {
+					t.Fatal(err)
+				}
+				return e.Metrics(), e.Snapshot()
+			}
+			wantMetrics, wantSnap := run(1)
+			if wantMetrics[0].Writes != 2500 {
+				t.Fatalf("serial run replayed %d writes, want 2500", wantMetrics[0].Writes)
+			}
+			if wantMetrics[0].Wear.Writes != 2500 || wantMetrics[0].Wear.MaxCellWear == 0 {
+				t.Fatalf("serial run wear not tracked: %+v", wantMetrics[0].Wear)
+			}
+			if !reflect.DeepEqual(wantMetrics, wantSnap) {
+				t.Fatal("serial Snapshot differs from Metrics after Run")
+			}
+			for _, workers := range determinismWorkerSet(banks)[1:] {
+				gotMetrics, gotSnap := run(workers)
+				if !reflect.DeepEqual(wantMetrics, gotMetrics) {
+					t.Errorf("workers=%d: Metrics differ from serial run", workers)
+				}
+				if !reflect.DeepEqual(wantSnap, gotSnap) {
+					t.Errorf("workers=%d: Snapshot differs from serial run", workers)
+				}
+				for i := range wantMetrics {
+					if !reflect.DeepEqual(wantMetrics[i].Wear, gotMetrics[i].Wear) {
+						t.Errorf("workers=%d: %s wear summary differs from serial run",
+							workers, wantMetrics[i].Scheme)
+					}
+				}
+			}
+		})
+	}
+}

@@ -12,12 +12,18 @@ import (
 	"wlcrc/internal/trace"
 )
 
-// engineBatch is the per-worker batch capacity: the number of routed
-// requests the dispatcher accumulates for one worker before handing the
-// batch over. Large enough to amortize channel traffic, small enough to
-// bound how far a Snapshot can lag and to keep workers busy on short
-// traces.
-const engineBatch = 512
+// unitBatch is the per-routing-unit batch capacity: the number of
+// requests the dispatcher accumulates for one (bank, sub-shard) unit
+// before handing the batch to the unit's owner. Large enough to
+// amortize channel traffic and to give the shard batch-encode path
+// multi-line runs, small enough to bound how far a Snapshot can lag and
+// to keep workers busy on short traces.
+const unitBatch = 128
+
+// unitChanCap is each worker's batch-queue capacity. With per-unit
+// batches a worker multiplexes many units over one channel, so the
+// queue holds more, smaller batches than the old per-worker batching.
+const unitChanCap = 16
 
 // progressStride is how many dispatched requests pass between clock
 // checks for the Progress callback — the dispatch loop never reads the
@@ -25,27 +31,45 @@ const engineBatch = 512
 const progressStride = 1024
 
 // Engine is the concurrent sharded replay pipeline. It maintains one
-// shard per (scheme, bank) pair — the bank comes from the configured
-// memsys geometry, exactly the interleaving the Table II memory
-// controller uses — and streams the trace through per-worker queues.
+// shard per (scheme, bank, sub-shard) triple — the bank comes from the
+// configured memsys geometry, exactly the interleaving the Table II
+// memory controller uses, and each bank is further split into
+// address-interleaved sub-shards (memsys.Config.SubShards) so the
+// worker count is not capped at the bank count — and streams the trace
+// through per-worker queues.
 //
-// Dispatch is routed, not broadcast: every bank is owned by exactly one
-// worker (bank mod workers, all schemes of the bank together), and the
-// dispatcher appends each request only to its owner's pending batch. A
-// request therefore crosses one channel once, so channel traffic is
-// O(batches) instead of the previous O(workers x batches), and a worker
-// only ever sees requests it will actually apply. Batch buffers recycle
-// through a sync.Pool: workers return drained buffers, the dispatcher
-// reuses them, and an arbitrarily long streamed trace runs with zero
-// steady-state dispatcher allocations.
+// Dispatch is routed, not broadcast: every routing unit (bank,
+// sub-shard) is owned by exactly one worker (unit mod workers, all
+// schemes of the unit together), and the dispatcher appends each
+// request only to its unit's pending batch. A request therefore crosses
+// one channel once, so channel traffic is O(batches), and a worker only
+// ever sees requests it will actually apply. Hand-off is double-
+// buffered and pipelined: when a batch fills, the dispatcher first
+// tries a non-blocking send and otherwise parks the batch in the unit's
+// ready slot and keeps routing into a fresh buffer — it only blocks
+// when a unit has both a parked and a newly-filled batch waiting, so a
+// momentarily busy worker does not stall the routing of everyone
+// else's requests. Batch buffers recycle through a sync.Pool: workers
+// return drained buffers, the dispatcher reuses them, and an
+// arbitrarily long streamed trace runs with zero steady-state
+// dispatcher allocations.
 //
-// Determinism: results never depend on Options.Workers. Bank ownership
-// is static, so every shard sees its bank's requests in trace order (the
-// dispatcher reads the source sequentially and a worker drains its
-// queue FIFO); each shard's PRNG substream is seeded only from
-// (Options.Seed, scheme, bank); and Metrics folds the per-bank shards in
-// fixed bank order. Workers = 1 is therefore the serial mode of the same
-// engine, and a parallel run is bit-identical to it — floats included.
+// Workers drain their queue one unit-batch at a time and replay it
+// scheme-major through the shard batch-encode path (shard.applyRun):
+// all of one scheme's state — SWAR cost tables, coset selectors, the
+// shard's line map — stays hot across the whole batch instead of being
+// evicted by the next scheme's on every request.
+//
+// Determinism: results never depend on Options.Workers. Unit ownership
+// is static and sub-shard assignment depends only on the address, so
+// every shard sees its lines' requests in trace order (the dispatcher
+// reads the source sequentially, batches of one unit traverse one
+// channel in fill order, and a worker drains its queue FIFO); each
+// shard's PRNG substream is seeded only from (Options.Seed, scheme,
+// unit); and Metrics folds the shards in fixed (scheme, bank,
+// sub-shard) order. Workers = 1 is therefore the serial mode of the
+// same engine, and a parallel run is bit-identical to it — floats
+// included.
 //
 // Observability: Snapshot may be called from any goroutine while Run is
 // executing — workers publish a copy of each shard's metrics after every
@@ -54,22 +78,37 @@ const progressStride = 1024
 // the Reset methods themselves must still not be called concurrently
 // with each other.
 type Engine struct {
-	opts    Options
-	schemes []core.Scheme
-	geo     memsys.Config
-	banks   int
-	workers int
-	// shards[i*banks+b] is scheme i's view of bank b.
+	opts      Options
+	schemes   []core.Scheme
+	geo       memsys.Config
+	banks     int
+	subShards int
+	units     int // banks * subShards
+	workers   int
+	// shards[i*units+u] is scheme i's view of routing unit u; unit
+	// u = bank*subShards + subShard.
 	shards []*shard
-	// bufPool recycles batch buffers across batches and across Run
-	// calls (warm-up then measure reuses the same pool).
-	bufPool sync.Pool
+	// workerReqs[w] counts the requests worker w applied during the last
+	// Run — each worker owns its slot, and post-Run readers see the
+	// final values after the worker WaitGroup settles. It backs the
+	// engaged-worker reporting (and the regression test that uncapped
+	// worker counts actually spread work past the bank count).
+	workerReqs []uint64
+	// freeBufs recycles batch buffers across batches and across Run
+	// calls (warm-up then measure reuses the same buffers). A buffered
+	// channel instead of a sync.Pool: the pool sheds items under GC
+	// pressure (and randomly under the race detector), while the
+	// channel's capacity covers every buffer that can be in flight at
+	// once, so steady state is allocation-free unconditionally.
+	freeBufs chan *[]routedReq
 }
 
 // NewEngine builds a sharded engine for the given schemes. Worker count
-// and bank geometry come from opts (zero values mean all CPUs and the
-// Table II geometry; worker counts above the bank count are capped at
-// it, since a bank is the unit of routing).
+// and bank/sub-shard geometry come from opts (zero values mean all CPUs
+// and the Table II geometry with its default sub-shard split). The
+// worker count is capped only at the total routing-unit count —
+// banks x sub-shards, 256 under Table II — not at the bank count; the
+// resolved value is reported by Workers and in every Progress callback.
 func NewEngine(opts Options, schemes ...core.Scheme) *Engine {
 	if opts.MaxVnRIterations == 0 {
 		opts.MaxVnRIterations = 16
@@ -78,73 +117,95 @@ func NewEngine(opts Options, schemes ...core.Scheme) *Engine {
 	if geo.Banks() <= 0 {
 		geo = memsys.TableII()
 	}
+	units := geo.RouteUnits()
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > geo.Banks() {
-		workers = geo.Banks()
+	if workers > units {
+		workers = units
 	}
 	e := &Engine{
-		opts:    opts,
-		schemes: schemes,
-		geo:     geo,
-		banks:   geo.Banks(),
-		workers: workers,
+		opts:       opts,
+		schemes:    schemes,
+		geo:        geo,
+		banks:      geo.Banks(),
+		subShards:  geo.SubShardsPerBank(),
+		units:      units,
+		workers:    workers,
+		workerReqs: make([]uint64, workers),
 	}
-	e.bufPool.New = func() any {
-		s := make([]routedReq, 0, engineBatch)
-		return &s
-	}
-	e.shards = make([]*shard, len(schemes)*e.banks)
+	// Worst-case buffers in flight: one pending + one parked per unit,
+	// plus each worker's full queue and the batch it is draining.
+	e.freeBufs = make(chan *[]routedReq, 2*units+workers*(unitChanCap+1))
+	e.shards = make([]*shard, len(schemes)*units)
 	sampled := opts.SampleDisturb || opts.InjectFaults
 	for i, sch := range schemes {
-		for b := 0; b < e.banks; b++ {
+		for u := 0; u < units; u++ {
 			var rnd *prng.Xoshiro256
 			if sampled {
-				rnd = prng.New(shardSeed(opts.Seed, i, b))
+				rnd = prng.New(shardSeed(opts.Seed, i, u))
 			}
-			e.shards[i*e.banks+b] = newShard(&e.opts, sch, rnd)
+			e.shards[i*units+u] = newShard(&e.opts, sch, rnd)
 		}
 	}
 	return e
 }
 
-// shardSeed derives the PRNG seed of shard (scheme, bank) from the run
+// shardSeed derives the PRNG seed of shard (scheme, unit) from the run
 // seed. The substreams must be decorrelated (adjacent integer seeds feed
 // SplitMix64, whose output is well-mixed) and must depend only on the
 // run seed and the shard coordinates — never on scheduling.
-func shardSeed(seed uint64, scheme, bank int) uint64 {
-	sm := prng.NewSplitMix64(seed ^ (0x9e3779b97f4a7c15 * (uint64(scheme)<<20 + uint64(bank) + 1)))
+func shardSeed(seed uint64, scheme, unit int) uint64 {
+	sm := prng.NewSplitMix64(seed ^ (0x9e3779b97f4a7c15 * (uint64(scheme)<<20 + uint64(unit) + 1)))
 	return sm.Uint64()
 }
 
-// Workers returns the resolved worker count.
+// Workers returns the resolved worker count: Options.Workers clamped to
+// [1, Units()], with 0 resolved to the CPU count.
 func (e *Engine) Workers() int { return e.workers }
 
-// Banks returns the number of address shards per scheme.
+// Banks returns the number of banks the address space is sharded over.
 func (e *Engine) Banks() int { return e.banks }
 
-// routedReq is one request annotated with its global trace sequence
-// number (for deterministic error ordering) and its resolved bank (so
-// workers do not recompute the routing function).
-type routedReq struct {
-	seq  uint64
-	bank int32
-	req  trace.Request
+// SubShards returns the number of address-interleaved sub-shards per
+// bank.
+func (e *Engine) SubShards() int { return e.subShards }
+
+// Units returns the total routing-unit count (banks x sub-shards), the
+// upper bound on useful worker counts.
+func (e *Engine) Units() int { return e.units }
+
+// routeOf maps an address to its routing unit. It must agree with the
+// geometry's memsys.Config.RouteOf — the engine keeps the resolved
+// counts as plain ints so the dispatch loop's hottest instruction
+// sequence stays two integer divisions (FuzzRouteSubShard asserts the
+// agreement).
+func (e *Engine) routeOf(addr uint64) int {
+	banks := uint64(e.banks)
+	k := uint64(e.subShards)
+	return int((addr%banks)*k + (addr/banks)%k)
 }
 
-// batch is one dispatched group of requests for a single worker. The
-// buffer is owned by the receiving worker until it returns it to the
-// engine's pool.
+// routedReq is one request annotated with its global trace sequence
+// number (for deterministic error ordering).
+type routedReq struct {
+	seq uint64
+	req trace.Request
+}
+
+// batch is one dispatched group of requests for a single routing unit.
+// The buffer is owned by the receiving worker until it returns it to
+// the engine's pool.
 type batch struct {
+	unit int32
 	reqs *[]routedReq
 }
 
 // Run drains a source through the engine, stopping after max requests
 // when max > 0. The source is read sequentially on the calling
 // goroutine; each request is routed to the single worker owning its
-// bank and travels in pooled batch buffers.
+// (bank, sub-shard) unit and travels in pooled batch buffers.
 //
 // On a verification failure the engine stops reading the source,
 // flushes every pending batch (so all requests read before the stop are
@@ -161,7 +222,10 @@ type batch struct {
 func (e *Engine) Run(src trace.Source, max int) error {
 	chans := make([]chan batch, e.workers)
 	for i := range chans {
-		chans[i] = make(chan batch, 8)
+		chans[i] = make(chan batch, unitChanCap)
+	}
+	for w := range e.workerReqs {
+		e.workerReqs[w] = 0
 	}
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -170,12 +234,12 @@ func (e *Engine) Run(src trace.Source, max int) error {
 		go func(w int) {
 			defer wg.Done()
 			for b := range chans[w] {
-				e.applyBatch(b, &failed)
+				e.workerReqs[w] += uint64(len(*b.reqs))
+				e.applyUnitBatch(b, &failed)
 				*b.reqs = (*b.reqs)[:0]
-				e.bufPool.Put(b.reqs)
-				e.publishOwned(w)
+				e.putBuf(b.reqs)
+				e.publishUnit(int(b.unit))
 			}
-			e.publishOwned(w)
 		}(w)
 	}
 
@@ -189,7 +253,13 @@ func (e *Engine) Run(src trace.Source, max int) error {
 		interval = 500 * time.Millisecond
 	}
 
-	pending := make([]*[]routedReq, e.workers)
+	// pending[u] is unit u's filling buffer; ready[u] is a filled batch
+	// parked when the owner's queue was momentarily full (the second
+	// half of the double buffer). Per unit, ready is always older than
+	// pending, and both drain before anything newer — FIFO per unit is
+	// what per-shard trace order rests on.
+	pending := make([]*[]routedReq, e.units)
+	ready := make([]*[]routedReq, e.units)
 	var seq uint64
 	n := 0
 	for !failed.Load() {
@@ -200,19 +270,18 @@ func (e *Engine) Run(src trace.Source, max int) error {
 		if !ok {
 			break
 		}
-		bank := e.geo.BankOf(req.Addr)
-		w := bank % e.workers
-		p := pending[w]
+		u := e.routeOf(req.Addr)
+		p := pending[u]
 		if p == nil {
-			p = e.bufPool.Get().(*[]routedReq)
-			pending[w] = p
+			p = e.getBuf()
+			pending[u] = p
 		}
-		*p = append(*p, routedReq{seq: seq, bank: int32(bank), req: req})
+		*p = append(*p, routedReq{seq: seq, req: req})
 		seq++
 		n++
-		if len(*p) == engineBatch {
-			chans[w] <- batch{reqs: p}
-			pending[w] = nil
+		if len(*p) == unitBatch {
+			e.handOff(chans[u%e.workers], ready, u, p)
+			pending[u] = nil
 		}
 		if e.opts.Progress != nil && seq&(progressStride-1) == 0 {
 			if now := time.Now(); now.Sub(lastTick) >= interval {
@@ -226,21 +295,27 @@ func (e *Engine) Run(src trace.Source, max int) error {
 				e.opts.Progress(Progress{
 					Dispatched: seq,
 					Elapsed:    now.Sub(start),
+					Workers:    e.workers,
 					QueueDepth: queue,
 				})
 			}
 		}
 	}
-	// Flush every pending batch — even when stopping on a failure.
-	// Determinism of the reported error depends on it: the earliest
-	// failing request overall was read before the (later) failure whose
-	// detection triggered the stop, so it sits in an already-dispatched
-	// batch or in one of these pending buffers, and flushing guarantees
-	// it is applied and recorded.
-	for w, p := range pending {
-		if p != nil && len(*p) > 0 {
-			chans[w] <- batch{reqs: p}
-			pending[w] = nil
+	// Flush every parked and pending batch — even when stopping on a
+	// failure. Determinism of the reported error depends on it: the
+	// earliest failing request overall was read before the (later)
+	// failure whose detection triggered the stop, so it sits in an
+	// already-dispatched batch or in one of these buffers, and flushing
+	// guarantees it is applied and recorded.
+	for u := 0; u < e.units; u++ {
+		w := u % e.workers
+		if r := ready[u]; r != nil {
+			chans[w] <- batch{unit: int32(u), reqs: r}
+			ready[u] = nil
+		}
+		if p := pending[u]; p != nil && len(*p) > 0 {
+			chans[w] <- batch{unit: int32(u), reqs: p}
+			pending[u] = nil
 		}
 	}
 	for _, c := range chans {
@@ -257,6 +332,7 @@ func (e *Engine) Run(src trace.Source, max int) error {
 		e.opts.Progress(Progress{
 			Dispatched: seq,
 			Elapsed:    time.Since(start),
+			Workers:    e.workers,
 			QueueDepth: queue,
 			Done:       true,
 		})
@@ -264,36 +340,75 @@ func (e *Engine) Run(src trace.Source, max int) error {
 	return e.firstError()
 }
 
-// applyBatch replays one routed batch. Every request in the batch maps
-// to a bank owned by the receiving worker, and all schemes' shards of a
-// bank share that owner, so no other goroutine ever touches the shards
-// referenced here.
-func (e *Engine) applyBatch(b batch, failed *atomic.Bool) {
+// getBuf pops a recycled batch buffer, allocating only while the
+// free-list is still filling (cold start).
+func (e *Engine) getBuf() *[]routedReq {
+	select {
+	case p := <-e.freeBufs:
+		return p
+	default:
+		s := make([]routedReq, 0, unitBatch)
+		return &s
+	}
+}
+
+// putBuf returns a drained buffer to the free-list. The capacity covers
+// every buffer that can exist at once, but a non-blocking send keeps the
+// invariant local: worst case the buffer is dropped to the GC.
+func (e *Engine) putBuf(p *[]routedReq) {
+	select {
+	case e.freeBufs <- p:
+	default:
+	}
+}
+
+// handOff pipelines a filled batch to unit u's owner: the unit's parked
+// batch (older) goes first — blocking only if the owner is still
+// backlogged — then the fresh batch is sent without blocking, or parked
+// in the ready slot so the dispatcher can keep routing while the owner
+// drains.
+func (e *Engine) handOff(ch chan batch, ready []*[]routedReq, u int, p *[]routedReq) {
+	if r := ready[u]; r != nil {
+		ch <- batch{unit: int32(u), reqs: r}
+		ready[u] = nil
+	}
+	select {
+	case ch <- batch{unit: int32(u), reqs: p}:
+	default:
+		ready[u] = p
+	}
+}
+
+// applyUnitBatch replays one routed unit-batch scheme-major: every
+// request in the batch maps to the single (bank, sub-shard) unit owned
+// by the receiving worker, and all schemes' shards of that unit share
+// the owner, so no other goroutine ever touches the shards referenced
+// here. Replaying the whole batch through one scheme before the next
+// keeps that scheme's tables and line map hot, and hands the shard
+// batch-encode path runs of multiple lines per scheme call.
+func (e *Engine) applyUnitBatch(b batch, failed *atomic.Bool) {
 	rs := *b.reqs
-	for j := range rs {
-		rr := &rs[j]
-		bank := int(rr.bank)
-		for i := range e.schemes {
-			u := e.shards[i*e.banks+bank]
-			if u.err != nil {
-				continue // frozen after its first failure
-			}
-			if err := u.apply(&rr.req); err != nil {
-				u.err = err
-				u.errSeq = rr.seq
-				failed.Store(true)
-			}
+	unit := int(b.unit)
+	for i := range e.schemes {
+		u := e.shards[i*e.units+unit]
+		if u.err != nil {
+			continue // frozen after its first failure
+		}
+		if seq, err := u.applyRun(rs); err != nil {
+			u.err = err
+			u.errSeq = seq
+			failed.Store(true)
 		}
 	}
 }
 
-// publishOwned refreshes the snapshot copies of every shard worker w
-// owns (cheap for shards without new writes).
-func (e *Engine) publishOwned(w int) {
-	for b := w; b < e.banks; b += e.workers {
-		for i := range e.schemes {
-			e.shards[i*e.banks+b].publishIfDirty()
-		}
+// publishUnit refreshes the snapshot copies of every scheme's shard of
+// one routing unit (cheap for shards without new writes). Each batch
+// touches exactly one unit, so publishing per batch covers every
+// mutation.
+func (e *Engine) publishUnit(unit int) {
+	for i := range e.schemes {
+		e.shards[i*e.units+unit].publishIfDirty()
 	}
 }
 
@@ -310,7 +425,7 @@ func (e *Engine) firstError() error {
 	return err
 }
 
-// Metrics merges the per-bank shards of every scheme, in fixed bank
+// Metrics merges the shards of every scheme, in fixed (bank, sub-shard)
 // order, and returns the per-scheme metrics index-aligned with the
 // schemes passed to NewEngine. It reads the live accumulators and must
 // not be called concurrently with Run — use Snapshot for that.
@@ -318,8 +433,8 @@ func (e *Engine) Metrics() []Metrics {
 	out := make([]Metrics, len(e.schemes))
 	for i, sch := range e.schemes {
 		m := newMetrics(sch.Name())
-		for b := 0; b < e.banks; b++ {
-			m.Merge(e.shards[i*e.banks+b].metricsView())
+		for u := 0; u < e.units; u++ {
+			m.Merge(e.shards[i*e.units+u].metricsView())
 		}
 		out[i] = m
 	}
@@ -327,7 +442,7 @@ func (e *Engine) Metrics() []Metrics {
 }
 
 // Snapshot merges the per-shard published metric copies, in the same
-// fixed bank order as Metrics, and is safe to call from any goroutine
+// fixed order as Metrics, and is safe to call from any goroutine
 // while Run is executing. Workers publish after every batch, so a
 // snapshot lags each shard by at most one in-flight batch; once Run has
 // returned, Snapshot and Metrics agree exactly. Counters within one
@@ -338,8 +453,8 @@ func (e *Engine) Snapshot() []Metrics {
 	out := make([]Metrics, len(e.schemes))
 	for i, sch := range e.schemes {
 		m := newMetrics(sch.Name())
-		for b := 0; b < e.banks; b++ {
-			m.Merge(e.shards[i*e.banks+b].snapshot())
+		for u := 0; u < e.units; u++ {
+			m.Merge(e.shards[i*e.units+u].snapshot())
 		}
 		out[i] = m
 	}

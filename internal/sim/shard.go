@@ -12,17 +12,27 @@ import (
 	"wlcrc/internal/wear"
 )
 
+// shardRunCap is the number of lines a shard's batch-encode path prices
+// per scheme call (see applyRun): large enough to amortize the scheme's
+// table loads across several lines, small enough that the run's encode
+// outputs are still L1-hot when the deferred settle pass re-reads them
+// for the energy/disturb models (measured: 4 beats both 2 and 16 on
+// every scheme family; 16 loses ~40% to settle-time cache misses).
+const shardRunCap = 4
+
 // shard is the unit of simulation state: one scheme's view of one slice
 // of the address space. The serial Simulator uses one shard per scheme
 // covering all addresses; the parallel Engine uses one shard per
-// (scheme, bank) pair so independent lines can replay concurrently.
+// (scheme, bank, sub-shard) triple so independent lines replay
+// concurrently.
 //
 // A shard is single-threaded by construction: exactly one goroutine ever
-// calls apply on it, and requests arrive in trace order. All cross-shard
-// aggregation happens after the run via Metrics.Merge. The shard owns
-// the reusable encode/decode buffers of its hot path — schemes are
-// shared across shards and hold no per-call state — so steady-state
-// replay of a warmed address performs zero heap allocations per request.
+// calls apply/applyRun on it, and requests arrive in trace order. All
+// cross-shard aggregation happens after the run via Metrics.Merge. The
+// shard owns the reusable encode/decode buffers of its hot path —
+// schemes are shared across shards and hold no per-call state — so
+// steady-state replay of a warmed address performs zero heap allocations
+// per request.
 type shard struct {
 	opts   *Options
 	scheme core.Scheme
@@ -34,9 +44,11 @@ type shard struct {
 	// encodeCtr / decodeCtr are the codec entry points resolved once
 	// from the scheme's optional CounterScheme extension: counter-keyed
 	// schemes (VCC, Enc) get the per-line write counter, everything else
-	// ignores it.
-	encodeCtr func(dst, old []pcm.State, addr, ctr uint64, data *memline.Line)
-	decodeCtr func(cells []pcm.State, addr, ctr uint64, dst *memline.Line)
+	// ignores it. encodeBatch is the line-batch form (core.BatchEncoder
+	// or the hoisted loop), the entry point of applyRun.
+	encodeCtr   func(dst, old []pcm.State, addr, ctr uint64, data *memline.Line)
+	decodeCtr   func(cells []pcm.State, addr, ctr uint64, dst *memline.Line)
+	encodeBatch func(jobs []core.EncodeJob)
 	// mem is this shard's cell-state view of its addresses.
 	mem map[uint64][]pcm.State
 	// ctrs is the per-line write-counter store (the shard-local slice of
@@ -45,11 +57,17 @@ type shard struct {
 	// order on one shard, so counters are deterministic for every worker
 	// count.
 	ctrs map[uint64]uint64
-	// scratch is the double buffer EncodeInto targets: after each
-	// request it swaps roles with the stored line, so the previous
-	// states become the next scratch and no per-request slice is ever
-	// allocated.
-	scratch []pcm.State
+	// spare is the stack of free cell buffers EncodeInto targets: each
+	// settled request stores its freshly-encoded buffer and releases the
+	// line's previous states back here, so steady state never allocates.
+	// apply uses one buffer; applyRun keeps up to shardRunCap in flight.
+	spare [][]pcm.State
+	// jobs/jobSeqs are the open batch-encode run: up to shardRunCap
+	// address-distinct lines that one encodeBatch call prices together.
+	// jobSeqs carries each job's global trace sequence number for
+	// deterministic error reporting.
+	jobs    []core.EncodeJob
+	jobSeqs []uint64
 	// changed is the reusable differential-write mask.
 	changed []bool
 	// decodeBuf is the Verify path's reusable decode target (a stack
@@ -98,7 +116,7 @@ func newShard(opts *Options, sch core.Scheme, rnd *prng.Xoshiro256) *shard {
 		opts:    opts,
 		scheme:  sch,
 		mem:     make(map[uint64][]pcm.State),
-		scratch: make([]pcm.State, n),
+		spare:   [][]pcm.State{make([]pcm.State, n)},
 		changed: make([]bool, n),
 		rnd:     rnd,
 		m:       newMetrics(sch.Name()),
@@ -110,10 +128,41 @@ func newShard(opts *Options, sch core.Scheme, rnd *prng.Xoshiro256) *shard {
 	u.compressed = core.CompressedWriteFunc(sch)
 	u.encodeCtr = core.EncodeCtrFunc(sch)
 	u.decodeCtr = core.DecodeCtrFunc(sch)
+	u.encodeBatch = core.EncodeBatchFunc(sch)
 	if core.UsesCounters(sch) {
 		u.ctrs = make(map[uint64]uint64)
 	}
 	return u
+}
+
+// takeSpare pops a free cell buffer (allocating only while the shard's
+// in-flight buffer count still grows toward its steady-state ceiling of
+// shardRunCap+1).
+func (u *shard) takeSpare() []pcm.State {
+	if n := len(u.spare); n > 0 {
+		s := u.spare[n-1]
+		u.spare = u.spare[:n-1]
+		return s
+	}
+	return make([]pcm.State, u.scheme.TotalCells())
+}
+
+// putSpare releases a cell buffer for reuse.
+func (u *shard) putSpare(s []pcm.State) { u.spare = append(u.spare, s) }
+
+// prepare resolves a request's encode inputs: the line's current cells
+// (the initial RESET vector on first touch) and, for counter schemes,
+// the incremented per-line write counter.
+func (u *shard) prepare(addr uint64) (old []pcm.State, ctr uint64) {
+	old, ok := u.mem[addr]
+	if !ok {
+		old = core.InitialCells(u.scheme.TotalCells())
+	}
+	if u.ctrs != nil {
+		ctr = u.ctrs[addr] + 1
+		u.ctrs[addr] = ctr
+	}
+	return old, ctr
 }
 
 // apply replays one request through the shard's scheme, charging the
@@ -121,18 +170,20 @@ func newShard(opts *Options, sch core.Scheme, rnd *prng.Xoshiro256) *shard {
 // state. It returns a non-nil error when Verify is on and the stored
 // line fails to decode back to the written data.
 func (u *shard) apply(req *trace.Request) error {
+	old, ctr := u.prepare(req.Addr)
+	dst := u.takeSpare()
+	u.encodeCtr(dst, old, req.Addr, ctr, &req.New)
+	return u.settle(dst, old, req.Addr, ctr, &req.New)
+}
+
+// settle charges the accounting models for one encoded write and commits
+// it: energy/endurance/disturbance accumulation, histograms, wear,
+// compression classification, optional fault injection, then the buffer
+// swap that stores dst and recycles the previous states. Requests of one
+// shard settle strictly in trace order — the PRNG draws of the sampled
+// models happen here, so batching the encodes never perturbs them.
+func (u *shard) settle(newCells, old []pcm.State, addr, ctr uint64, data *memline.Line) error {
 	sch := u.scheme
-	old, ok := u.mem[req.Addr]
-	if !ok {
-		old = core.InitialCells(sch.TotalCells())
-	}
-	var ctr uint64
-	if u.ctrs != nil {
-		ctr = u.ctrs[req.Addr] + 1
-		u.ctrs[req.Addr] = ctr
-	}
-	newCells := u.scratch
-	u.encodeCtr(newCells, old, req.Addr, ctr, &req.New)
 	m := &u.m
 	m.Writes++
 	st, changed := u.opts.Energy.DiffWriteMask(old, newCells, sch.DataCells(), u.changed)
@@ -141,7 +192,7 @@ func (u *shard) apply(req *trace.Request) error {
 	m.EnergyHist.Observe(st.Energy())
 	m.UpdatedHist.Observe(float64(st.Updated()))
 	if u.wear != nil {
-		u.wear.RecordChanged(req.Addr, u.changed)
+		u.wear.RecordChanged(addr, u.changed)
 	}
 	var sampler pcm.Sampler
 	if u.rnd != nil {
@@ -160,18 +211,88 @@ func (u *shard) apply(req *trace.Request) error {
 	}
 	// Swap the buffers: the freshly-encoded states become the stored
 	// line; the previous stored line (or the first-touch initial vector)
-	// becomes the next request's scratch.
-	u.mem[req.Addr] = newCells
-	u.scratch = old
+	// becomes a future request's encode target.
+	u.mem[addr] = newCells
+	u.putSpare(old)
 	if u.opts.Verify {
 		got := &u.decodeBuf
-		u.decodeCtr(newCells, req.Addr, ctr, got)
-		if !got.Equal(&req.New) {
+		u.decodeCtr(newCells, addr, ctr, got)
+		if !got.Equal(data) {
 			m.DecodeErrors++
-			return fmt.Errorf("sim: %s: decode mismatch at addr %#x", sch.Name(), req.Addr)
+			return fmt.Errorf("sim: %s: decode mismatch at addr %#x", sch.Name(), addr)
 		}
 	}
 	return nil
+}
+
+// runHasAddr reports whether the open batch-encode run already contains
+// a job for addr — the read-after-write hazard that forces a flush,
+// since the repeated write's Old must be the first write's Dst.
+func (u *shard) runHasAddr(addr uint64) bool {
+	for k := range u.jobs {
+		if u.jobs[k].Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// applyRun is the batch-encode form of apply: it replays a routed batch
+// through this shard, pricing up to shardRunCap address-distinct lines
+// per encodeBatch call so the scheme's SWAR tables load once per run
+// instead of once per line, then settles each line in trace order. On a
+// verification failure it stops and returns the failing request's global
+// sequence number with the error; the remaining requests of the batch
+// are not applied (the Engine freezes the shard).
+func (u *shard) applyRun(rs []routedReq) (errSeq uint64, err error) {
+	for j := range rs {
+		rr := &rs[j]
+		if u.runHasAddr(rr.req.Addr) {
+			if seq, err := u.flushRun(); err != nil {
+				return seq, err
+			}
+		}
+		old, ctr := u.prepare(rr.req.Addr)
+		u.jobs = append(u.jobs, core.EncodeJob{
+			Dst:  u.takeSpare(),
+			Old:  old,
+			Addr: rr.req.Addr,
+			Ctr:  ctr,
+			Data: &rr.req.New,
+		})
+		u.jobSeqs = append(u.jobSeqs, rr.seq)
+		if len(u.jobs) == shardRunCap {
+			if seq, err := u.flushRun(); err != nil {
+				return seq, err
+			}
+		}
+	}
+	return u.flushRun()
+}
+
+// flushRun encodes the open run in one batch call and settles each job
+// in order. After a failed settle the remaining jobs are discarded
+// unaccounted — their buffers return to the spare stack and their lines
+// keep the pre-run states — so an erred shard's metrics cover exactly
+// its trace prefix up to and including the failing request.
+func (u *shard) flushRun() (errSeq uint64, err error) {
+	if len(u.jobs) == 0 {
+		return 0, nil
+	}
+	u.encodeBatch(u.jobs)
+	for k := range u.jobs {
+		j := &u.jobs[k]
+		if err != nil {
+			u.putSpare(j.Dst)
+			continue
+		}
+		if e := u.settle(j.Dst, j.Old, j.Addr, j.Ctr, j.Data); e != nil {
+			err, errSeq = e, u.jobSeqs[k]
+		}
+	}
+	u.jobs = u.jobs[:0]
+	u.jobSeqs = u.jobSeqs[:0]
+	return errSeq, err
 }
 
 // metricsView returns the shard's current metrics with the wear digest

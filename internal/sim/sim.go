@@ -11,8 +11,9 @@
 //     synchronous per-request Write API.
 //   - Engine is the concurrent sharded pipeline (engine.go): it fans the
 //     trace out to per-scheme workers and, within a scheme, shards the
-//     address space by bank (memsys geometry) so independent lines
-//     replay in parallel. Per-shard metrics are merged in a fixed order,
+//     address space by (bank, sub-shard) routing unit (memsys geometry)
+//     so independent lines replay in parallel on far more workers than
+//     there are banks. Per-shard metrics are merged in a fixed order,
 //     so an Engine run is bit-identical for every worker count —
 //     Options.Workers = 1 is the serial mode of the same engine.
 package sim
@@ -220,14 +221,18 @@ type Options struct {
 
 	// Workers is the number of goroutines an Engine replays with.
 	// 0 means runtime.GOMAXPROCS(0); 1 is the serial mode; values above
-	// the bank count are capped at it (a bank is the unit of routing).
-	// The worker count only changes wall-clock time, never results:
-	// Engine metrics are bit-identical across worker counts. Ignored by
-	// Simulator.
+	// the routing-unit count (banks x sub-shards, see Geometry) are
+	// capped at it — a (bank, sub-shard) unit is the unit of routing, so
+	// under the Table II geometry up to 256 workers are useful. The
+	// resolved count is returned by Engine.Workers and reported in every
+	// Progress callback. The worker count only changes wall-clock time,
+	// never results: Engine metrics are bit-identical across worker
+	// counts. Ignored by Simulator.
 	Workers int
-	// Geometry is the memory organization whose bank function shards the
-	// address space inside an Engine (the zero value means the paper's
-	// Table II geometry, 64 banks). Ignored by Simulator.
+	// Geometry is the memory organization whose bank and sub-shard
+	// functions shard the address space inside an Engine (the zero value
+	// means the paper's Table II geometry: 64 banks, 4 sub-shards per
+	// bank, 256 routing units). Ignored by Simulator.
 	Geometry memsys.Config
 
 	// TrackWear enables dense per-cell wear accounting: every programmed
@@ -258,6 +263,10 @@ type Progress struct {
 	Dispatched uint64
 	// Elapsed is the time since Run started.
 	Elapsed time.Duration
+	// Workers is the resolved worker count of the run — Options.Workers
+	// after clamping to [1, units] (surfacing what a requested count
+	// actually resolved to, since silent capping hid it before).
+	Workers int
 	// QueueDepth holds the number of batches queued per worker, a
 	// saturation signal: depths pinned at the channel capacity mean the
 	// workers, not the trace source, bound throughput. The slice is

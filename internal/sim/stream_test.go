@@ -212,22 +212,63 @@ func TestEngineProgressNotCalledWhenUnset(t *testing.T) {
 	}
 }
 
-// TestEngineWorkersCappedAtBanks: a bank is the routing unit, so more
-// workers than banks would idle — the engine caps the resolved count.
-func TestEngineWorkersCappedAtBanks(t *testing.T) {
+// TestEngineWorkersCappedAtUnits: a (bank, sub-shard) unit is the
+// routing unit, so the resolved worker count caps at banks x sub-shards
+// — not at the bank count, which used to be the (silent) ceiling.
+func TestEngineWorkersCappedAtUnits(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Workers = 64
 	opts.Geometry = memsys.Config{Channels: 1, DIMMsPerChan: 1, BanksPerDIMM: 4,
 		WriteQueueCap: 8, DrainThreshold: 0.8}
 	e := NewEngine(opts, schemesForTest(t, "Baseline")...)
-	if e.Workers() != 4 {
-		t.Errorf("workers = %d, want capped at 4 banks", e.Workers())
+	units := 4 * memsys.DefaultSubShards
+	if e.Units() != units {
+		t.Fatalf("units = %d, want %d (4 banks x %d sub-shards)",
+			e.Units(), units, memsys.DefaultSubShards)
+	}
+	if e.Workers() != units {
+		t.Errorf("workers = %d, want capped at %d units (4 banks is no longer the cap)",
+			e.Workers(), units)
 	}
 	if err := e.Run(fixedTrace(t, "gcc", 64, 500, 5), 0); err != nil {
 		t.Fatal(err)
 	}
 	if m := e.Metrics()[0]; m.Writes != 500 {
 		t.Errorf("writes = %d, want 500", m.Writes)
+	}
+}
+
+// TestEngineWorkersBeyondBanksEngage is the regression test for the old
+// silent cap: with Workers above the bank count, more than `banks`
+// goroutines must actually process requests — sub-bank sharding has to
+// spread the work, not just resolve to a bigger number.
+func TestEngineWorkersBeyondBanksEngage(t *testing.T) {
+	const banks, workers = 2, 6
+	opts := DefaultOptions()
+	opts.Workers = workers
+	opts.Geometry = memsys.Config{Channels: 1, DIMMsPerChan: 1, BanksPerDIMM: banks,
+		WriteQueueCap: 8, DrainThreshold: 0.8}
+	e := NewEngine(opts, schemesForTest(t, "Baseline")...)
+	if e.Workers() != workers {
+		t.Fatalf("workers = %d, want %d (units = %d)", e.Workers(), workers, e.Units())
+	}
+	if err := e.Run(fixedTrace(t, "gcc", 256, 4000, 17), 0); err != nil {
+		t.Fatal(err)
+	}
+	engaged := 0
+	var total uint64
+	for w, n := range e.workerReqs {
+		if n > 0 {
+			engaged++
+		}
+		total += n
+		t.Logf("worker %d applied %d requests", w, n)
+	}
+	if total != 4000 {
+		t.Errorf("workers applied %d requests total, want 4000", total)
+	}
+	if engaged <= banks {
+		t.Errorf("only %d workers engaged, want more than the %d banks", engaged, banks)
 	}
 }
 

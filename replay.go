@@ -23,8 +23,10 @@ type Progress = sim.Progress
 // ReplayOptions configures Replay.
 type ReplayOptions struct {
 	// Workers bounds the replay goroutines. 0 means all CPUs; 1 runs
-	// serially. Results are bit-identical for every value — the engine
-	// shards the address space by bank and merges deterministically — so
+	// serially; values above the routing-unit count (banks x sub-shards,
+	// 256 under the default geometry) are capped there. Results are
+	// bit-identical for every value — the engine shards the address
+	// space by (bank, sub-shard) unit and merges deterministically — so
 	// this is purely a speed knob.
 	Workers int
 	// SampleDisturb switches disturbance accounting from expected values
