@@ -30,6 +30,16 @@
 // stays sound across CI hardware.
 //
 //	go test -run xxx -bench 'BenchmarkReplayParallelScaling' -benchtime 2x -count 3 . | benchguard -replay
+//
+// With -ingest it guards the PR 7 trace-decode front-end instead: the
+// BenchmarkIngest/mapped over BenchmarkIngest/reader ns/op ratio (both
+// decode the same records, so this is the per-record decode-cost ratio,
+// same-box and machine-speed independent) must stay at or below the
+// committed ingest_pr7 gate_ratio — i.e. the zero-copy mapped batch
+// path must keep its >=2x throughput edge over the per-record reader
+// loop.
+//
+//	go test -run xxx -bench BenchmarkIngest -benchtime 1s -count 3 ./internal/trace/ | benchguard -ingest
 package main
 
 import (
@@ -57,6 +67,9 @@ type baseline struct {
 	// ReplayScaling is the PR 6 sub-bank-sharded pipeline series,
 	// measured by BenchmarkReplayParallelScaling at fixed worker counts.
 	ReplayScaling *replayScalingBaseline `json:"replay_parallel_pr6"`
+	// Ingest is the PR 7 trace-decode front-end series, measured by
+	// BenchmarkIngest in internal/trace.
+	Ingest *ingestBaseline `json:"ingest_pr7"`
 }
 
 type replayBaseline struct {
@@ -75,6 +88,20 @@ type replayScalingBaseline struct {
 	GateWorkers int                `json:"gate_workers"`
 }
 
+// ingestBaseline records the trace-decode front-end series. Every
+// BenchmarkIngest sub-benchmark decodes the same number of records per
+// op, so mapped/reader ns/op is the per-record decode-cost ratio — a
+// same-box number, machine-speed independent. The gate requires the
+// measured ratio to stay at or below GateRatio (0.5 = the mapped batch
+// path must decode at least 2x as fast as the per-record reader loop);
+// NSPerOp keeps the measured absolute times for the record.
+type ingestBaseline struct {
+	NSPerOp   map[string]float64 `json:"ns_per_pass_by_path"`
+	Records   int                `json:"records_per_pass"`
+	Ratio     float64            `json:"mapped_over_reader"`
+	GateRatio float64            `json:"gate_ratio"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchguard: ")
@@ -84,6 +111,7 @@ func main() {
 		emit      = flag.Bool("emit-baseline", false, "print the baseline as benchstat-compatible bench output and exit")
 		replay    = flag.Bool("replay", false, "guard the parallel replay dispatcher (parallel/serial wall-clock ratio) instead of the encode series")
 		replayTol = flag.Float64("replay-tolerance", 0.30, "allowed relative ratio regression in -replay mode (generous: wall-clock ratios are noisy)")
+		ingest    = flag.Bool("ingest", false, "guard the trace-decode front-end (mapped/reader decode-cost ratio from BenchmarkIngest) instead of the encode series")
 	)
 	flag.Parse()
 
@@ -97,6 +125,10 @@ func main() {
 	}
 	if *replay {
 		guardReplay(base, openInput(), *replayTol)
+		return
+	}
+	if *ingest {
+		guardIngest(base, openInput())
 		return
 	}
 	if len(base.EncodePR3) == 0 {
@@ -236,6 +268,51 @@ func gateRatio(serial, parallel, baseRatio float64, workers int, tol float64, se
 			"(baseline %.3f +%.0f%%)", ratio, limit, baseRatio, 100*tol)
 	}
 	fmt.Println("benchguard: parallel replay dispatch within baseline")
+}
+
+// guardIngest enforces the trace-decode front-end baseline: the
+// measured mapped-over-reader decode-cost ratio from BenchmarkIngest
+// must stay at or below the committed gate_ratio. Both paths decode the
+// same records on the same box, so the gated number is machine-speed
+// independent — it moves only when the mapped batch path loses its
+// edge over the per-record reader loop (a copy sneaking back into the
+// zero-copy decode, batching lost, the mapping silently falling back).
+// No tolerance is applied: the baseline ratio sits well under the gate,
+// so the gate itself is the headroom.
+func guardIngest(base baseline, in io.Reader) {
+	if base.Ingest == nil || base.Ingest.GateRatio == 0 {
+		log.Fatal("baseline has no ingest_pr7 series")
+	}
+	m, err := parseIngestBench(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reader, mapped := m["reader"], m["mapped"]
+	if reader == 0 || mapped == 0 {
+		log.Fatal("input is missing BenchmarkIngest/reader or BenchmarkIngest/mapped results")
+	}
+	ratio := mapped / reader
+	fmt.Printf("ingest: reader %.0fns, mapped %.0fns per pass, mapped/reader %.3f "+
+		"(ingest_pr7 baseline %.3f, gate %.3f)\n",
+		reader, mapped, ratio, base.Ingest.Ratio, base.Ingest.GateRatio)
+	if batch := m["batch"]; batch != 0 {
+		fmt.Printf("ingest: batch %.0fns per pass, batch/reader %.3f (not gated)\n",
+			batch, batch/reader)
+	}
+	if ratio > base.Ingest.GateRatio {
+		log.Fatalf("mapped decode lost its edge: mapped/reader %.3f exceeds gate %.3f "+
+			"(the mapped batch path must stay >=%.1fx faster than the per-record reader)",
+			ratio, base.Ingest.GateRatio, 1/base.Ingest.GateRatio)
+	}
+	fmt.Println("benchguard: trace-decode front-end within baseline")
+}
+
+// parseIngestBench extracts the mean ns/op of the BenchmarkIngest
+// sub-benchmarks, keyed by path name (reader, batch, mapped).
+func parseIngestBench(r io.Reader) (map[string]float64, error) {
+	return parseBenchLines(r, func(name string) (string, bool) {
+		return strings.CutPrefix(name, "BenchmarkIngest/")
+	})
 }
 
 // parseReplayBench extracts the mean ns/op of every replay benchmark in

@@ -24,7 +24,11 @@
 // past the bank count (256 units under the Table II geometry). -workers
 // bounds the goroutines (default: all CPUs); results are bit-identical
 // for every worker count, so -workers 1 reproduces the serial numbers
-// exactly.
+// exactly. -ingest adds a parallel ingest front-end that reads and
+// pre-routes the stream in chunks ahead of the dispatcher (0 = auto,
+// negative = off) — also bit-identical for any value. Trace files given
+// with -trace are memory-mapped and decoded zero-copy when the platform
+// allows it.
 //
 // -progress streams live dispatcher throughput and per-worker queue
 // depths to stderr while a replay runs; -wear enables dense per-cell
@@ -72,6 +76,7 @@ func main() {
 		sample      = flag.Bool("sample-disturb", false, "sample disturbance instead of expected values")
 		useMemsys   = flag.Bool("memsys", false, "also run the Table II memory-system timing model")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "replay worker goroutines, up to banks x sub-shards (1 = serial; results are identical for any value)")
+		ingest      = flag.Int("ingest", 0, "ingest router goroutines pre-routing the stream ahead of the dispatcher (0 = auto, negative = off; results are identical for any value)")
 		progress    = flag.Bool("progress", false, "stream live replay throughput and queue depths to stderr")
 		wearReport  = flag.Bool("wear", false, "track dense per-cell wear and report the wear distribution per scheme")
 		encrypted   = flag.Bool("encrypted", false, "replay the counter-mode encrypted (whitened) form of the write stream")
@@ -107,6 +112,7 @@ func main() {
 	opts.SampleDisturb = *sample
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.IngestRouters = *ingest
 	opts.TrackWear = *wearReport
 	if *progress {
 		opts.Progress = sim.ProgressPrinter(os.Stderr)
@@ -120,16 +126,28 @@ func main() {
 	var sources []namedSource
 	switch {
 	case *traceFile != "":
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			log.Fatal(err)
+		// Prefer the memory-mapped source: zero-copy decode straight off
+		// the page cache, and the natural feed for the batched ingest
+		// stage. Fall back to the buffered reader if mapping fails (e.g.
+		// an exotic filesystem without mmap support).
+		if m, err := trace.OpenMapped(*traceFile); err == nil {
+			defer m.Close()
+			if terr := m.Err(); terr != nil {
+				log.Printf("warning: %s: %v; replaying the %d complete records", *traceFile, terr, m.Records())
+			}
+			sources = append(sources, namedSource{name: *traceFile, src: m})
+		} else {
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			rd, err := trace.NewReader(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sources = append(sources, namedSource{name: *traceFile, src: &trace.ReaderSource{R: rd}})
 		}
-		defer f.Close()
-		rd, err := trace.NewReader(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sources = append(sources, namedSource{name: *traceFile, src: &trace.ReaderSource{R: rd}})
 	case *wlFlag == "all":
 		for _, p := range workload.Profiles() {
 			sources = append(sources, namedSource{

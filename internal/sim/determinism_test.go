@@ -35,13 +35,14 @@ func determinismWorkerSet(banks int) []int {
 	return out
 }
 
-// TestEngineDeterminismMatrix is the PR's layered determinism net: for
+// TestEngineDeterminismMatrix is the layered determinism net: for
 // every accounting mode (deterministic, sampled disturbance, fault
-// injection + VnR, and counter-keyed encrypted replay) and every worker
-// count in the matrix, the engine's Metrics, post-run Snapshot and wear
-// summaries must be bit-identical — reflect.DeepEqual, floats included —
-// to the Workers=1 run of the same trace. The -race CI job runs this
-// matrix too, so the guarantee is checked under the race detector.
+// injection + VnR, and counter-keyed encrypted replay), every worker
+// count in the matrix, and the ingest front-end both off and on, the
+// engine's Metrics, post-run Snapshot and wear summaries must be
+// bit-identical — reflect.DeepEqual, floats included — to the
+// Workers=1, ingest-off run of the same trace. The -race CI job runs
+// this matrix too, so the guarantee is checked under the race detector.
 func TestEngineDeterminismMatrix(t *testing.T) {
 	geo := determinismGeometry()
 	banks := geo.Banks()
@@ -79,11 +80,12 @@ func TestEngineDeterminismMatrix(t *testing.T) {
 	for _, mode := range modes {
 		t.Run(mode.name, func(t *testing.T) {
 			src := mode.src(t)
-			run := func(workers int) (metrics, snapshot []Metrics) {
+			run := func(workers, ingest int) (metrics, snapshot []Metrics) {
 				src.Rewind()
 				opts := DefaultOptions()
 				opts.Geometry = geo
 				opts.Workers = workers
+				opts.IngestRouters = ingest
 				opts.TrackWear = true
 				mode.tweak(&opts)
 				e := NewEngine(opts, schemesForTest(t, mode.schemes...)...)
@@ -92,7 +94,7 @@ func TestEngineDeterminismMatrix(t *testing.T) {
 				}
 				return e.Metrics(), e.Snapshot()
 			}
-			wantMetrics, wantSnap := run(1)
+			wantMetrics, wantSnap := run(1, -1)
 			if wantMetrics[0].Writes != 2500 {
 				t.Fatalf("serial run replayed %d writes, want 2500", wantMetrics[0].Writes)
 			}
@@ -102,18 +104,23 @@ func TestEngineDeterminismMatrix(t *testing.T) {
 			if !reflect.DeepEqual(wantMetrics, wantSnap) {
 				t.Fatal("serial Snapshot differs from Metrics after Run")
 			}
-			for _, workers := range determinismWorkerSet(banks)[1:] {
-				gotMetrics, gotSnap := run(workers)
-				if !reflect.DeepEqual(wantMetrics, gotMetrics) {
-					t.Errorf("workers=%d: Metrics differ from serial run", workers)
-				}
-				if !reflect.DeepEqual(wantSnap, gotSnap) {
-					t.Errorf("workers=%d: Snapshot differs from serial run", workers)
-				}
-				for i := range wantMetrics {
-					if !reflect.DeepEqual(wantMetrics[i].Wear, gotMetrics[i].Wear) {
-						t.Errorf("workers=%d: %s wear summary differs from serial run",
-							workers, wantMetrics[i].Scheme)
+			for _, workers := range determinismWorkerSet(banks) {
+				for _, ingest := range []int{-1, 2} {
+					if workers == 1 && ingest == -1 {
+						continue // the baseline itself
+					}
+					gotMetrics, gotSnap := run(workers, ingest)
+					if !reflect.DeepEqual(wantMetrics, gotMetrics) {
+						t.Errorf("workers=%d ingest=%d: Metrics differ from serial run", workers, ingest)
+					}
+					if !reflect.DeepEqual(wantSnap, gotSnap) {
+						t.Errorf("workers=%d ingest=%d: Snapshot differs from serial run", workers, ingest)
+					}
+					for i := range wantMetrics {
+						if !reflect.DeepEqual(wantMetrics[i].Wear, gotMetrics[i].Wear) {
+							t.Errorf("workers=%d ingest=%d: %s wear summary differs from serial run",
+								workers, ingest, wantMetrics[i].Scheme)
+						}
 					}
 				}
 			}

@@ -49,10 +49,18 @@ const progressStride = 1024
 // ready slot and keeps routing into a fresh buffer — it only blocks
 // when a unit has both a parked and a newly-filled batch waiting, so a
 // momentarily busy worker does not stall the routing of everyone
-// else's requests. Batch buffers recycle through a sync.Pool: workers
+// else's requests. Batch buffers recycle through a free list: workers
 // return drained buffers, the dispatcher reuses them, and an
 // arbitrarily long streamed trace runs with zero steady-state
 // dispatcher allocations.
+//
+// When Options.IngestRouters resolves above zero, reading and routing
+// move off the Run goroutine entirely: the ingest stage (ingest.go)
+// pulls sequence-stamped chunks from the source, pre-routes them into
+// per-unit sub-batches on K router goroutines, and Run reassembles the
+// chunks in order into the same pending/ready buffers — identical
+// hand-off order, so identical results, with the front-end off the
+// critical path.
 //
 // Workers drain their queue one unit-batch at a time and replay it
 // scheme-major through the shard batch-encode path (shard.applyRun):
@@ -101,6 +109,14 @@ type Engine struct {
 	// channel's capacity covers every buffer that can be in flight at
 	// once, so steady state is allocation-free unconditionally.
 	freeBufs chan *[]routedReq
+	// ingest is the resolved ingest-router count (0 = classic in-line
+	// dispatch). freeChunks recycles ingest chunks the way freeBufs
+	// recycles batch buffers, and doubles as the in-flight bound: a
+	// router blocks for a free chunk before reading, so at most
+	// cap(freeChunks) chunk sequences are ever outstanding — which is
+	// what lets the reassembly ring index by seq modulo that capacity.
+	ingest     int
+	freeChunks chan *ingestChunk
 }
 
 // NewEngine builds a sharded engine for the given schemes. Worker count
@@ -138,6 +154,16 @@ func NewEngine(opts Options, schemes ...core.Scheme) *Engine {
 	// Worst-case buffers in flight: one pending + one parked per unit,
 	// plus each worker's full queue and the batch it is draining.
 	e.freeBufs = make(chan *[]routedReq, 2*units+workers*(unitChanCap+1))
+	e.ingest = resolveIngestRouters(opts.IngestRouters, runtime.GOMAXPROCS(0))
+	if e.ingest > 0 {
+		// Enough chunks that every router holds one, the routed channel
+		// can buffer one per router, and the reassembly keeps a couple in
+		// hand — prefilled so steady state never allocates a chunk.
+		e.freeChunks = make(chan *ingestChunk, 2*e.ingest+2)
+		for i := 0; i < cap(e.freeChunks); i++ {
+			e.freeChunks <- newIngestChunk()
+		}
+	}
 	e.shards = make([]*shard, len(schemes)*units)
 	sampled := opts.SampleDisturb || opts.InjectFaults
 	for i, sch := range schemes {
@@ -176,6 +202,13 @@ func (e *Engine) SubShards() int { return e.subShards }
 // upper bound on useful worker counts.
 func (e *Engine) Units() int { return e.units }
 
+// IngestRouters returns the resolved ingest-router count: 0 means Run
+// reads and routes the source in-line on its own goroutine (the classic
+// dispatcher), N > 0 means N parallel pre-routing goroutines feed it
+// (Options.IngestRouters documents the resolution rule). Like Workers,
+// the value never affects results, only wall-clock time.
+func (e *Engine) IngestRouters() int { return e.ingest }
+
 // routeOf maps an address to its routing unit. It must agree with the
 // geometry's memsys.Config.RouteOf — the engine keeps the resolved
 // counts as plain ints so the dispatch loop's hottest instruction
@@ -203,9 +236,13 @@ type batch struct {
 }
 
 // Run drains a source through the engine, stopping after max requests
-// when max > 0. The source is read sequentially on the calling
-// goroutine; each request is routed to the single worker owning its
-// (bank, sub-shard) unit and travels in pooled batch buffers.
+// when max > 0. With ingest disabled the source is read sequentially on
+// the calling goroutine; with ingest routers the source is read in
+// chunks (batched through trace.Batched when it is not already a
+// trace.BatchSource), pre-routed in parallel, and reassembled in
+// sequence here — either way each request is routed to the single
+// worker owning its (bank, sub-shard) unit, travels in pooled batch
+// buffers, and the results are bit-identical.
 //
 // On a verification failure the engine stops reading the source,
 // flushes every pending batch (so all requests read before the stop are
@@ -244,14 +281,9 @@ func (e *Engine) Run(src trace.Source, max int) error {
 	}
 
 	var (
-		start    = time.Now()
-		lastTick = start
-		interval = e.opts.ProgressInterval
-		queue    []int
+		start = time.Now()
+		queue []int
 	)
-	if interval <= 0 {
-		interval = 500 * time.Millisecond
-	}
 
 	// pending[u] is unit u's filling buffer; ready[u] is a filled batch
 	// parked when the owner's queue was momentarily full (the second
@@ -260,6 +292,67 @@ func (e *Engine) Run(src trace.Source, max int) error {
 	// what per-shard trace order rests on.
 	pending := make([]*[]routedReq, e.units)
 	ready := make([]*[]routedReq, e.units)
+	var seq uint64
+	if e.ingest > 0 {
+		seq = e.dispatchIngest(trace.Batched(src), max, chans, pending, ready, &failed, start)
+	} else {
+		seq = e.dispatchSerial(src, max, chans, pending, ready, &failed, start)
+	}
+	// Flush every parked and pending batch — even when stopping on a
+	// failure. Determinism of the reported error depends on it: the
+	// earliest failing request overall was read before the (later)
+	// failure whose detection triggered the stop, so it sits in an
+	// already-dispatched batch or in one of these buffers, and flushing
+	// guarantees it is applied and recorded.
+	for u := 0; u < e.units; u++ {
+		w := u % e.workers
+		if r := ready[u]; r != nil {
+			chans[w] <- batch{unit: int32(u), reqs: r}
+			ready[u] = nil
+		}
+		if p := pending[u]; p != nil && len(*p) > 0 {
+			chans[w] <- batch{unit: int32(u), reqs: p}
+			pending[u] = nil
+		}
+	}
+	for _, c := range chans {
+		close(c)
+	}
+	wg.Wait()
+	if e.opts.Progress != nil {
+		if queue == nil {
+			queue = make([]int, e.workers)
+		}
+		for i := range queue {
+			queue[i] = 0
+		}
+		e.opts.Progress(Progress{
+			Dispatched: seq,
+			Elapsed:    time.Since(start),
+			Workers:    e.workers,
+			QueueDepth: queue,
+			Done:       true,
+		})
+	}
+	return e.firstError()
+}
+
+// dispatchSerial is the classic in-line dispatch loop: read one request
+// per Source.Next on this goroutine, route it, and hand off per-unit
+// batches as they fill. It returns the number of requests dispatched.
+// dispatchIngest (ingest.go) is the parallel front-end that replaces it
+// when ingest routers are configured; the two must fill the per-unit
+// pending buffers with identical content in identical order.
+func (e *Engine) dispatchSerial(src trace.Source, max int, chans []chan batch,
+	pending, ready []*[]routedReq, failed *atomic.Bool, start time.Time) uint64 {
+	var (
+		lastTick = start
+		interval = e.opts.ProgressInterval
+		queue    []int
+	)
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
 	var seq uint64
 	n := 0
 	for !failed.Load() {
@@ -301,43 +394,7 @@ func (e *Engine) Run(src trace.Source, max int) error {
 			}
 		}
 	}
-	// Flush every parked and pending batch — even when stopping on a
-	// failure. Determinism of the reported error depends on it: the
-	// earliest failing request overall was read before the (later)
-	// failure whose detection triggered the stop, so it sits in an
-	// already-dispatched batch or in one of these buffers, and flushing
-	// guarantees it is applied and recorded.
-	for u := 0; u < e.units; u++ {
-		w := u % e.workers
-		if r := ready[u]; r != nil {
-			chans[w] <- batch{unit: int32(u), reqs: r}
-			ready[u] = nil
-		}
-		if p := pending[u]; p != nil && len(*p) > 0 {
-			chans[w] <- batch{unit: int32(u), reqs: p}
-			pending[u] = nil
-		}
-	}
-	for _, c := range chans {
-		close(c)
-	}
-	wg.Wait()
-	if e.opts.Progress != nil {
-		if queue == nil {
-			queue = make([]int, e.workers)
-		}
-		for i := range queue {
-			queue[i] = 0
-		}
-		e.opts.Progress(Progress{
-			Dispatched: seq,
-			Elapsed:    time.Since(start),
-			Workers:    e.workers,
-			QueueDepth: queue,
-			Done:       true,
-		})
-	}
-	return e.firstError()
+	return seq
 }
 
 // getBuf pops a recycled batch buffer, allocating only while the

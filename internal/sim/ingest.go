@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wlcrc/internal/trace"
+)
+
+// The parallel ingest stage sits in front of the dispatcher when
+// Options.IngestRouters resolves above zero. The classic Run loop reads
+// one record per Source.Next interface call and routes it on the same
+// goroutine — a serial front-end whose per-record decode + two 64-byte
+// line copies become the Amdahl ceiling once the back end (256 routing
+// units, pipelined dispatch) stops being the bottleneck. The ingest
+// stage replaces it with a three-step pipeline:
+//
+//	reader   one mutex-guarded BatchSource.NextBatch per chunk stamps
+//	         each fixed-size chunk with a chunk sequence number and the
+//	         global sequence of its first request. Sources that decode
+//	         in bulk (MappedSource, Reader.ReadBatch) amortize all
+//	         per-record I/O here; legacy Sources arrive via the
+//	         trace.Batched adapter and just lose the per-request
+//	         interface call.
+//	route    K router goroutines each take a filled chunk and pre-route
+//	         it independently: a stable counting sort by routing unit
+//	         groups the chunk into per-unit sub-batches (within-unit
+//	         order preserved) and stamps every request's global
+//	         sequence number.
+//	reassemble  the Run goroutine consumes routed chunks through a
+//	         fixed ring, strictly in chunk-sequence order, and appends
+//	         each unit's sub-batch into the same pending/ready
+//	         double-buffer the classic dispatcher fills — so per-unit
+//	         batch boundaries, hand-off order, and therefore per-shard
+//	         trace order are byte-identical to the classic path.
+//
+// Determinism: only the reassembly step touches dispatcher state, and
+// it runs in chunk order on one goroutine; routing is pure computation
+// on private chunk buffers. Every guarantee of the classic path — the
+// PR 6 worker-count matrix, PRNG draw order, earliest-failure error
+// selection — carries over bit-exactly, which the ingest determinism
+// tests assert for Source, BatchSource and MappedSource inputs alike.
+//
+// Allocation: chunks (request buffer, unit scratch, grouped output)
+// recycle through the engine's chunk free list exactly like batch
+// buffers recycle through freeBufs, so steady-state ingest performs no
+// per-chunk allocations; the only per-Run cost is the fixed setup
+// (channels, router goroutines, one counting-sort scratch per router).
+
+// ingestChunkCap is the fixed chunk size in requests. At 136 bytes per
+// record a chunk spans ~70 KB — big enough that the reader mutex and
+// chunk hand-off amortize to noise, small enough that a chunk's decode
+// output is still cache-warm when the reassembly step copies it into
+// per-unit batches, and several chunks fit in flight without bloat.
+const ingestChunkCap = 512
+
+// ingestAutoMax caps the auto-resolved router count: decode + routing
+// saturates well before the worker pool does, so a handful of routers
+// keeps even a fast mapped source ahead of 200+ workers.
+const ingestAutoMax = 4
+
+// unitRun is one routing unit's contiguous sub-batch inside a routed
+// chunk's grouped request array.
+type unitRun struct {
+	unit       int32
+	start, end int32
+}
+
+// ingestChunk is one fixed-size unit of ingest work, recycled through
+// Engine.freeChunks. reqs holds the raw decoded requests in trace
+// order; after routing, perm[:n] holds the same requests grouped by
+// routing unit (stable, sequence-stamped) and runs indexes the groups.
+type ingestChunk struct {
+	seq  int    // chunk sequence number, for in-order reassembly
+	base uint64 // global sequence of reqs[0]
+	n    int    // requests in this chunk
+
+	reqs  []trace.Request // len ingestChunkCap
+	units []int32         // scratch: routing unit per request
+	perm  []routedReq     // grouped-by-unit output
+	runs  []unitRun       // one entry per unit present, ascending unit
+}
+
+func newIngestChunk() *ingestChunk {
+	return &ingestChunk{
+		reqs:  make([]trace.Request, ingestChunkCap),
+		units: make([]int32, ingestChunkCap),
+		perm:  make([]routedReq, ingestChunkCap),
+	}
+}
+
+// resolveIngestRouters maps Options.IngestRouters to the effective
+// router count: negative forces the classic in-line dispatcher, zero
+// auto-sizes (off on a single-CPU machine, else up to ingestAutoMax),
+// positive is taken as-is.
+func resolveIngestRouters(opt, cpus int) int {
+	switch {
+	case opt < 0:
+		return 0
+	case opt > 0:
+		return opt
+	case cpus <= 1:
+		return 0
+	default:
+		return min(ingestAutoMax, cpus)
+	}
+}
+
+// ingestReader serializes chunk fills over the source: one lock, one
+// NextBatch, one stamp. It is the only place the source is touched, so
+// a plain Source behind the Batched adapter is read exactly as the
+// classic dispatcher would read it.
+type ingestReader struct {
+	mu   sync.Mutex
+	src  trace.BatchSource
+	max  int // stop after max requests when > 0
+	read uint64
+	seq  int
+	done bool
+}
+
+// fill loads the next chunk under the reader lock, stamping its chunk
+// and base sequence numbers. It returns false at end of stream (or once
+// the max-request budget is spent).
+func (r *ingestReader) fill(c *ingestChunk) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return false
+	}
+	want := len(c.reqs)
+	if r.max > 0 {
+		if left := r.max - int(r.read); left < want {
+			want = left
+		}
+	}
+	if want <= 0 {
+		r.done = true
+		return false
+	}
+	n := r.src.NextBatch(c.reqs[:want])
+	if n == 0 {
+		r.done = true
+		return false
+	}
+	c.n = n
+	c.seq = r.seq
+	c.base = r.read
+	r.seq++
+	r.read += uint64(n)
+	return true
+}
+
+// routeChunk pre-routes one chunk: a stable counting sort by routing
+// unit over the chunk's requests, writing the grouped, sequence-stamped
+// form into c.perm and the group index into c.runs. counts is the
+// router's reusable per-unit scratch (len == e.units). Pure computation
+// on chunk-private buffers — safe to run on many routers at once.
+func (e *Engine) routeChunk(c *ingestChunk, counts []int32) {
+	reqs := c.reqs[:c.n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range reqs {
+		u := int32(e.routeOf(reqs[i].Addr))
+		c.units[i] = u
+		counts[u]++
+	}
+	c.runs = c.runs[:0]
+	off := int32(0)
+	for u := range counts {
+		if counts[u] == 0 {
+			continue
+		}
+		start := off
+		off += counts[u]
+		c.runs = append(c.runs, unitRun{unit: int32(u), start: start, end: off})
+		counts[u] = start // becomes the placement cursor below
+	}
+	perm := c.perm[:len(reqs)]
+	for i := range reqs {
+		u := c.units[i]
+		perm[counts[u]] = routedReq{seq: c.base + uint64(i), req: reqs[i]}
+		counts[u]++
+	}
+}
+
+// assembleChunk folds one routed chunk into the dispatcher state,
+// reproducing exactly what the classic loop would have done for the
+// same requests: per unit, append into the pending buffer and hand off
+// every time it reaches unitBatch. Called in strict chunk-sequence
+// order on the Run goroutine only.
+func (e *Engine) assembleChunk(c *ingestChunk, chans []chan batch, pending, ready []*[]routedReq) {
+	for _, run := range c.runs {
+		u := int(run.unit)
+		sub := c.perm[run.start:run.end]
+		for len(sub) > 0 {
+			p := pending[u]
+			if p == nil {
+				p = e.getBuf()
+				pending[u] = p
+			}
+			take := unitBatch - len(*p)
+			if take > len(sub) {
+				take = len(sub)
+			}
+			*p = append(*p, sub[:take]...)
+			sub = sub[take:]
+			if len(*p) == unitBatch {
+				e.handOff(chans[u%e.workers], ready, u, p)
+				pending[u] = nil
+			}
+		}
+	}
+}
+
+// dispatchIngest is the ingest-stage replacement for the classic
+// dispatch loop inside Run: it spawns the routers, then reassembles
+// routed chunks in order into the shared pending/ready state. It
+// returns the number of requests dispatched. On a failure the routers
+// stop pulling new chunks, but every chunk already read is still
+// routed, reassembled and dispatched — the flush in Run then guarantees
+// the globally-earliest failing request is applied, exactly like the
+// classic path.
+func (e *Engine) dispatchIngest(src trace.BatchSource, max int, chans []chan batch,
+	pending, ready []*[]routedReq, failed *atomic.Bool, start time.Time) uint64 {
+	inflight := cap(e.freeChunks)
+	routedCh := make(chan *ingestChunk, inflight)
+	rd := &ingestReader{src: src, max: max}
+	var rwg sync.WaitGroup
+	for r := 0; r < e.ingest; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			counts := make([]int32, e.units)
+			for !failed.Load() {
+				c := <-e.freeChunks
+				if !rd.fill(c) {
+					e.freeChunks <- c
+					return
+				}
+				e.routeChunk(c, counts)
+				routedCh <- c
+			}
+		}()
+	}
+	go func() { rwg.Wait(); close(routedCh) }()
+
+	var (
+		dispatched uint64
+		next       int
+		hold       = make([]*ingestChunk, inflight)
+		lastTick   = start
+		interval   = e.opts.ProgressInterval
+		queue      []int
+	)
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	for c := range routedCh {
+		// The chunk pool bounds in-flight chunk sequences to a window
+		// smaller than the ring, so seq%inflight slots never collide.
+		hold[c.seq%inflight] = c
+		for {
+			h := hold[next%inflight]
+			if h == nil {
+				break
+			}
+			hold[next%inflight] = nil
+			e.assembleChunk(h, chans, pending, ready)
+			dispatched += uint64(h.n)
+			h.n = 0
+			e.freeChunks <- h
+			next++
+			if e.opts.Progress != nil {
+				if now := time.Now(); now.Sub(lastTick) >= interval {
+					lastTick = now
+					if queue == nil {
+						queue = make([]int, e.workers)
+					}
+					for i, ch := range chans {
+						queue[i] = len(ch)
+					}
+					e.opts.Progress(Progress{
+						Dispatched: dispatched,
+						Elapsed:    now.Sub(start),
+						Workers:    e.workers,
+						QueueDepth: queue,
+					})
+				}
+			}
+		}
+	}
+	return dispatched
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wlcrc/internal/trace"
+)
+
+// nextOnlySource hides SliceSource's NextBatch so a test can force the
+// trace.Batched adapter path — the one a legacy Source takes through the
+// ingest stage.
+type nextOnlySource struct{ src *trace.SliceSource }
+
+func (s nextOnlySource) Next() (trace.Request, bool) { return s.src.Next() }
+
+// ingestTraceFile records a fixed trace to a real on-disk file (so the
+// header count is back-patched) and returns its path alongside the
+// in-memory SliceSource it was recorded from.
+func ingestTraceFile(t *testing.T, n int) (string, *trace.SliceSource) {
+	t.Helper()
+	src := fixedTrace(t, "gcc", 512, n, 17)
+	path := filepath.Join(t.TempDir(), "ingest.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src.Rewind()
+	return path, src
+}
+
+// TestIngestSourceKindsBitIdentical is the acceptance matrix across
+// source types: the same trace replayed through a legacy Source (via the
+// Batched adapter), a batch-decoding ReaderSource, and a MappedSource
+// must produce bit-identical Metrics and Snapshot for every combination
+// of worker and ingest-router counts — all equal to the serial,
+// ingest-off reference run.
+func TestIngestSourceKindsBitIdentical(t *testing.T) {
+	const n = 3000
+	path, slice := ingestTraceFile(t, n)
+	sources := map[string]func(t *testing.T) trace.Source{
+		"legacy-source": func(t *testing.T) trace.Source {
+			slice.Rewind()
+			return nextOnlySource{src: slice}
+		},
+		"batch-source": func(t *testing.T) trace.Source {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { f.Close() })
+			r, err := trace.NewReader(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return &trace.ReaderSource{R: r}
+		},
+		"mapped-source": func(t *testing.T) trace.Source {
+			m, err := trace.OpenMapped(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { m.Close() })
+			return m
+		},
+	}
+	run := func(t *testing.T, src trace.Source, workers, ingest int) ([]Metrics, []Metrics) {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		opts.IngestRouters = ingest
+		opts.TrackWear = true
+		e := NewEngine(opts, schemesForTest(t, engineSchemeNames...)...)
+		if e.IngestRouters() != max(ingest, 0) {
+			t.Fatalf("IngestRouters() = %d, want %d", e.IngestRouters(), max(ingest, 0))
+		}
+		if err := e.Run(src, 0); err != nil {
+			t.Fatal(err)
+		}
+		return e.Metrics(), e.Snapshot()
+	}
+	slice.Rewind()
+	wantMetrics, wantSnap := run(t, slice, 1, -1)
+	if wantMetrics[0].Writes != n {
+		t.Fatalf("reference run replayed %d writes, want %d", wantMetrics[0].Writes, n)
+	}
+	for name, open := range sources {
+		t.Run(name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				for _, ingest := range []int{1, 3} {
+					gotMetrics, gotSnap := run(t, open(t), workers, ingest)
+					if !reflect.DeepEqual(wantMetrics, gotMetrics) {
+						t.Errorf("workers=%d ingest=%d: Metrics differ from serial reference",
+							workers, ingest)
+					}
+					if !reflect.DeepEqual(wantSnap, gotSnap) {
+						t.Errorf("workers=%d ingest=%d: Snapshot differs from serial reference",
+							workers, ingest)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIngestRunMaxLimit checks the max-request budget is enforced by the
+// chunk reader exactly (the budget is clipped per fill, not rounded to a
+// chunk boundary) — including a limit below one chunk and one that does
+// not divide the chunk size.
+func TestIngestRunMaxLimit(t *testing.T) {
+	for _, limit := range []int{100, ingestChunkCap + 37} {
+		src := fixedTrace(t, "mcf", 256, 2*ingestChunkCap, 2)
+		opts := DefaultOptions()
+		opts.IngestRouters = 2
+		e := NewEngine(opts, schemesForTest(t, "Baseline")...)
+		if err := e.Run(src, limit); err != nil {
+			t.Fatal(err)
+		}
+		if m := e.Metrics()[0]; m.Writes != limit {
+			t.Errorf("max=%d: writes = %d", limit, m.Writes)
+		}
+	}
+}
+
+// TestIngestVerifyErrorDeterministic extends the earliest-failure
+// guarantee to the ingest path: with routers racing over chunks, the
+// reported error must still be the globally-first failing request, run
+// after run, for every router and worker count.
+func TestIngestVerifyErrorDeterministic(t *testing.T) {
+	run := func(workers, ingest int) string {
+		src := fixedTrace(t, "gcc", 128, 500, 3)
+		opts := DefaultOptions()
+		opts.Workers = workers
+		opts.IngestRouters = ingest
+		e := NewEngine(opts, brokenScheme{})
+		err := e.Run(src, 0)
+		if err == nil {
+			t.Fatal("broken scheme did not surface a decode error")
+		}
+		if !strings.Contains(err.Error(), "decode mismatch") {
+			t.Fatalf("err = %v, want decode mismatch", err)
+		}
+		return err.Error()
+	}
+	serialErr := run(1, -1)
+	for _, workers := range []int{1, 2, 8} {
+		for _, ingest := range []int{1, 3} {
+			for round := 0; round < 3; round++ {
+				if gotErr := run(workers, ingest); gotErr != serialErr {
+					t.Errorf("workers=%d ingest=%d reported %q, serial reported %q",
+						workers, ingest, gotErr, serialErr)
+				}
+			}
+		}
+	}
+}
+
+// TestIngestSteadyStateAllocs is the ingest counterpart of
+// TestDispatcherSteadyStateAllocs: after a warm-up Run has filled the
+// shard memory, the batch-buffer pool and the chunk pool, a whole
+// second Run through the chunk routers amortizes to (near) zero
+// allocations per request — only the fixed per-Run setup (channels,
+// router and worker goroutines, per-router scratch) remains.
+func TestIngestSteadyStateAllocs(t *testing.T) {
+	const reqs = 8192
+	opts := DefaultOptions()
+	opts.Verify = false
+	opts.Workers = 2
+	opts.IngestRouters = 2
+	e := NewEngine(opts, schemesForTest(t, "Baseline")...)
+	src := fixedTrace(t, "gcc", 256, reqs, 13)
+	if err := e.Run(src, 0); err != nil { // warm up memory, pools, histograms
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		src.Rewind()
+		if err := e.Run(src, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perReq := allocs / reqs; perReq > 0.01 {
+		t.Errorf("ingest dispatcher allocates %.4f objects per request (%.0f per run), want ~0",
+			perReq, allocs)
+	}
+}
+
+// TestResolveIngestRouters pins the Options.IngestRouters resolution
+// rule: negative disables, zero auto-sizes by CPU count (off on one
+// CPU), positive is taken verbatim.
+func TestResolveIngestRouters(t *testing.T) {
+	cases := []struct{ opt, cpus, want int }{
+		{-1, 8, 0},
+		{0, 1, 0},
+		{0, 2, 2},
+		{0, 16, ingestAutoMax},
+		{3, 1, 3},
+		{7, 16, 7},
+	}
+	for _, c := range cases {
+		if got := resolveIngestRouters(c.opt, c.cpus); got != c.want {
+			t.Errorf("resolveIngestRouters(%d, %d) = %d, want %d", c.opt, c.cpus, got, c.want)
+		}
+	}
+}

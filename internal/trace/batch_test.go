@@ -1,0 +1,462 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wlcrc/internal/prng"
+)
+
+// testTraceImage builds an in-memory trace image of n random records and
+// returns it alongside the records themselves.
+func testTraceImage(t testing.TB, n int, seed uint64) ([]byte, []Request) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(seed)
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i].Addr = uint64(r.Intn(1 << 24))
+		r.Fill(reqs[i].Old[:])
+		r.Fill(reqs[i].New[:])
+		if err := w.Write(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), reqs
+}
+
+// readAll drains a reader through Read, for equivalence baselines.
+func readAll(t *testing.T, rd *Reader) []Request {
+	t.Helper()
+	var out []Request
+	for {
+		req, err := rd.Read()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, req)
+	}
+}
+
+// TestReadBatchMatchesRead pins the equivalence contract: for any batch
+// size — dividing the stream or not, including a batch bigger than the
+// whole stream — ReadBatch must deliver the byte-exact sequence Read
+// does, ending with (0, io.EOF).
+func TestReadBatchMatchesRead(t *testing.T) {
+	const n = 157
+	image, want := testTraceImage(t, n, 3)
+	for _, size := range []int{1, 7, 64, n, n + 50} {
+		rd, err := NewReader(bytes.NewReader(image))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Request
+		dst := make([]Request, size)
+		for {
+			k, err := rd.ReadBatch(dst)
+			got = append(got, dst[:k]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("batch=%d after %d records: %v", size, len(got), err)
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("batch=%d decoded %d records, want %d", size, len(got), n)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("batch=%d record %d differs from Read sequence", size, i)
+			}
+		}
+	}
+}
+
+// TestReadBatchShortFinalBatch pins the tail contract: a batch size that
+// does not divide the stream gets a short final fill with a nil error,
+// and only the following call reports (0, io.EOF).
+func TestReadBatchShortFinalBatch(t *testing.T) {
+	image, want := testTraceImage(t, 10, 5)
+	rd, err := NewReader(bytes.NewReader(image))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Request, 4)
+	for _, wantN := range []int{4, 4} {
+		n, err := rd.ReadBatch(dst)
+		if n != wantN || err != nil {
+			t.Fatalf("full batch: got (%d, %v), want (%d, nil)", n, err, wantN)
+		}
+	}
+	n, err := rd.ReadBatch(dst)
+	if n != 2 || err != nil {
+		t.Fatalf("short final batch: got (%d, %v), want (2, nil)", n, err)
+	}
+	if dst[0] != want[8] || dst[1] != want[9] {
+		t.Error("short final batch decoded wrong records")
+	}
+	if n, err := rd.ReadBatch(dst); n != 0 || err != io.EOF {
+		t.Fatalf("post-EOF call: got (%d, %v), want (0, io.EOF)", n, err)
+	}
+}
+
+// TestReadBatchMixedWithRead checks the two decode paths share one
+// stream position: alternating Read and ReadBatch walks the same
+// sequence with no records skipped or repeated.
+func TestReadBatchMixedWithRead(t *testing.T) {
+	image, want := testTraceImage(t, 20, 9)
+	rd, err := NewReader(bytes.NewReader(image))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Request
+	dst := make([]Request, 3)
+	for len(got) < 20 {
+		if len(got)%2 == 0 {
+			req, err := rd.Read()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, req)
+		} else {
+			n, err := rd.ReadBatch(dst)
+			if err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			got = append(got, dst[:n]...)
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs when mixing Read and ReadBatch", i)
+		}
+	}
+}
+
+// TestReadBatchTruncatedRecord pins the tear contract: a stream cut
+// mid-record yields every complete record plus the same truncation
+// error Read reports, wrapping io.ErrUnexpectedEOF.
+func TestReadBatchTruncatedRecord(t *testing.T) {
+	image, want := testTraceImage(t, 5, 11)
+	torn := image[:len(image)-RecordSize/2]
+	rd, err := NewReader(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Request, 8)
+	n, err := rd.ReadBatch(dst)
+	if n != 4 {
+		t.Fatalf("decoded %d complete records, want 4", n)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF wrap", err)
+	}
+	for i := 0; i < n; i++ {
+		if dst[i] != want[i] {
+			t.Fatalf("record %d corrupted by the torn tail", i)
+		}
+	}
+}
+
+// TestMappedSourceMatchesReader is the zero-copy equivalence net: over
+// the same image, MappedSource must deliver the byte-exact Read
+// sequence through Next and through NextBatch at any batch size, report
+// the header count and the true record count, and support Rewind.
+func TestMappedSourceMatchesReader(t *testing.T) {
+	const n = 100
+	image, _ := testTraceImage(t, n, 17)
+	rd, err := NewReader(bytes.NewReader(image))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := readAll(t, rd)
+
+	m, err := NewMappedBytes(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 0 {
+		t.Errorf("streamed image header count = %d, want 0 (unknown)", m.Count())
+	}
+	if m.Records() != n {
+		t.Errorf("Records() = %d, want %d", m.Records(), n)
+	}
+	var got []Request
+	for {
+		req, ok := m.Next()
+		if !ok {
+			break
+		}
+		got = append(got, req)
+	}
+	if len(got) != n {
+		t.Fatalf("Next drained %d records, want %d", len(got), n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Next record %d differs from Reader", i)
+		}
+	}
+	for _, size := range []int{1, 9, n, n + 13} {
+		m.Rewind()
+		got = got[:0]
+		dst := make([]Request, size)
+		for {
+			k := m.NextBatch(dst)
+			if k == 0 {
+				break
+			}
+			got = append(got, dst[:k]...)
+		}
+		if len(got) != n {
+			t.Fatalf("batch=%d drained %d records, want %d", size, len(got), n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch=%d record %d differs from Reader", size, i)
+			}
+		}
+	}
+	if m.Err() != nil {
+		t.Errorf("Err = %v on a clean image", m.Err())
+	}
+}
+
+// TestMappedSourceTruncatedRecord mirrors the Reader's tear handling:
+// the complete records are served, Err reports the truncation (wrapping
+// io.ErrUnexpectedEOF), and Records excludes the torn tail.
+func TestMappedSourceTruncatedRecord(t *testing.T) {
+	image, want := testTraceImage(t, 6, 21)
+	m, err := NewMappedBytes(image[:len(image)-10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Records() != 5 {
+		t.Errorf("Records() = %d, want 5 complete records", m.Records())
+	}
+	if !errors.Is(m.Err(), io.ErrUnexpectedEOF) {
+		t.Errorf("Err = %v, want io.ErrUnexpectedEOF wrap", m.Err())
+	}
+	dst := make([]Request, 8)
+	n := m.NextBatch(dst)
+	if n != 5 {
+		t.Fatalf("NextBatch = %d, want 5", n)
+	}
+	for i := 0; i < n; i++ {
+		if dst[i] != want[i] {
+			t.Fatalf("record %d corrupted by the torn tail", i)
+		}
+	}
+}
+
+// TestMappedSourceRejectsBadImages covers header validation parity with
+// NewReader.
+func TestMappedSourceRejectsBadImages(t *testing.T) {
+	if _, err := NewMappedBytes([]byte("WL")); err == nil {
+		t.Error("accepted a sub-header image")
+	}
+	if _, err := NewMappedBytes([]byte("NOPE000000000000")); err != ErrBadMagic {
+		t.Errorf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+	bad := []byte(Magic + "\x09\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00")
+	if _, err := NewMappedBytes(bad); err == nil {
+		t.Error("accepted an unsupported version")
+	}
+}
+
+// TestOpenMapped exercises the real-file path: the back-patched header
+// count is visible, the replay matches the writer's records, Rewind
+// works after Close-free reuse, and Close releases the source.
+func TestOpenMapped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mapped.wlct")
+	image, want := testTraceImage(t, 42, 29)
+	// Write through a real file so Close back-patches the count.
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range want {
+		if err := w.Write(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = image
+
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 42 || m.Records() != 42 {
+		t.Errorf("Count = %d, Records = %d, want 42, 42", m.Count(), m.Records())
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := range want {
+			req, ok := m.Next()
+			if !ok {
+				t.Fatalf("pass %d: stream ended at record %d", pass, i)
+			}
+			if req != want[i] {
+				t.Fatalf("pass %d: record %d mismatch", pass, i)
+			}
+		}
+		if _, ok := m.Next(); ok {
+			t.Fatalf("pass %d: stream did not end after 42 records", pass)
+		}
+		m.Rewind()
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+// TestOpenMappedRejectsTinyFile pins the pre-map size check.
+func TestOpenMappedRejectsTinyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.wlct")
+	if err := os.WriteFile(path, []byte("WLCT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(path); err == nil {
+		t.Error("accepted a file smaller than the header")
+	}
+}
+
+// legacySource is a Source that deliberately does not implement
+// BatchSource, for adapter tests.
+type legacySource struct{ reqs []Request }
+
+func (s *legacySource) Next() (Request, bool) {
+	if len(s.reqs) == 0 {
+		return Request{}, false
+	}
+	r := s.reqs[0]
+	s.reqs = s.reqs[1:]
+	return r, true
+}
+
+// TestBatched pins the adapter contract: a BatchSource passes through
+// unchanged, a legacy Source gets a Next-loop adapter that fills full
+// batches, short final batches, then 0.
+func TestBatched(t *testing.T) {
+	ss := &SliceSource{Reqs: make([]Request, 3)}
+	if got := Batched(ss); got != BatchSource(ss) {
+		t.Error("Batched re-wrapped a source that already implements BatchSource")
+	}
+
+	reqs := make([]Request, 5)
+	for i := range reqs {
+		reqs[i].Addr = uint64(i)
+	}
+	bs := Batched(&legacySource{reqs: reqs})
+	dst := make([]Request, 3)
+	if n := bs.NextBatch(dst); n != 3 || dst[2].Addr != 2 {
+		t.Fatalf("first batch = %d (last addr %d), want 3 (addr 2)", n, dst[2].Addr)
+	}
+	if n := bs.NextBatch(dst); n != 2 || dst[1].Addr != 4 {
+		t.Fatalf("short batch = %d, want 2 ending at addr 4", n)
+	}
+	if n := bs.NextBatch(dst); n != 0 {
+		t.Fatalf("post-end batch = %d, want 0", n)
+	}
+}
+
+// TestSliceSourceNextBatch covers the bulk copy path and its interplay
+// with Next and Rewind.
+func TestSliceSourceNextBatch(t *testing.T) {
+	reqs := make([]Request, 7)
+	for i := range reqs {
+		reqs[i].Addr = uint64(i)
+	}
+	s := &SliceSource{Reqs: reqs}
+	if req, ok := s.Next(); !ok || req.Addr != 0 {
+		t.Fatal("Next did not yield record 0")
+	}
+	dst := make([]Request, 4)
+	if n := s.NextBatch(dst); n != 4 || dst[0].Addr != 1 || dst[3].Addr != 4 {
+		t.Fatalf("NextBatch after Next: n=%d dst[0]=%d", n, dst[0].Addr)
+	}
+	if n := s.NextBatch(dst); n != 2 || dst[1].Addr != 6 {
+		t.Fatalf("tail NextBatch: n=%d", n)
+	}
+	if n := s.NextBatch(dst); n != 0 {
+		t.Fatalf("post-end NextBatch: n=%d, want 0", n)
+	}
+	s.Rewind()
+	if n := s.NextBatch(dst); n != 4 || dst[0].Addr != 0 {
+		t.Fatal("Rewind did not restart the batch stream")
+	}
+}
+
+// TestRecordPreallocatesFromCount pins the satellite contract: Record
+// over a source with a real declared count allocates the slice in one
+// shot (capacity equals the recorded length, clamped by n), while a
+// zero count means unknown and the slice grows as it drains.
+func TestRecordPreallocatesFromCount(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "count.wlct")
+	_, want := testTraceImage(t, 300, 31)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range want {
+		if err := w.Write(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s := Record(m, 0)
+	if len(s.Reqs) != 300 || cap(s.Reqs) != 300 {
+		t.Errorf("counted source: len=%d cap=%d, want exactly 300", len(s.Reqs), cap(s.Reqs))
+	}
+	for i := range want {
+		if s.Reqs[i] != want[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	m.Rewind()
+	if s := Record(m, 120); len(s.Reqs) != 120 || cap(s.Reqs) != 120 {
+		t.Errorf("clamped record: len=%d cap=%d, want exactly 120", len(s.Reqs), cap(s.Reqs))
+	}
+}

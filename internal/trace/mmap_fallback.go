@@ -1,0 +1,24 @@
+//go:build !unix || wlcrc_nommap
+
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile is the portable fallback for platforms without mmap (or any
+// build with -tags wlcrc_nommap): the file is loaded into memory with
+// one bulk read. The nil release function tells MappedSource it owns a
+// plain heap copy — Mapped() reports false, and Close is a no-op — but
+// the decode path and every stream semantic are identical to the mmap
+// build, which is exactly what the cross-build equivalence tests pin.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	n, err := io.ReadFull(f, data)
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		// The file shrank between Stat and read; serve what is there.
+		return data[:n], nil, nil
+	}
+	return data[:n], nil, err
+}

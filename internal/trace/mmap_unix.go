@@ -1,0 +1,22 @@
+//go:build unix && !wlcrc_nommap
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps size bytes of f read-only and returns the mapping
+// with its release function. The mapping is independent of the file
+// descriptor's lifetime, so the caller may close f immediately.
+//
+// Build the portable fallback instead with -tags wlcrc_nommap (or on
+// any non-unix platform, automatically).
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -28,6 +28,17 @@ const Magic = "WLCT"
 // Version is the current format version.
 const Version = 1
 
+// HeaderSize is the byte length of the fixed file header (magic,
+// version, count), and RecordSize of one fixed-width record (addr +
+// old line + new line). Every record starts at
+// HeaderSize + i*RecordSize, which is what lets MappedSource decode by
+// sub-slicing a mapping and Reader.ReadBatch decode many records per
+// read.
+const (
+	HeaderSize = 16
+	RecordSize = 8 + 2*memline.LineBytes
+)
+
 // Request is one memory write transaction.
 type Request struct {
 	Addr uint64       // line address (line index, not byte address)
@@ -120,6 +131,10 @@ type Reader struct {
 	r     *bufio.Reader
 	count uint64 // from header; 0 = unknown
 	read  uint64
+	// batchBuf is ReadBatch's reusable raw-record staging buffer; it
+	// grows to the largest batch requested and is then reused, so a
+	// steady ReadBatch loop performs no per-call allocations.
+	batchBuf []byte
 }
 
 // ErrBadMagic is returned when the stream is not a trace file.
@@ -142,13 +157,25 @@ func NewReader(r io.Reader) (*Reader, error) {
 }
 
 // Count returns the record count declared in the header; 0 means the
-// producer streamed to an unseekable destination and the count is
-// unknown.
+// producer streamed to an unseekable destination (tracegen -out -, a
+// pipe) and the count is unknown — NOT that the trace is empty. A zero
+// count must never be trusted as a length: consumers that want to
+// preallocate should treat 0 as "size unknown" and fall back to
+// growing as they read (Record does exactly that). Non-zero counts are
+// back-patched by Writer.Close and are authoritative.
 func (r *Reader) Count() uint64 { return r.count }
+
+// decodeRecord decodes one fixed-width record from rec into req.
+// rec must hold at least RecordSize bytes.
+func decodeRecord(rec []byte, req *Request) {
+	req.Addr = binary.LittleEndian.Uint64(rec[0:8])
+	copy(req.Old[:], rec[8:8+memline.LineBytes])
+	copy(req.New[:], rec[8+memline.LineBytes:RecordSize])
+}
 
 // Read returns the next request, or io.EOF at end of stream.
 func (r *Reader) Read() (Request, error) {
-	var rec [8 + 2*memline.LineBytes]byte
+	var rec [RecordSize]byte
 	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
 		if err == io.EOF {
 			return Request{}, io.EOF
@@ -159,11 +186,53 @@ func (r *Reader) Read() (Request, error) {
 		return Request{}, err
 	}
 	var req Request
-	req.Addr = binary.LittleEndian.Uint64(rec[0:8])
-	copy(req.Old[:], rec[8:8+memline.LineBytes])
-	copy(req.New[:], rec[8+memline.LineBytes:])
+	decodeRecord(rec[:], &req)
 	r.read++
 	return req, nil
+}
+
+// ReadBatch decodes up to len(dst) records in one bulk read and returns
+// how many landed in dst. One io.ReadFull covers the whole batch —
+// large batches bypass the bufio layer and go to the underlying reader
+// directly — so the per-record syscall and bounds-check overhead of the
+// record-at-a-time Read loop is amortized over the batch.
+//
+// The error contract follows io conventions: a short final batch
+// returns n > 0 with a nil error, the next call returns (0, io.EOF);
+// a stream ending mid-record returns the full records decoded before
+// the tear together with the same truncated-record error Read reports.
+// Read and ReadBatch may be mixed freely on one Reader.
+func (r *Reader) ReadBatch(dst []Request) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	need := len(dst) * RecordSize
+	if cap(r.batchBuf) < need {
+		r.batchBuf = make([]byte, need)
+	}
+	buf := r.batchBuf[:need]
+	n, err := io.ReadFull(r.r, buf)
+	nrec := n / RecordSize
+	for i := 0; i < nrec; i++ {
+		decodeRecord(buf[i*RecordSize:], &dst[i])
+	}
+	r.read += uint64(nrec)
+	switch {
+	case err == nil:
+		return nrec, nil
+	case err == io.EOF:
+		return 0, io.EOF
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		if n%RecordSize != 0 {
+			return nrec, fmt.Errorf("trace: truncated record: %w", io.ErrUnexpectedEOF)
+		}
+		if nrec == 0 {
+			return 0, io.EOF
+		}
+		return nrec, nil
+	default:
+		return nrec, err
+	}
 }
 
 // Source is anything that yields a stream of write requests: a trace
@@ -173,8 +242,57 @@ type Source interface {
 	Next() (Request, bool)
 }
 
-// ReaderSource adapts a Reader to the Source interface, stopping at EOF
-// or on the first error (exposed via Err).
+// BatchSource is the bulk form of Source: NextBatch fills a prefix of
+// dst and returns how many requests landed there. It returns 0 only at
+// the end of the stream; a short fill (0 < n < len(dst)) is legal
+// mid-stream, so consumers must keep pulling until 0. Implementations
+// must yield the exact same request sequence through NextBatch as
+// through Next, and the two may be mixed on one source.
+//
+// Migration note (Source vs BatchSource): Source stays the universal
+// interface — everything that consumes a stream keeps accepting it, and
+// Batched upgrades any legacy Source for free. New sources should
+// implement both (NextBatch as the native loop, Next as the one-element
+// special case): batch consumers like the sim engine's parallel ingest
+// stage detect BatchSource dynamically and fall back to the adapter,
+// which preserves results exactly but keeps the per-request interface
+// call on the hot path.
+type BatchSource interface {
+	Source
+	NextBatch(dst []Request) int
+}
+
+// Batched returns src as a BatchSource: sources that already implement
+// the bulk interface are returned unchanged, anything else is wrapped
+// in an adapter whose NextBatch is a plain Next loop. The adapter adds
+// no buffering and never reads ahead of what it returns, so wrapping a
+// partially-consumed source is safe.
+func Batched(src Source) BatchSource {
+	if bs, ok := src.(BatchSource); ok {
+		return bs
+	}
+	return &sourceBatcher{Source: src}
+}
+
+// sourceBatcher adapts a legacy Source to BatchSource.
+type sourceBatcher struct {
+	Source
+}
+
+// NextBatch implements BatchSource by looping Next.
+func (s *sourceBatcher) NextBatch(dst []Request) int {
+	for i := range dst {
+		req, ok := s.Next()
+		if !ok {
+			return i
+		}
+		dst[i] = req
+	}
+	return len(dst)
+}
+
+// ReaderSource adapts a Reader to the Source and BatchSource
+// interfaces, stopping at EOF or on the first error (exposed via Err).
 type ReaderSource struct {
 	R   *Reader
 	err error
@@ -191,6 +309,23 @@ func (s *ReaderSource) Next() (Request, bool) {
 	}
 	return req, true
 }
+
+// NextBatch implements BatchSource via Reader.ReadBatch, decoding many
+// records per underlying read.
+func (s *ReaderSource) NextBatch(dst []Request) int {
+	if s.err != nil {
+		return 0
+	}
+	n, err := s.R.ReadBatch(dst)
+	if err != nil && err != io.EOF {
+		s.err = err
+	}
+	return n
+}
+
+// Count reports the header's declared record count; 0 means unknown
+// (streamed), never "empty" — see Reader.Count.
+func (s *ReaderSource) Count() uint64 { return s.R.Count() }
 
 // Err reports a non-EOF read error, if any occurred.
 func (s *ReaderSource) Err() error { return s.err }
@@ -214,14 +349,77 @@ func (s *SliceSource) Next() (Request, bool) {
 	return r, true
 }
 
+// NextBatch implements BatchSource as a single bulk copy.
+func (s *SliceSource) NextBatch(dst []Request) int {
+	n := copy(dst, s.Reqs[s.next:])
+	s.next += n
+	return n
+}
+
 // Rewind restarts the stream from the first request.
 func (s *SliceSource) Rewind() { s.next = 0 }
 
+// recordGrain is Record's per-pull batch size on bulk sources: big
+// enough to amortize the NextBatch call, small enough that the final
+// short pull wastes little zeroed tail.
+const recordGrain = 512
+
 // Record drains up to n requests from src into a new SliceSource
 // (n <= 0 drains src completely — do not use that with an infinite
-// synthetic generator).
+// synthetic generator). Sources that declare a real record count — a
+// ReaderSource over a back-patched trace file, a MappedSource — are
+// preallocated in one shot; a zero count means unknown, not empty (see
+// Reader.Count), so those sources grow as they drain. Bulk sources are
+// drained through NextBatch.
 func Record(src Source, n int) *SliceSource {
 	var reqs []Request
+	if c, ok := src.(interface{ Count() uint64 }); ok {
+		if cnt := c.Count(); cnt > 0 {
+			if n > 0 && uint64(n) < cnt {
+				cnt = uint64(n)
+			}
+			reqs = make([]Request, 0, cnt)
+		}
+	}
+	if bs, ok := src.(BatchSource); ok {
+		if reqs == nil {
+			reqs = make([]Request, 0, recordGrain)
+		}
+		var scratch []Request
+		for n <= 0 || len(reqs) < n {
+			grain := recordGrain
+			if n > 0 && n-len(reqs) < grain {
+				grain = n - len(reqs)
+			}
+			off := len(reqs)
+			room := cap(reqs) - off
+			if room == 0 {
+				// Capacity exactly spent — probe through a scratch buffer
+				// before growing, so a source whose declared count was
+				// exact (the preallocated fast path) ends with no
+				// pointless doubling; only a source that outgrows its
+				// count pays the append copy.
+				if scratch == nil {
+					scratch = make([]Request, recordGrain)
+				}
+				got := bs.NextBatch(scratch[:grain])
+				if got == 0 {
+					break
+				}
+				reqs = append(reqs, scratch[:got]...)
+				continue
+			}
+			if grain > room {
+				grain = room
+			}
+			got := bs.NextBatch(reqs[off : off+grain])
+			reqs = reqs[:off+got]
+			if got == 0 {
+				break
+			}
+		}
+		return &SliceSource{Reqs: reqs}
+	}
 	for n <= 0 || len(reqs) < n {
 		req, ok := src.Next()
 		if !ok {

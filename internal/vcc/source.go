@@ -78,3 +78,27 @@ func (s *EncryptSource) Next() (trace.Request, bool) {
 	s.E.Apply(&req)
 	return req, true
 }
+
+// NextBatch implements trace.BatchSource: the wrapped source's batch
+// fill (its own batch path when it has one) plus one in-place whitening
+// pass per request. Counters advance in stream order, so the ciphertext
+// is bit-identical to draining the same stream through Next.
+func (s *EncryptSource) NextBatch(dst []trace.Request) int {
+	var n int
+	if bs, ok := s.Src.(trace.BatchSource); ok {
+		n = bs.NextBatch(dst)
+	} else {
+		for n < len(dst) {
+			req, ok := s.Src.Next()
+			if !ok {
+				break
+			}
+			dst[n] = req
+			n++
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.E.Apply(&dst[i])
+	}
+	return n
+}

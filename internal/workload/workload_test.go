@@ -6,6 +6,7 @@ import (
 	"wlcrc/internal/compress"
 	"wlcrc/internal/memline"
 	"wlcrc/internal/prng"
+	"wlcrc/internal/trace"
 )
 
 func TestProfilesWellFormed(t *testing.T) {
@@ -293,5 +294,77 @@ func TestDescribe(t *testing.T) {
 	s := Describe(p)
 	if s == "" || s[:4] != "lesl" {
 		t.Errorf("Describe = %q", s)
+	}
+}
+
+// TestGeneratorNextBatchMatchesNext pins the bulk-generation contract:
+// NextBatch must draw the exact request sequence Next does (same PRNG
+// consumption, same line-state evolution), with every field of recycled
+// destination slots overwritten.
+func TestGeneratorNextBatchMatchesNext(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	ref := NewGenerator(p, 128, 7)
+	bulk := NewGenerator(p, 128, 7)
+	const total, batch = 1024, 64
+	want := make([]trace.Request, total)
+	for i := range want {
+		want[i], _ = ref.Next()
+	}
+	got := make([]trace.Request, batch)
+	for i := range got {
+		// Poison the buffer: stale content must never leak into results.
+		got[i].Addr = ^uint64(0)
+		for j := range got[i].Old {
+			got[i].Old[j] = 0xAA
+		}
+	}
+	for off := 0; off < total; off += batch {
+		if n := bulk.NextBatch(got); n != batch {
+			t.Fatalf("NextBatch = %d, want %d (stream is infinite)", n, batch)
+		}
+		for i := range got {
+			if got[i] != want[off+i] {
+				t.Fatalf("request %d differs between Next and NextBatch", off+i)
+			}
+		}
+	}
+}
+
+// TestLimitedNextBatch pins the batch budget: fills clip to the
+// remaining limit, drain to 0, and match the per-request path.
+func TestLimitedNextBatch(t *testing.T) {
+	p, _ := ProfileByName("mcf")
+	ref := &Limited{Src: NewGenerator(p, 64, 3), N: 10}
+	var want []trace.Request
+	for {
+		req, ok := ref.Next()
+		if !ok {
+			break
+		}
+		want = append(want, req)
+	}
+	if len(want) != 10 {
+		t.Fatalf("reference drained %d requests, want 10", len(want))
+	}
+	lim := &Limited{Src: NewGenerator(p, 64, 3), N: 10}
+	dst := make([]trace.Request, 4)
+	var got []trace.Request
+	for {
+		n := lim.NextBatch(dst)
+		if n == 0 {
+			break
+		}
+		got = append(got, dst[:n]...)
+	}
+	if len(got) != 10 {
+		t.Fatalf("batch path drained %d requests, want 10", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("request %d differs between Next and NextBatch", i)
+		}
+	}
+	if n := lim.NextBatch(dst); n != 0 {
+		t.Errorf("exhausted Limited returned %d", n)
 	}
 }

@@ -145,3 +145,73 @@ func TestWorkloadEncryptConflictingKeyPanics(t *testing.T) {
 	}()
 	w.Encrypt(2)
 }
+
+// TestWorkloadNextBatchMatchesNext pins the public bulk-draw API:
+// NextBatch must yield the exact sequence Next does, plaintext and
+// encrypted alike.
+func TestWorkloadNextBatchMatchesNext(t *testing.T) {
+	for _, encrypted := range []bool{false, true} {
+		name := "plain"
+		if encrypted {
+			name = "encrypted"
+		}
+		t.Run(name, func(t *testing.T) {
+			mk := func() *wlcrc.Workload {
+				w, err := wlcrc.NewWorkload("mcf", 256, 31)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if encrypted {
+					w.Encrypt(0)
+				}
+				return w
+			}
+			ref, bulk := mk(), mk()
+			const total, batch = 600, 100
+			want := make([]wlcrc.WriteRequest, total)
+			for i := range want {
+				want[i] = ref.Next()
+			}
+			dst := make([]wlcrc.WriteRequest, batch)
+			for off := 0; off < total; off += batch {
+				if n := bulk.NextBatch(dst); n != batch {
+					t.Fatalf("NextBatch = %d, want %d (stream is infinite)", n, batch)
+				}
+				for i := range dst {
+					if dst[i] != want[off+i] {
+						t.Fatalf("request %d differs between Next and NextBatch", off+i)
+					}
+				}
+			}
+			if n := bulk.NextBatch(nil); n != 0 {
+				t.Errorf("NextBatch(nil) = %d, want 0", n)
+			}
+		})
+	}
+}
+
+// TestReplayIngestMatchesSerial extends the public-API determinism
+// guarantee to the ingest front-end: Replay with ingest routers must be
+// bit-identical to the serial, ingest-off replay.
+func TestReplayIngestMatchesSerial(t *testing.T) {
+	run := func(workers, ingest int) []wlcrc.Metrics {
+		w, err := wlcrc.NewWorkload("gcc", 512, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := wlcrc.Replay(w, 2000, wlcrc.ReplayOptions{Workers: workers, IngestRouters: ingest},
+			wlcrc.MustScheme("Baseline"), wlcrc.MustScheme("WLCRC-16"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	want := run(1, -1)
+	for _, ingest := range []int{1, 3} {
+		for _, workers := range []int{1, 4} {
+			if got := run(workers, ingest); !reflect.DeepEqual(want, got) {
+				t.Errorf("workers=%d ingest=%d: metrics differ from serial replay", workers, ingest)
+			}
+		}
+	}
+}

@@ -22,6 +22,9 @@ type Workload struct {
 	// encKey remembers the effective Encrypt key (0 = not encrypted),
 	// so repeated same-key calls are no-ops and conflicting keys panic.
 	encKey uint64
+	// batch is NextBatch's reusable staging buffer between the internal
+	// trace.Request stream and the caller's WriteRequest slice.
+	batch []trace.Request
 }
 
 // WorkloadNames lists the benchmark profiles of the paper's evaluation
@@ -82,4 +85,24 @@ func (w *Workload) Encrypt(key uint64) *Workload {
 func (w *Workload) Next() WriteRequest {
 	req, _ := w.src.Next()
 	return WriteRequest{Addr: req.Addr, Old: req.Old, New: req.New}
+}
+
+// NextBatch fills dst with the next len(dst) write requests and returns
+// the fill count — always len(dst), since the stream never ends. The
+// batch is drawn through the generator's bulk path (one internal call
+// per batch instead of one per request) and is identical to len(dst)
+// Next calls.
+func (w *Workload) NextBatch(dst []WriteRequest) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	if w.batch == nil || len(w.batch) < len(dst) {
+		w.batch = make([]trace.Request, len(dst))
+	}
+	buf := w.batch[:len(dst)]
+	n := trace.Batched(w.src).NextBatch(buf)
+	for i := 0; i < n; i++ {
+		dst[i] = WriteRequest{Addr: buf[i].Addr, Old: buf[i].Old, New: buf[i].New}
+	}
+	return n
 }
