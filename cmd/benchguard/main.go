@@ -40,6 +40,18 @@
 // loop.
 //
 //	go test -run xxx -bench BenchmarkIngest -benchtime 1s -count 3 ./internal/trace/ | benchguard -ingest
+//
+// With -faultfree it guards the PR 8 stuck-at fault model's zero-cost
+// claim: with faults disabled the replay engine must stay within the
+// committed fault_free_pr8 gate_ratio (5%) of the plain PR 7 engine on
+// the same fixture — BenchmarkEngineRunFaults/off over
+// BenchmarkEngineRun/workers=4/ingest=off, identical configurations
+// except that the former is compiled through the fault-aware write
+// path. Same box, same process, so the ratio is machine-speed
+// independent; it moves only when fault-model bookkeeping leaks into
+// the fault-disabled hot path.
+//
+//	go test -run xxx -bench 'BenchmarkEngineRun' -benchtime 2x -count 3 ./internal/sim/ | benchguard -faultfree
 package main
 
 import (
@@ -70,6 +82,9 @@ type baseline struct {
 	// Ingest is the PR 7 trace-decode front-end series, measured by
 	// BenchmarkIngest in internal/trace.
 	Ingest *ingestBaseline `json:"ingest_pr7"`
+	// FaultFree is the PR 8 fault-model overhead series, measured by
+	// BenchmarkEngineRun + BenchmarkEngineRunFaults in internal/sim.
+	FaultFree *faultFreeBaseline `json:"fault_free_pr8"`
 }
 
 type replayBaseline struct {
@@ -102,6 +117,19 @@ type ingestBaseline struct {
 	GateRatio float64            `json:"gate_ratio"`
 }
 
+// faultFreeBaseline records the fault-model overhead series: "plain" is
+// BenchmarkEngineRun/workers=4/ingest=off (the PR 7 engine), "off" and
+// "on" are BenchmarkEngineRunFaults with the model disabled and
+// enabled on the identical fixture. The gate requires the measured
+// off/plain ratio to stay at or below GateRatio — a fault-disabled
+// replay must not pay for the fault machinery; "on" is recorded but not
+// gated (its cost is the model's job, not a regression).
+type faultFreeBaseline struct {
+	NSPerRun  map[string]float64 `json:"ns_per_run_by_mode"`
+	Ratio     float64            `json:"off_over_plain"`
+	GateRatio float64            `json:"gate_ratio"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchguard: ")
@@ -112,6 +140,7 @@ func main() {
 		replay    = flag.Bool("replay", false, "guard the parallel replay dispatcher (parallel/serial wall-clock ratio) instead of the encode series")
 		replayTol = flag.Float64("replay-tolerance", 0.30, "allowed relative ratio regression in -replay mode (generous: wall-clock ratios are noisy)")
 		ingest    = flag.Bool("ingest", false, "guard the trace-decode front-end (mapped/reader decode-cost ratio from BenchmarkIngest) instead of the encode series")
+		faultFree = flag.Bool("faultfree", false, "guard the fault model's zero-cost-when-disabled claim (BenchmarkEngineRunFaults/off over BenchmarkEngineRun) instead of the encode series")
 	)
 	flag.Parse()
 
@@ -129,6 +158,10 @@ func main() {
 	}
 	if *ingest {
 		guardIngest(base, openInput())
+		return
+	}
+	if *faultFree {
+		guardFaultFree(base, openInput())
 		return
 	}
 	if len(base.EncodePR3) == 0 {
@@ -305,6 +338,52 @@ func guardIngest(base baseline, in io.Reader) {
 			ratio, base.Ingest.GateRatio, 1/base.Ingest.GateRatio)
 	}
 	fmt.Println("benchguard: trace-decode front-end within baseline")
+}
+
+// guardFaultFree enforces the fault-model overhead baseline: the
+// fault-disabled engine run must stay within the committed gate_ratio
+// of the plain engine on the identical fixture. Both benchmarks run on
+// the same box in the same process, so the gated ratio is machine-speed
+// independent; it moves only when fault bookkeeping leaks into the
+// fault-disabled write path (a map lookup that stopped compiling down
+// to a nil check, wear tracking created unconditionally, and so on).
+// The fault-enabled time is reported for context but never gated.
+func guardFaultFree(base baseline, in io.Reader) {
+	if base.FaultFree == nil || base.FaultFree.GateRatio == 0 {
+		log.Fatal("baseline has no fault_free_pr8 series")
+	}
+	m, err := parseFaultFreeBench(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, off := m["plain"], m["off"]
+	if plain == 0 || off == 0 {
+		log.Fatal("input is missing BenchmarkEngineRun/workers=4/ingest=off or BenchmarkEngineRunFaults/off results")
+	}
+	ratio := off / plain
+	fmt.Printf("faultfree: plain %.1fms, faults-off %.1fms, off/plain %.3f "+
+		"(fault_free_pr8 baseline %.3f, gate %.3f)\n",
+		plain/1e6, off/1e6, ratio, base.FaultFree.Ratio, base.FaultFree.GateRatio)
+	if on := m["on"]; on != 0 {
+		fmt.Printf("faultfree: faults-on %.1fms, on/plain %.3f (not gated)\n", on/1e6, on/plain)
+	}
+	if ratio > base.FaultFree.GateRatio {
+		log.Fatalf("fault-disabled replay regressed: off/plain %.3f exceeds gate %.3f "+
+			"(the fault model must cost nothing when disabled)", ratio, base.FaultFree.GateRatio)
+	}
+	fmt.Println("benchguard: fault-disabled replay within baseline")
+}
+
+// parseFaultFreeBench extracts the mean ns/op of the fault-overhead
+// trio in one pass: the plain PR 7 engine fixture plus the faults
+// benchmark's off/on modes.
+func parseFaultFreeBench(r io.Reader) (map[string]float64, error) {
+	return parseBenchLines(r, func(name string) (string, bool) {
+		if name == "BenchmarkEngineRun/workers=4/ingest=off" {
+			return "plain", true
+		}
+		return strings.CutPrefix(name, "BenchmarkEngineRunFaults/")
+	})
 }
 
 // parseIngestBench extracts the mean ns/op of the BenchmarkIngest

@@ -9,8 +9,8 @@
 //	experiments -run fig1a,fig4,hw
 //
 // Valid experiment ids: fig1a fig1b fig2 fig3 fig4 fig5 fig8 fig9 fig10
-// fig11 fig12 fig13 fig14 multiobj ablation hw headline wear encrypted
-// all.
+// fig11 fig12 fig13 fig14 multiobj ablation hw headline wear endurance
+// encrypted all.
 //
 // -encrypted replays every experiment's workloads in counter-mode
 // encrypted (whitened) form; -vcc appends the VCC schemes to the
@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "comma-separated experiment ids (fig1a..fig14, multiobj, ablation, hw, headline, wear, encrypted, all)")
+		run       = flag.String("run", "all", "comma-separated experiment ids (fig1a..fig14, multiobj, ablation, hw, headline, wear, endurance, encrypted, all)")
 		writes    = flag.Int("writes", 2000, "write requests per benchmark")
 		random    = flag.Int("random-writes", 4000, "write requests for random-workload figures")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
@@ -67,7 +67,7 @@ func main() {
 		// fig11 prints the combined 11-13 sweep table.
 		ids = []string{"fig1a", "fig1b", "fig2", "fig3", "fig4", "fig5",
 			"fig8", "fig9", "fig10", "fig11", "fig14",
-			"multiobj", "ablation", "hw", "wear", "encrypted", "headline"}
+			"multiobj", "ablation", "hw", "wear", "endurance", "encrypted", "headline"}
 	}
 	// The wear report digests the shared fig8/9/10 evaluation rather
 	// than replaying its own matrix, so wear tracking must be on before
@@ -137,6 +137,9 @@ func main() {
 		case "wear":
 			_, t := exp.WearReportFrom(getEval())
 			section("Wear: per-cell wear distribution and first-failure projection (Fig 9 extended)", t)
+		case "endurance":
+			_, t := exp.EnduranceStudy(cfg)
+			section("Endurance: writes to first line retirement under accelerated wear (stuck-at + repair)", t)
 		case "encrypted":
 			_, t := exp.EncryptedStudy(cfg)
 			section("Encrypted PCM: compression-gate collapse and the VCC recovery", t)

@@ -35,6 +35,18 @@
 // wear tracking and appends a wear report (worst-cell wear, wear CDF
 // quantiles, first-cell-failure projection) per scheme.
 //
+// -faults enables the stuck-at fault model: cells wear out (mean
+// endurance -fault-endurance, spread -fault-spread) or start defective
+// (-fault-static), and the controller repairs affected writes through
+// stuck-aware re-encode retries, interleaved BCH ECC (-fault-ecc-bits)
+// and line retirement to a spare pool (-fault-spares). A fault/repair
+// table is appended per scheme. By default the replay degrades
+// gracefully — the full trace runs and a run that breaches the
+// -fault-retire-frac threshold (or sees any uncorrectable write) exits
+// non-zero after reporting; -failfast aborts on the first uncorrectable
+// write instead. Either way the partial metrics and wear of everything
+// replayed so far are still printed.
+//
 // Examples:
 //
 //	pcmsim -workload gcc -schemes Baseline,WLCRC-16 -writes 10000
@@ -55,6 +67,7 @@ import (
 
 	"wlcrc"
 	"wlcrc/internal/core"
+	"wlcrc/internal/fault"
 	"wlcrc/internal/memsys"
 	"wlcrc/internal/sim"
 	"wlcrc/internal/stats"
@@ -82,6 +95,14 @@ func main() {
 		encrypted   = flag.Bool("encrypted", false, "replay the counter-mode encrypted (whitened) form of the write stream")
 		key         = flag.Uint64("key", 0, "encryption key for -encrypted and the VCC/Enc schemes (0 = default key)")
 		useVCC      = flag.Bool("vcc", false, "append the virtual coset coding schemes VCC-2,VCC-4,VCC-8")
+		faults      = flag.Bool("faults", false, "enable the stuck-at fault model and repair pipeline, and report fault stats per scheme")
+		faultEndur  = flag.Uint64("fault-endurance", 0, "mean cell endurance in program cycles before stuck-at onset (0 = 1e7)")
+		faultSpread = flag.Float64("fault-spread", 0, "relative half-width of the per-cell endurance threshold draw (0 = exact)")
+		faultECC    = flag.Int("fault-ecc-bits", 0, "per-line correctable-bit ECC budget, rounded up to t=2 BCH ways (0 = 4)")
+		faultSpares = flag.Int("fault-spares", 0, "spare lines per shard for retirement remapping (0 = 16)")
+		faultRetire = flag.Float64("fault-retire-frac", 0, "retired-line fraction of touched lines that ends the run degraded (0 = 0.25)")
+		faultStatic = flag.Int("fault-static", 0, "pre-seed N random stuck cells (manufacturing defects) over the first -footprint lines (4096 when unset)")
+		failFast    = flag.Bool("failfast", false, "abort replay on the first uncorrectable write instead of degrading gracefully")
 	)
 	flag.Parse()
 
@@ -114,6 +135,24 @@ func main() {
 	opts.Workers = *workers
 	opts.IngestRouters = *ingest
 	opts.TrackWear = *wearReport
+	if *faults {
+		opts.Faults = fault.Config{
+			Enabled:            true,
+			CellEndurance:      uint32(*faultEndur),
+			EnduranceSpread:    *faultSpread,
+			ECCBits:            *faultECC,
+			SpareLines:         *faultSpares,
+			MaxRetiredFraction: *faultRetire,
+		}
+		if *faultStatic > 0 {
+			maxAddr := uint64(4096)
+			if *footprint > 0 {
+				maxAddr = uint64(*footprint)
+			}
+			opts.Faults.Static = fault.RandomStatic(*seed, *faultStatic, maxAddr)
+		}
+	}
+	opts.FailFast = *failFast
 	if *progress {
 		opts.Progress = sim.ProgressPrinter(os.Stderr)
 	}
@@ -181,6 +220,11 @@ func main() {
 		wearTbl = stats.NewTable("workload", "scheme", "cells/write", "max wear",
 			"p50", "p99", "imbalance", "writes to 1st failure")
 	}
+	var faultTbl *stats.Table
+	if *faults {
+		faultTbl = stats.NewTable("workload", "scheme", "stuck cells", "detected",
+			"retried ok", "ECC-saved", "retired", "remap hits", "uncorrectable", "1st retire")
+	}
 	var timers []*schemeTimer
 	if *useMemsys {
 		for _, s := range schemes {
@@ -191,6 +235,7 @@ func main() {
 		}
 	}
 	var totalWrites uint64
+	var failed bool
 	start := time.Now()
 	var eng *sim.Engine
 	for _, ns := range sources {
@@ -211,9 +256,15 @@ func main() {
 			src = &timingTap{src: src, timers: timers}
 		}
 		if err := eng.Run(src, 0); err != nil {
-			log.Fatal(err)
+			// A failed replay — an aborted -failfast run, a degraded
+			// graceful one, a trace decode error — still has merged
+			// partial metrics worth reporting: Snapshot drains whatever
+			// the shards got through before the stop. Report, keep going,
+			// and exit non-zero at the end.
+			log.Printf("%s: %v (reporting partial metrics)", ns.name, err)
+			failed = true
 		}
-		for _, m := range eng.Metrics() {
+		for _, m := range eng.Snapshot() {
 			totalWrites += uint64(m.Writes)
 			tbl.Row(ns.name, m.Scheme, m.AvgEnergy(), m.AvgUpdated(),
 				m.AvgDisturb(), stats.Percent(m.CompressedFraction()))
@@ -225,6 +276,18 @@ func main() {
 					w.WearImbalance(),
 					fmt.Sprintf("%.3g", w.LifetimeWrites(wear.DefaultCellEndurance)))
 			}
+			if faultTbl != nil {
+				f := m.Faults
+				firstRetire := "never"
+				if f.FirstRetireSeq != 0 {
+					firstRetire = fmt.Sprintf("%d", f.FirstRetireSeq)
+				}
+				faultTbl.Row(ns.name, m.Scheme, fmt.Sprintf("%d", f.StuckCells),
+					fmt.Sprintf("%d", f.Detected), fmt.Sprintf("%d", f.RetriedOK),
+					fmt.Sprintf("%d", f.CorrectedWrites), fmt.Sprintf("%d", f.RetiredLines),
+					fmt.Sprintf("%d", f.RemapHits), fmt.Sprintf("%d", f.Uncorrectable),
+					firstRetire)
+			}
 		}
 	}
 	elapsed := time.Since(start)
@@ -232,6 +295,9 @@ func main() {
 	if wearTbl != nil {
 		fmt.Printf("\nper-cell wear (first-failure projection at %.0e program cycles):\n%s",
 			wear.DefaultCellEndurance, wearTbl.String())
+	}
+	if faultTbl != nil {
+		fmt.Printf("\nstuck-at faults and repair (retry -> ECC -> retire):\n%s", faultTbl.String())
 	}
 	if eng != nil {
 		fmt.Printf("\nreplayed %d scheme-writes in %v with %d workers over %d routing units (%d banks x %d sub-shards, %s)\n",
@@ -252,6 +318,9 @@ func main() {
 				stats.Percent(s.Utilization()))
 		}
 		fmt.Print(mt.String())
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

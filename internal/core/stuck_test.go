@@ -1,0 +1,149 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"wlcrc/internal/coset"
+	"wlcrc/internal/fault"
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+	"wlcrc/internal/prng"
+)
+
+// stuckSchemes is the coset cross-section the stuck-aware re-encode is
+// exercised over: full-line and fine-grained blocks, one- and two-aux-
+// cell candidate counts.
+func stuckSchemes(t *testing.T) []*LineCosets {
+	t.Helper()
+	cfg := DefaultConfig()
+	return []*LineCosets{
+		NewLineCosets(cfg, "4cosets", coset.Table1[:], memline.LineBits),
+		NewLineCosets(cfg, "6cosets", coset.SixCosets(), memline.LineBits),
+		NewLineCosets(cfg, "4cosets-16", coset.Table1[:], 16),
+		NewLineCosets(cfg, "6cosets-64", coset.SixCosets(), 64),
+	}
+}
+
+// randomStuck freezes up to maxStuck random cells (data and aux alike)
+// at random states.
+func randomStuck(r *prng.Xoshiro256, n, maxStuck int) *fault.LineStuck {
+	ls := &fault.LineStuck{States: make([]uint8, n)}
+	for k := r.Intn(maxStuck + 1); k > 0; k-- {
+		c := r.Intn(n)
+		if ls.States[c] == 0 {
+			ls.States[c] = uint8(r.Intn(pcm.NumStates)) + 1
+			ls.N++
+		}
+	}
+	return ls
+}
+
+// TestEncodeStuckInto is the stuck-aware re-encode contract: whenever a
+// candidate assignment satisfying the stuck cells exists, the returned
+// encoding agrees with every stuck cell (zero write-verify mismatches)
+// and still decodes back to the written data; when none exists the
+// method reports false. Over a random corpus both outcomes must occur,
+// and with no stuck cells the method must reproduce the canonical
+// cheapest encode exactly.
+func TestEncodeStuckInto(t *testing.T) {
+	r := prng.New(0xfa117)
+	for _, s := range stuckSchemes(t) {
+		n := s.TotalCells()
+		dst := make([]pcm.State, n)
+		want := make([]pcm.State, n)
+		okCount, failCount := 0, 0
+		for trial := 0; trial < 300; trial++ {
+			data := randomBiasedLine(r)
+			old := randomOld(r, n)
+
+			empty := &fault.LineStuck{States: make([]uint8, n)}
+			s.EncodeInto(want, old, &data)
+			if !s.EncodeStuckInto(dst, old, &data, empty) {
+				t.Fatalf("%s: unconstrained stuck encode failed", s.Name())
+			}
+			if !reflect.DeepEqual(want, dst) {
+				t.Fatalf("%s: unconstrained stuck encode differs from EncodeInto", s.Name())
+			}
+
+			ls := randomStuck(r, n, 6)
+			if !s.EncodeStuckInto(dst, old, &data, ls) {
+				failCount++
+				continue
+			}
+			okCount++
+			if m := ls.MismatchCount(dst); m != 0 {
+				t.Fatalf("%s: satisfying encode leaves %d stuck mismatches", s.Name(), m)
+			}
+			var got memline.Line
+			s.DecodeInto(dst, &got)
+			if !got.Equal(&data) {
+				t.Fatalf("%s: stuck-aware encode does not decode back", s.Name())
+			}
+		}
+		if okCount == 0 || failCount == 0 {
+			t.Errorf("%s: corpus not exercising both outcomes (ok=%d fail=%d)",
+				s.Name(), okCount, failCount)
+		}
+	}
+}
+
+// TestEncodeStuckIntoImpossible pins the failure path analytically: an
+// aux cell stuck at a state no surviving candidate can store makes the
+// line unsatisfiable regardless of the data.
+func TestEncodeStuckIntoImpossible(t *testing.T) {
+	cfg := DefaultConfig()
+	s := NewLineCosets(cfg, "4cosets", coset.Table1[:], memline.LineBits)
+	n := s.TotalCells()
+	r := prng.New(3)
+	data := randomBiasedLine(r)
+	old := make([]pcm.State, n)
+	dst := make([]pcm.State, n)
+
+	// Freeze one data cell at each of two different states the identity
+	// candidate disagrees on... simpler and airtight: freeze the same
+	// word's cells so every candidate's mapped output conflicts. With 4
+	// candidates and one aux cell, freezing the aux cell alone never
+	// fails (every index is storable), so conflict through data cells:
+	// pick cell 0 and force all 4 candidate outputs to be wrong by
+	// trying all 4 frozen states against all 4 candidates' outputs for
+	// this data/old pair and keeping a state no candidate produces —
+	// with 4 candidates and 4 states one may not exist, so freeze two
+	// cells: 16 combinations against 4 candidates always leaves an
+	// unsatisfiable pair.
+	base := make([]pcm.State, n)
+	outputs := make([][2]pcm.State, 0, 4)
+	for idx := 0; idx < 4; idx++ {
+		ls := &fault.LineStuck{States: make([]uint8, n)}
+		ls.States[memline.LineCells] = uint8(pcm.State(idx)) + 1 // pin the aux cell = force candidate idx
+		ls.N = 1
+		if !s.EncodeStuckInto(base, old, &data, ls) {
+			t.Fatalf("pinning candidate %d failed", idx)
+		}
+		outputs = append(outputs, [2]pcm.State{base[0], base[1]})
+	}
+	var st0, st1 pcm.State
+found:
+	for a := 0; a < pcm.NumStates; a++ {
+		for b := 0; b < pcm.NumStates; b++ {
+			hit := false
+			for _, o := range outputs {
+				if o[0] == pcm.State(a) && o[1] == pcm.State(b) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				st0, st1 = pcm.State(a), pcm.State(b)
+				break found
+			}
+		}
+	}
+	ls := &fault.LineStuck{States: make([]uint8, n)}
+	ls.States[0] = uint8(st0) + 1
+	ls.States[1] = uint8(st1) + 1
+	ls.N = 2
+	if s.EncodeStuckInto(dst, old, &data, ls) {
+		t.Fatalf("encode satisfied cells frozen at (%v,%v), which no candidate stores", st0, st1)
+	}
+}

@@ -267,6 +267,18 @@ func BestSWAR(tabs []SWARTable, p *WordPlanes, mask uint64) (idx int, cost float
 	return idx, cost
 }
 
+// StuckMismatch prices a candidate against a word's stuck-at faults:
+// it applies the candidate's mapping to the data symbols and returns
+// the cells (within mask) where a stuck cell's frozen state planes
+// (stuckLo/stuckHi on the positions of stuckMask) disagree with the
+// state the candidate would program. A zero return means this candidate
+// happens to want exactly what every stuck cell is frozen at — the
+// re-encode-retry recourse of the fault repair pipeline.
+func (t *SWARTable) StuckMismatch(p *WordPlanes, mask, stuckMask, stuckLo, stuckHi uint64) uint64 {
+	lo, hi := t.ApplySyms(&p.Sym)
+	return ((lo ^ stuckLo) | (hi ^ stuckHi)) & stuckMask & mask
+}
+
 // CostCountRef is the scalar reference for CostCount: it walks the
 // masked cells one at a time, classifies each into its target state, and
 // prices the identical Σ count[s]·Energy[s] sum. Equivalence tests and

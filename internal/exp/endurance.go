@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wlcrc/internal/core"
+	"wlcrc/internal/fault"
+	"wlcrc/internal/sim"
+	"wlcrc/internal/stats"
+	"wlcrc/internal/workload"
+)
+
+// EnduranceRow is one scheme's lifetime digest under the accelerated
+// stuck-at fault model.
+type EnduranceRow struct {
+	Scheme string
+	// F is the scheme's merged fault/repair statistics at end of run.
+	F fault.Stats
+	// LifetimeX is the writes-to-first-retirement relative to the
+	// Baseline scheme on the same trace (>1 = outlasts it). +Inf when
+	// the scheme never retired a line within the run.
+	LifetimeX float64
+}
+
+// enduranceSchemes spans the coset ladder the lifetime story is told
+// over: raw differential writes, the unrestricted and compression-gated
+// coset coders, and the paper's headline scheme.
+var enduranceSchemes = []string{"Baseline", "6cosets", "COC+4cosets", "WLCRC-16"}
+
+// EnduranceStudy replays a hot biased workload under an accelerated
+// stuck-at fault model (cell endurance of 8 program cycles instead of
+// 1e7, so a laptop-scale trace walks a line through its whole life) and
+// reports each scheme's writes-to-first-retirement plus the repair
+// pipeline's work along the way. Schemes that program fewer cells per
+// write — the point of coset coding — push wear onset, and therefore
+// the first retirement, later: the wear report's projected lifetime
+// ratios, measured here as an actual replay outcome.
+func EnduranceStudy(cfg Config) ([]EnduranceRow, *stats.Table) {
+	p, ok := workload.ProfileByName("gcc")
+	if !ok {
+		panic("exp: gcc profile missing")
+	}
+	fp := cfg.Footprint
+	if fp <= 0 {
+		fp = 96
+	}
+	var schemes []core.Scheme
+	for _, n := range enduranceSchemes {
+		s, err := core.NewScheme(n, cfg.coreConfig())
+		if err != nil {
+			panic(err)
+		}
+		schemes = append(schemes, s)
+	}
+	opts := simOptions(cfg)
+	opts.Faults = fault.Config{
+		Enabled:            true,
+		CellEndurance:      8,
+		EnduranceSpread:    0.5,
+		ECCBits:            4,
+		SpareLines:         16,
+		MaxRetiredFraction: 1,
+	}
+	e := sim.NewEngine(opts, schemes...)
+	gen := cfg.source(workload.NewGenerator(p, fp, cfg.Seed))
+	if err := e.Run(&workload.Limited{Src: gen, N: cfg.WritesPerBenchmark}, 0); err != nil {
+		// Accelerated wear is meant to walk schemes off the end of their
+		// service life; a degraded ending is the study's data, anything
+		// else is a bug.
+		if !errors.As(err, new(*sim.DegradedError)) {
+			panic(fmt.Sprintf("exp: endurance: %v", err))
+		}
+	}
+
+	ms := e.Metrics()
+	var base uint64
+	for _, m := range ms {
+		if m.Scheme == "Baseline" {
+			base = m.Faults.FirstRetireSeq
+		}
+	}
+	rows := make([]EnduranceRow, 0, len(ms))
+	t := stats.NewTable("scheme", "writes to 1st retire", "lifetime vs Baseline",
+		"stuck cells", "retired lines", "ECC-saved writes", "uncorrectable")
+	for _, m := range ms {
+		f := m.Faults
+		rel := relativeRetire(f.FirstRetireSeq, base)
+		rows = append(rows, EnduranceRow{Scheme: m.Scheme, F: f, LifetimeX: rel})
+		first := "never"
+		if f.FirstRetireSeq != 0 {
+			first = fmt.Sprintf("%d", f.FirstRetireSeq)
+		}
+		t.Row(m.Scheme, first, formatLifetime(rel),
+			fmt.Sprintf("%d", f.StuckCells), fmt.Sprintf("%d", f.RetiredLines),
+			fmt.Sprintf("%d", f.CorrectedWrites), fmt.Sprintf("%d", f.Uncorrectable))
+	}
+	return rows, t
+}
+
+// relativeRetire turns two first-retirement sequence numbers into a
+// lifetime ratio, treating "never retired" (0) as infinite life.
+func relativeRetire(first, base uint64) float64 {
+	switch {
+	case base == 0:
+		if first == 0 {
+			return 1
+		}
+		return 0
+	case first == 0:
+		return math.Inf(1)
+	default:
+		return float64(first) / float64(base)
+	}
+}

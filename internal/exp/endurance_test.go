@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEnduranceStudy checks the accelerated-lifetime study's structure
+// and its headline claim: under the same wear-accelerated replay, the
+// coset coders retire their first line no earlier than Baseline, and
+// the paper's headline scheme measurably later. Everything is seeded,
+// so the outcome is deterministic — but the assertions stay ordinal
+// (later-than, never exact sequence numbers) so retuning the study's
+// default scale does not invalidate them.
+func TestEnduranceStudy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WritesPerBenchmark = 1500
+	rows, tbl := EnduranceStudy(cfg)
+	if len(rows) != len(enduranceSchemes) {
+		t.Fatalf("%d rows, want %d", len(rows), len(enduranceSchemes))
+	}
+	byName := map[string]EnduranceRow{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+		if r.F.LinesTouched == 0 {
+			t.Errorf("%s: no lines touched under the fault model", r.Scheme)
+		}
+		if r.F.StuckCells == 0 {
+			t.Errorf("%s: accelerated endurance produced no stuck cells", r.Scheme)
+		}
+	}
+	base := byName["Baseline"]
+	if base.F.FirstRetireSeq == 0 {
+		t.Fatal("Baseline never retired a line: the accelerated model is not accelerated enough")
+	}
+	if base.LifetimeX != 1 {
+		t.Fatalf("Baseline relative lifetime = %v, want 1", base.LifetimeX)
+	}
+	wl := byName["WLCRC-16"]
+	if !math.IsInf(wl.LifetimeX, 1) && wl.LifetimeX <= 1 {
+		t.Errorf("WLCRC-16 lifetime %vx does not outlast Baseline (first retire %d vs %d)",
+			wl.LifetimeX, wl.F.FirstRetireSeq, base.F.FirstRetireSeq)
+	}
+	for _, r := range rows {
+		if r.Scheme == "Baseline" {
+			continue
+		}
+		if !math.IsInf(r.LifetimeX, 1) && r.LifetimeX < 1 {
+			t.Errorf("%s retires before Baseline (%vx)", r.Scheme, r.LifetimeX)
+		}
+	}
+	out := tbl.String()
+	for _, n := range enduranceSchemes {
+		if !strings.Contains(out, n) {
+			t.Errorf("table is missing scheme %s:\n%s", n, out)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"wlcrc/internal/pcm"
+)
+
+func TestConfigWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.CellEndurance != uint32(defaultCellEndurance) {
+		t.Errorf("CellEndurance = %d, want %d", c.CellEndurance, uint32(defaultCellEndurance))
+	}
+	if c.ECCBits != 4 || c.SpareLines != 16 || c.MaxRetiredFraction != 0.25 {
+		t.Errorf("defaults = %+v", c)
+	}
+	// Explicit values survive.
+	c = Config{CellEndurance: 7, ECCBits: 2, SpareLines: 3, MaxRetiredFraction: 0.5}.WithDefaults()
+	if c.CellEndurance != 7 || c.ECCBits != 2 || c.SpareLines != 3 || c.MaxRetiredFraction != 0.5 {
+		t.Errorf("explicit values overridden: %+v", c)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{StuckCells: 1, Detected: 2, RetiredLines: 1, FirstRetireSeq: 90, LinesTouched: 10}
+	b := Stats{StuckCells: 2, Detected: 3, RetiredLines: 1, FirstRetireSeq: 40, LinesTouched: 5}
+	a.Merge(b)
+	if a.StuckCells != 3 || a.Detected != 5 || a.RetiredLines != 2 || a.LinesTouched != 15 {
+		t.Errorf("merged = %+v", a)
+	}
+	if a.FirstRetireSeq != 40 {
+		t.Errorf("FirstRetireSeq = %d, want min-nonzero 40", a.FirstRetireSeq)
+	}
+	// Zero means "never retired" and must not win the minimum.
+	c := Stats{FirstRetireSeq: 7}
+	c.Merge(Stats{})
+	if c.FirstRetireSeq != 7 {
+		t.Errorf("merge with zero clobbered FirstRetireSeq: %d", c.FirstRetireSeq)
+	}
+	if got := a.RetiredFraction(); got != 2.0/15.0 {
+		t.Errorf("RetiredFraction = %v", got)
+	}
+	if (Stats{}).RetiredFraction() != 0 {
+		t.Error("empty RetiredFraction != 0")
+	}
+}
+
+func TestLineStuckView(t *testing.T) {
+	ls := LineStuck{States: make([]uint8, 64)}
+	if !ls.set(3, pcm.S4) || !ls.set(40, pcm.S1) {
+		t.Fatal("set on healthy cells failed")
+	}
+	if ls.set(3, pcm.S2) {
+		t.Error("stuck cell re-froze")
+	}
+	if st, ok := ls.StateOf(3); !ok || st != pcm.S4 {
+		t.Errorf("StateOf(3) = %v, %v", st, ok)
+	}
+	if _, ok := ls.StateOf(5); ok {
+		t.Error("healthy cell reported stuck")
+	}
+	if ls.N != 2 {
+		t.Errorf("N = %d, want 2", ls.N)
+	}
+
+	cells := make([]pcm.State, 64)
+	cells[3] = pcm.S4 // agrees
+	cells[40] = pcm.S3
+	if n := ls.MismatchCount(cells); n != 1 {
+		t.Errorf("MismatchCount = %d, want 1", n)
+	}
+	ls.Overlay(cells)
+	if cells[3] != pcm.S4 || cells[40] != pcm.S1 {
+		t.Errorf("Overlay left %v %v", cells[3], cells[40])
+	}
+	if n := ls.MismatchCount(cells); n != 0 {
+		t.Errorf("MismatchCount after Overlay = %d", n)
+	}
+
+	mask, lo, hi := ls.WordPlanes(0)
+	if mask != 1<<3 || lo != (uint64(pcm.S4)&1)<<3 || hi != (uint64(pcm.S4)>>1)<<3 {
+		t.Errorf("WordPlanes(0) = %#x %#x %#x", mask, lo, hi)
+	}
+	mask, lo, hi = ls.WordPlanes(1)
+	if mask != 1<<8 { // cell 40 = word 1, bit 8; S1=0 so both planes clear
+		t.Errorf("WordPlanes(1) mask = %#x", mask)
+	}
+	if lo != 0 || hi != 0 {
+		t.Errorf("WordPlanes(1) planes = %#x %#x, want 0 0 for S1", lo, hi)
+	}
+	if mask, _, _ := ls.WordPlanes(9); mask != 0 {
+		t.Error("out-of-range word not healthy")
+	}
+}
+
+func TestDrawThresholdDeterministicAndBounded(t *testing.T) {
+	cfg := Config{Enabled: true, CellEndurance: 1000, EnduranceSpread: 0.3}.WithDefaults()
+	m := NewMap(cfg, 99, 64, NewECC(4))
+	seenLo, seenHi := false, false
+	for addr := uint64(0); addr < 64; addr++ {
+		for c := 0; c < 64; c++ {
+			v := m.drawThreshold(addr, c, 0)
+			if v != m.drawThreshold(addr, c, 0) {
+				t.Fatal("draw not deterministic")
+			}
+			if v < 700 || v > 1300 {
+				t.Fatalf("threshold %d outside [700,1300]", v)
+			}
+			if v < 850 {
+				seenLo = true
+			}
+			if v > 1150 {
+				seenHi = true
+			}
+			if m.drawThreshold(addr, c, 1) == v && m.drawThreshold(addr, c, 2) == v {
+				t.Fatalf("generations collide at (%d,%d)", addr, c)
+			}
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Error("draws do not spread over the configured interval")
+	}
+	// Zero spread pins every cell at the mean.
+	m0 := NewMap(Config{Enabled: true, CellEndurance: 5}.WithDefaults(), 1, 8, NewECC(4))
+	if m0.drawThreshold(3, 3, 0) != 5 {
+		t.Error("zero spread not exact")
+	}
+	// A different map seed decorrelates the draws.
+	m2 := NewMap(cfg, 100, 64, NewECC(4))
+	same := 0
+	for c := 0; c < 64; c++ {
+		if m.drawThreshold(0, c, 0) == m2.drawThreshold(0, c, 0) {
+			same++
+		}
+	}
+	if same > 8 {
+		t.Errorf("%d/64 draws identical across seeds", same)
+	}
+}
+
+func TestOnWriteWearOnset(t *testing.T) {
+	cfg := Config{Enabled: true, CellEndurance: 3, SpareLines: 2}.WithDefaults()
+	m := NewMap(cfg, 7, 4, NewECC(2))
+	changed := []bool{true, true, false, false}
+	states := []pcm.State{pcm.S3, pcm.S2, pcm.S1, pcm.S1}
+	counts := []uint32{2, 3, 9, 9} // cell 1 crosses; cell 2 would but was not programmed
+
+	m.OnWrite(5, changed, states, counts)
+	if m.Stats.LinesTouched != 1 || m.Stats.WearStuck != 1 || m.Stats.StuckCells != 1 {
+		t.Fatalf("stats after onset: %+v", m.Stats)
+	}
+	ls := m.Stuck(5)
+	if ls == nil {
+		t.Fatal("no stuck view after onset")
+	}
+	if st, ok := ls.StateOf(1); !ok || st != pcm.S2 {
+		t.Errorf("cell 1 stuck at %v, %v; want last-programmed S2", st, ok)
+	}
+	if _, ok := ls.StateOf(2); ok {
+		t.Error("unprogrammed cell froze")
+	}
+	// Re-writing the same line neither re-freezes nor re-counts.
+	m.OnWrite(5, changed, []pcm.State{pcm.S1, pcm.S4, pcm.S1, pcm.S1}, []uint32{3, 4, 9, 9})
+	if m.Stats.LinesTouched != 1 {
+		t.Errorf("LinesTouched double-counted: %d", m.Stats.LinesTouched)
+	}
+	if st, _ := ls.StateOf(1); st != pcm.S2 {
+		t.Errorf("stuck cell re-froze to %v", st)
+	}
+	if m.Stats.WearStuck != 2 { // cell 0 crossed (3 >= 3) this time
+		t.Errorf("WearStuck = %d, want 2", m.Stats.WearStuck)
+	}
+	// nil counts (no wear recorder) disables onset but still counts lines.
+	m.OnWrite(6, changed, states, nil)
+	if m.Stuck(6) != nil || m.Stats.LinesTouched != 2 {
+		t.Error("nil counts path wrong")
+	}
+}
+
+func TestRetireAndRemap(t *testing.T) {
+	cfg := Config{Enabled: true, CellEndurance: 10, EnduranceSpread: 0.5, SpareLines: 1}.WithDefaults()
+	m := NewMap(cfg, 11, 4, NewECC(2))
+	m.SeedStatic(StuckCell{Addr: 9, Cell: 0, State: pcm.S3})
+	m.SeedStatic(StuckCell{Addr: 9, Cell: 1, State: pcm.S4})
+	counts := []uint32{20, 20, 20, 20}
+
+	if !m.Retire(9, counts, 99) {
+		t.Fatal("retire with a spare available failed")
+	}
+	if m.Stuck(9) != nil {
+		t.Error("spare line kept the stuck cells")
+	}
+	if m.SpareLinesLeft() != 0 {
+		t.Errorf("spares left = %d", m.SpareLinesLeft())
+	}
+	if m.Stats.RetiredLines != 1 || m.Stats.FirstRetireSeq != 100 {
+		t.Errorf("stats = %+v, want RetiredLines 1, FirstRetireSeq 100 (1-based)", m.Stats)
+	}
+	// Redrawn thresholds sit above the wear the address already has.
+	r := m.lines[9]
+	for c, thr := range r.thr {
+		if thr <= counts[c] {
+			t.Errorf("cell %d threshold %d not above accumulated wear %d", c, thr, counts[c])
+		}
+	}
+	if !reflect.DeepEqual(m.Retired(), []uint64{9}) {
+		t.Errorf("Retired() = %v", m.Retired())
+	}
+	// OnWrite to a remapped line counts remap traffic.
+	m.OnWrite(9, []bool{true, false, false, false}, []pcm.State{0, 0, 0, 0}, counts)
+	if m.Stats.RemapHits != 1 {
+		t.Errorf("RemapHits = %d", m.Stats.RemapHits)
+	}
+	// Pool exhausted: retire refuses and leaves state alone.
+	m.InjectStuck(3, 2, pcm.S2)
+	if m.Retire(3, counts, 5) {
+		t.Error("retire succeeded with empty pool")
+	}
+	if m.Stuck(3) == nil || m.Stats.RetiredLines != 1 {
+		t.Error("failed retire mutated state")
+	}
+	// An earlier retirement would have lowered FirstRetireSeq; a later
+	// one must not.
+	m.Stats.FirstRetireSeq = 3
+	m.spares = 1
+	m.Retire(3, counts, 50)
+	if m.Stats.FirstRetireSeq != 3 {
+		t.Errorf("later retire moved FirstRetireSeq to %d", m.Stats.FirstRetireSeq)
+	}
+}
+
+func TestECCCorrectAndRecover(t *testing.T) {
+	ecc := NewECC(4) // 2 ways, 2 bits each
+	if ecc.Ways() != 2 || ecc.BudgetBits() != 4 {
+		t.Fatalf("ways=%d budget=%d", ecc.Ways(), ecc.BudgetBits())
+	}
+	var sc ECCScratch
+	n := 64
+	cells := make([]pcm.State, n)
+	for i := range cells {
+		cells[i] = pcm.State(uint(i*7) % 4)
+	}
+
+	// One stuck cell per way, disagreeing: 2 flipped bits per way at
+	// most, within budget.
+	ls := &LineStuck{States: make([]uint8, n)}
+	ls.set(0, cells[0]^3) // way 0, both bits differ
+	ls.set(5, cells[5]^3) // way 1
+	bits, ok := ecc.Correct(cells, ls, &sc)
+	if !ok || bits != 4 {
+		t.Fatalf("Correct = %d, %v; want 4 bits over 2 ways", bits, ok)
+	}
+
+	// Round-trip through stored parity: physical = intended + overlay.
+	parity := make([]uint8, ecc.ParityLen())
+	ecc.ParityInto(cells, parity, &sc)
+	phys := make([]pcm.State, n)
+	copy(phys, cells)
+	ls.Overlay(phys)
+	if !ecc.Recover(phys, parity, &sc) {
+		t.Fatal("Recover failed within budget")
+	}
+	if !reflect.DeepEqual(phys, cells) {
+		t.Fatal("Recover did not reconstruct the intended states")
+	}
+
+	// Three stuck cells in one way (6 flipped bits) exceed the way's
+	// t=2 budget.
+	ls2 := &LineStuck{States: make([]uint8, n)}
+	for _, c := range []int{0, 2, 4} { // all way 0
+		ls2.set(c, cells[c]^3)
+	}
+	if _, ok := ecc.Correct(cells, ls2, &sc); ok {
+		t.Fatal("Correct accepted 6 flipped bits in one way")
+	}
+	// A stuck cell that agrees with the intended state costs nothing.
+	ls3 := &LineStuck{States: make([]uint8, n)}
+	ls3.set(10, cells[10])
+	if bits, ok := ecc.Correct(cells, ls3, &sc); !ok || bits != 0 {
+		t.Errorf("agreeing stuck cell: %d, %v", bits, ok)
+	}
+}
+
+func TestMapRecoverPassthrough(t *testing.T) {
+	m := NewMap(Config{Enabled: true}.WithDefaults(), 1, 8, NewECC(4))
+	var sc ECCScratch
+	phys := []pcm.State{1, 2, 3, 0, 1, 2, 3, 0}
+	dst := make([]pcm.State, 8)
+	got, ok := m.Recover(77, phys, dst, &sc)
+	if !ok || &got[0] != &phys[0] {
+		t.Error("healthy line did not pass through")
+	}
+}
+
+func TestResetStatsKeepsStructure(t *testing.T) {
+	m := NewMap(Config{Enabled: true, SpareLines: 4}.WithDefaults(), 3, 8, NewECC(4))
+	m.SeedStatic(StuckCell{Addr: 1, Cell: 2, State: pcm.S2})
+	m.Stats.Detected = 5
+	m.Stats.RemapHits = 2
+	m.Stats.LinesTouched = 3
+	m.Stats.FirstRetireSeq = 9
+	m.ResetStats()
+	if m.Stats.Detected != 0 || m.Stats.RemapHits != 0 {
+		t.Errorf("flow counters survived ResetStats: %+v", m.Stats)
+	}
+	if m.Stats.StuckCells != 1 || m.Stats.LinesTouched != 3 || m.Stats.FirstRetireSeq != 9 {
+		t.Errorf("structural counters cleared: %+v", m.Stats)
+	}
+
+	m.Retire(1, nil, 0)
+	m.Reset()
+	if m.SpareLinesLeft() != 4 || m.Stats.RetiredLines != 0 {
+		t.Errorf("Reset did not restore pool: %d spares, %+v", m.SpareLinesLeft(), m.Stats)
+	}
+	if m.Stuck(1) == nil {
+		t.Error("Reset dropped the static defect")
+	}
+	if m.Stats.StuckCells != 1 {
+		t.Errorf("re-seeded stats = %+v", m.Stats)
+	}
+}
+
+func TestRandomStatic(t *testing.T) {
+	got := RandomStatic(5, 40, 96)
+	if len(got) != 40 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[[2]uint64]bool{}
+	for _, sc := range got {
+		if sc.Addr >= 96 || sc.Cell < 0 || sc.Cell >= 256 || sc.State > pcm.S4 {
+			t.Fatalf("out-of-range defect %+v", sc)
+		}
+		k := [2]uint64{sc.Addr, uint64(sc.Cell)}
+		if seen[k] {
+			t.Fatalf("duplicate defect %+v", sc)
+		}
+		seen[k] = true
+	}
+	if !reflect.DeepEqual(got, RandomStatic(5, 40, 96)) {
+		t.Error("RandomStatic not deterministic")
+	}
+	if RandomStatic(5, 0, 96) != nil || RandomStatic(5, 4, 0) != nil {
+		t.Error("degenerate inputs not nil")
+	}
+}

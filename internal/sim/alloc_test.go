@@ -33,7 +33,7 @@ func allocFixture(t *testing.T, name string, opts Options) (*shard, []trace.Requ
 	if opts.MaxVnRIterations == 0 {
 		opts.MaxVnRIterations = 16
 	}
-	u := newShard(&opts, sch, nil)
+	u := newShard(&opts, sch, nil, nil)
 	p, ok := workload.ProfileByName("gcc")
 	if !ok {
 		t.Fatal("gcc profile missing")
@@ -41,7 +41,7 @@ func allocFixture(t *testing.T, name string, opts Options) (*shard, []trace.Requ
 	src := trace.Record(workload.NewGenerator(p, 64, 11), 256)
 	reqs := src.Reqs
 	for i := range reqs {
-		if err := u.apply(&reqs[i]); err != nil {
+		if err := u.apply(&reqs[i], uint64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -60,7 +60,7 @@ func TestSteadyStateApplyZeroAllocs(t *testing.T) {
 			u, reqs := allocFixture(t, name, opts)
 			i := 0
 			avg := testing.AllocsPerRun(200, func() {
-				if err := u.apply(&reqs[i%len(reqs)]); err != nil {
+				if err := u.apply(&reqs[i%len(reqs)], uint64(i)); err != nil {
 					t.Fatal(err)
 				}
 				i++
@@ -84,7 +84,7 @@ func TestSteadyStateApplyZeroAllocsWear(t *testing.T) {
 			u, reqs := allocFixture(t, name, opts)
 			i := 0
 			avg := testing.AllocsPerRun(200, func() {
-				if err := u.apply(&reqs[i%len(reqs)]); err != nil {
+				if err := u.apply(&reqs[i%len(reqs)], uint64(i)); err != nil {
 					t.Fatal(err)
 				}
 				i++
@@ -160,7 +160,7 @@ func TestSteadyStateApplyZeroAllocsVerify(t *testing.T) {
 			u, reqs := allocFixture(t, name, opts)
 			i := 0
 			avg := testing.AllocsPerRun(200, func() {
-				if err := u.apply(&reqs[i%len(reqs)]); err != nil {
+				if err := u.apply(&reqs[i%len(reqs)], uint64(i)); err != nil {
 					t.Fatal(err)
 				}
 				i++

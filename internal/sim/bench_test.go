@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"wlcrc/internal/core"
+	"wlcrc/internal/fault"
 	"wlcrc/internal/trace"
 	"wlcrc/internal/workload"
 )
@@ -34,14 +35,14 @@ func benchShard(b *testing.B, scheme string, opts Options) (*shard, []trace.Requ
 	if opts.MaxVnRIterations == 0 {
 		opts.MaxVnRIterations = 16
 	}
-	u := newShard(&opts, sch, nil)
+	u := newShard(&opts, sch, nil, nil)
 	p, ok := workload.ProfileByName("gcc")
 	if !ok {
 		b.Fatal("gcc profile missing")
 	}
 	src := trace.Record(workload.NewGenerator(p, 64, 11), 256)
 	for i := range src.Reqs {
-		if err := u.apply(&src.Reqs[i]); err != nil {
+		if err := u.apply(&src.Reqs[i], uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -63,7 +64,7 @@ func BenchmarkShardApply(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := u.apply(&reqs[i%len(reqs)]); err != nil {
+				if err := u.apply(&reqs[i%len(reqs)], uint64(i)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -136,6 +137,46 @@ func BenchmarkEngineRun(b *testing.B) {
 				b.ReportMetric(writes/b.Elapsed().Seconds(), "writes/s")
 			})
 		}
+	}
+}
+
+// BenchmarkEngineRunFaults measures the fault model's replay cost at
+// the engine layer on the BenchmarkEngineRun fixture: "off" is the
+// fault-free configuration the benchguard fault_free_pr8 gate holds
+// within 5% of the pre-fault-model engine (the stuck-map check must
+// compile out to one nil test per request), "on" pays for live stuck
+// maps, wear thresholds and repair classification.
+func BenchmarkEngineRunFaults(b *testing.B) {
+	p, ok := workload.ProfileByName("gcc")
+	if !ok {
+		b.Fatal("gcc profile missing")
+	}
+	src := trace.Record(workload.NewGenerator(p, 1024, 17), 4000)
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Verify = false
+			opts.Workers = 4
+			opts.IngestRouters = -1
+			if mode == "on" {
+				opts.Faults = fault.Config{
+					Enabled:         true,
+					CellEndurance:   1 << 20, // wear tracked, onset never fires
+					EnduranceSpread: 0.3,
+					Static:          fault.RandomStatic(3, 64, 1024),
+				}
+			}
+			e := NewEngine(opts, schemesForBench(b, "WLCRC-16")...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Rewind()
+				if err := e.Run(src, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			writes := float64(len(src.Reqs) * b.N)
+			b.ReportMetric(writes/b.Elapsed().Seconds(), "writes/s")
+		})
 	}
 }
 

@@ -128,11 +128,11 @@ func TestShardCounterAdvances(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := DefaultOptions()
-	u := newShard(&opts, sch, nil)
+	u := newShard(&opts, sch, nil, nil)
 	src := encryptedTrace(t, 1)
 	req := src.Reqs[0]
 	for i := 1; i <= 3; i++ {
-		if err := u.apply(&req); err != nil {
+		if err := u.apply(&req, 0); err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}
 		if got := u.ctrs[req.Addr]; got != uint64(i) {

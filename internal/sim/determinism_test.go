@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"errors"
 	"reflect"
 	"runtime"
 	"testing"
 
+	"wlcrc/internal/fault"
 	"wlcrc/internal/memsys"
 	"wlcrc/internal/trace"
 )
@@ -76,11 +78,35 @@ func TestEngineDeterminismMatrix(t *testing.T) {
 			src:     func(t *testing.T) *trace.SliceSource { return encryptedTrace(t, 2500) },
 			tweak:   func(o *Options) {}, // Verify stays on: every write round-trips decrypt
 		},
+		{
+			// Stuck-at faults plus the whole repair pipeline: tiny
+			// endurance so wear onset, retries, ECC corrections,
+			// retirements, spare-pool exhaustion and uncorrectable
+			// writes all fire mid-trace. Graceful mode replays the full
+			// trace, so the run may legitimately end in a *DegradedError
+			// — which must itself be DeepEqual-identical across worker
+			// counts, like the retired-line sets.
+			name:    "stuck+repair",
+			schemes: engineSchemeNames,
+			src:     func(t *testing.T) *trace.SliceSource { return fixedTrace(t, "gcc", 96, 2500, 31) },
+			tweak: func(o *Options) {
+				o.Seed = 13
+				o.Faults = fault.Config{
+					Enabled:            true,
+					CellEndurance:      8,
+					EnduranceSpread:    0.5,
+					ECCBits:            4,
+					SpareLines:         4,
+					MaxRetiredFraction: 1,
+					Static:             fault.RandomStatic(5, 40, 96),
+				}
+			},
+		},
 	}
 	for _, mode := range modes {
 		t.Run(mode.name, func(t *testing.T) {
 			src := mode.src(t)
-			run := func(workers, ingest int) (metrics, snapshot []Metrics) {
+			run := func(workers, ingest int) (metrics, snapshot []Metrics, retired [][]uint64, err error) {
 				src.Rewind()
 				opts := DefaultOptions()
 				opts.Geometry = geo
@@ -89,12 +115,13 @@ func TestEngineDeterminismMatrix(t *testing.T) {
 				opts.TrackWear = true
 				mode.tweak(&opts)
 				e := NewEngine(opts, schemesForTest(t, mode.schemes...)...)
-				if err := e.Run(src, 0); err != nil {
+				err = e.Run(src, 0)
+				if err != nil && !errors.As(err, new(*DegradedError)) {
 					t.Fatal(err)
 				}
-				return e.Metrics(), e.Snapshot()
+				return e.Metrics(), e.Snapshot(), e.RetiredLines(), err
 			}
-			wantMetrics, wantSnap := run(1, -1)
+			wantMetrics, wantSnap, wantRetired, wantErr := run(1, -1)
 			if wantMetrics[0].Writes != 2500 {
 				t.Fatalf("serial run replayed %d writes, want 2500", wantMetrics[0].Writes)
 			}
@@ -109,12 +136,20 @@ func TestEngineDeterminismMatrix(t *testing.T) {
 					if workers == 1 && ingest == -1 {
 						continue // the baseline itself
 					}
-					gotMetrics, gotSnap := run(workers, ingest)
+					gotMetrics, gotSnap, gotRetired, gotErr := run(workers, ingest)
 					if !reflect.DeepEqual(wantMetrics, gotMetrics) {
 						t.Errorf("workers=%d ingest=%d: Metrics differ from serial run", workers, ingest)
 					}
 					if !reflect.DeepEqual(wantSnap, gotSnap) {
 						t.Errorf("workers=%d ingest=%d: Snapshot differs from serial run", workers, ingest)
+					}
+					if !reflect.DeepEqual(wantRetired, gotRetired) {
+						t.Errorf("workers=%d ingest=%d: retired-line sets differ from serial run:\nserial:   %v\nparallel: %v",
+							workers, ingest, wantRetired, gotRetired)
+					}
+					if !reflect.DeepEqual(wantErr, gotErr) {
+						t.Errorf("workers=%d ingest=%d: run error differs from serial run:\nserial:   %v\nparallel: %v",
+							workers, ingest, wantErr, gotErr)
 					}
 					for i := range wantMetrics {
 						if !reflect.DeepEqual(wantMetrics[i].Wear, gotMetrics[i].Wear) {
@@ -122,6 +157,16 @@ func TestEngineDeterminismMatrix(t *testing.T) {
 								workers, ingest, wantMetrics[i].Scheme)
 						}
 					}
+				}
+			}
+			if mode.name == "stuck+repair" {
+				nRetired := 0
+				for _, rs := range wantRetired {
+					nRetired += len(rs)
+				}
+				if nRetired == 0 || wantMetrics[0].Faults.WearStuck == 0 {
+					t.Errorf("stuck+repair mode exercised no retirements/wear onset: retired %d, %+v",
+						nRetired, wantMetrics[0].Faults)
 				}
 			}
 		})

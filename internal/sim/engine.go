@@ -1,12 +1,16 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"wlcrc/internal/core"
+	"wlcrc/internal/fault"
 	"wlcrc/internal/memsys"
 	"wlcrc/internal/prng"
 	"wlcrc/internal/trace"
@@ -166,13 +170,37 @@ func NewEngine(opts Options, schemes ...core.Scheme) *Engine {
 	}
 	e.shards = make([]*shard, len(schemes)*units)
 	sampled := opts.SampleDisturb || opts.InjectFaults
+	var ecc *fault.ECC
+	var fcfg fault.Config
+	if opts.Faults.Enabled {
+		fcfg = opts.Faults.WithDefaults()
+		ecc = fault.NewECC(fcfg.ECCBits)
+	}
 	for i, sch := range schemes {
 		for u := 0; u < units; u++ {
 			var rnd *prng.Xoshiro256
-			if sampled {
-				rnd = prng.New(shardSeed(opts.Seed, i, u))
+			var fm *fault.Map
+			if sampled || opts.Faults.Enabled {
+				r := prng.New(shardSeed(opts.Seed, i, u))
+				if opts.Faults.Enabled {
+					// The fault map's threshold seed is the first draw of
+					// the shard's PRNG substream; static defects route to
+					// the unit that owns their address. The substream is
+					// handed to the shard only when disturbance sampling
+					// asked for it, so fault-only runs keep deterministic
+					// expected-value disturb accounting.
+					fm = fault.NewMap(fcfg, r.Uint64(), sch.TotalCells(), ecc)
+					for _, sc := range fcfg.Static {
+						if e.routeOf(sc.Addr) == u {
+							fm.SeedStatic(sc)
+						}
+					}
+				}
+				if sampled {
+					rnd = r
+				}
 			}
-			e.shards[i*units+u] = newShard(&e.opts, sch, rnd)
+			e.shards[i*units+u] = newShard(&e.opts, sch, rnd, fm)
 		}
 	}
 	return e
@@ -257,6 +285,18 @@ type batch struct {
 // Metrics of error-free runs are always exact and worker-count
 // independent.
 func (e *Engine) Run(src trace.Source, max int) error {
+	return e.RunContext(context.Background(), src, max)
+}
+
+// RunContext is Run with cooperative cancellation. The dispatch loop
+// (serial or ingest) checks ctx between requests: on cancellation it
+// stops reading the source, the already-dispatched batches drain
+// through the workers normally (the queues are bounded, so the drain is
+// prompt), and RunContext returns ctx.Err() — the merged metrics then
+// cover exactly the requests read before the stop, applied to every
+// scheme alike. A background context costs one nil check per request.
+func (e *Engine) RunContext(ctx context.Context, src trace.Source, max int) error {
+	done := ctx.Done()
 	chans := make([]chan batch, e.workers)
 	for i := range chans {
 		chans[i] = make(chan batch, unitChanCap)
@@ -294,9 +334,9 @@ func (e *Engine) Run(src trace.Source, max int) error {
 	ready := make([]*[]routedReq, e.units)
 	var seq uint64
 	if e.ingest > 0 {
-		seq = e.dispatchIngest(trace.Batched(src), max, chans, pending, ready, &failed, start)
+		seq = e.dispatchIngest(trace.Batched(src), max, chans, pending, ready, &failed, done, start)
 	} else {
-		seq = e.dispatchSerial(src, max, chans, pending, ready, &failed, start)
+		seq = e.dispatchSerial(src, max, chans, pending, ready, &failed, done, start)
 	}
 	// Flush every parked and pending batch — even when stopping on a
 	// failure. Determinism of the reported error depends on it: the
@@ -334,7 +374,27 @@ func (e *Engine) Run(src trace.Source, max int) error {
 			Done:       true,
 		})
 	}
-	return e.firstError()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := e.firstError(); err != nil {
+		return err
+	}
+	return degradedError(e.Metrics(), e.opts.Faults)
+}
+
+// canceled reports whether done is closed without blocking; a nil done
+// (context.Background) is never canceled.
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // dispatchSerial is the classic in-line dispatch loop: read one request
@@ -344,7 +404,7 @@ func (e *Engine) Run(src trace.Source, max int) error {
 // when ingest routers are configured; the two must fill the per-unit
 // pending buffers with identical content in identical order.
 func (e *Engine) dispatchSerial(src trace.Source, max int, chans []chan batch,
-	pending, ready []*[]routedReq, failed *atomic.Bool, start time.Time) uint64 {
+	pending, ready []*[]routedReq, failed *atomic.Bool, done <-chan struct{}, start time.Time) uint64 {
 	var (
 		lastTick = start
 		interval = e.opts.ProgressInterval
@@ -355,7 +415,7 @@ func (e *Engine) dispatchSerial(src trace.Source, max int, chans []chan batch,
 	}
 	var seq uint64
 	n := 0
-	for !failed.Load() {
+	for !failed.Load() && !canceled(done) {
 		if max > 0 && n >= max {
 			break
 		}
@@ -546,6 +606,79 @@ func (e *Engine) Reset() {
 	}
 }
 
+// RetiredLines returns the sorted retired-line addresses of every
+// scheme, index-aligned with the schemes passed to NewEngine (nil
+// per scheme when the fault model is off or nothing retired). Like
+// Metrics, it merges per-unit state in fixed order, so the sets are
+// identical for every worker count.
+func (e *Engine) RetiredLines() [][]uint64 {
+	out := make([][]uint64, len(e.schemes))
+	for i := range e.schemes {
+		var all []uint64
+		for u := 0; u < e.units; u++ {
+			if fm := e.shards[i*e.units+u].fm; fm != nil {
+				all = append(all, fm.Retired()...)
+			}
+		}
+		sortUint64(all)
+		out[i] = all
+	}
+	return out
+}
+
+// sortUint64 sorts in place (the per-unit lists are already sorted, but
+// units interleave addresses, so the merged list is not).
+func sortUint64(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// DegradedError reports a replay that completed but crossed the
+// graceful-degradation threshold: at least one scheme retired more than
+// Faults.MaxRetiredFraction of its touched lines, or recorded an
+// uncorrectable write. It carries the complete per-scheme metrics of
+// the run — the replay finished; the array is just past its serviceable
+// life — and is deterministic across worker counts like the metrics
+// themselves.
+type DegradedError struct {
+	// Schemes names the degraded schemes, in engine scheme order.
+	Schemes []string
+	// Threshold is the resolved MaxRetiredFraction the run was held to.
+	Threshold float64
+	// Metrics holds every scheme's full metrics (not just the degraded
+	// ones), as Engine.Metrics would return them.
+	Metrics []Metrics
+}
+
+// Error implements error.
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("sim: replay degraded beyond service thresholds (retired-line fraction > %.3g or uncorrectable writes) for %s",
+		e.Threshold, strings.Join(e.Schemes, ", "))
+}
+
+// degradedError evaluates the graceful-degradation threshold over a
+// finished run's merged metrics; nil when the fault model is off or
+// every scheme stayed within its serviceable envelope.
+func degradedError(ms []Metrics, cfg fault.Config) error {
+	if !cfg.Enabled {
+		return nil
+	}
+	threshold := cfg.WithDefaults().MaxRetiredFraction
+	var degraded []string
+	for _, m := range ms {
+		if m.Faults.Uncorrectable > 0 || m.Faults.RetiredFraction() > threshold {
+			degraded = append(degraded, m.Scheme)
+		}
+	}
+	if degraded == nil {
+		return nil
+	}
+	return &DegradedError{Schemes: degraded, Threshold: threshold, Metrics: ms}
+}
+
 // Replayer is the interface shared by Simulator and Engine: replay a
 // write stream, then report per-scheme metrics. The compile-time
 // asserts below keep the two frontends' surfaces in lockstep; callers
@@ -553,6 +686,7 @@ func (e *Engine) Reset() {
 // back) can program against it.
 type Replayer interface {
 	Run(src trace.Source, max int) error
+	RunContext(ctx context.Context, src trace.Source, max int) error
 	Metrics() []Metrics
 	Snapshot() []Metrics
 	MetricsFor(name string) (Metrics, bool)

@@ -224,7 +224,7 @@ func (e *Engine) assembleChunk(c *ingestChunk, chans []chan batch, pending, read
 // the globally-earliest failing request is applied, exactly like the
 // classic path.
 func (e *Engine) dispatchIngest(src trace.BatchSource, max int, chans []chan batch,
-	pending, ready []*[]routedReq, failed *atomic.Bool, start time.Time) uint64 {
+	pending, ready []*[]routedReq, failed *atomic.Bool, done <-chan struct{}, start time.Time) uint64 {
 	inflight := cap(e.freeChunks)
 	routedCh := make(chan *ingestChunk, inflight)
 	rd := &ingestReader{src: src, max: max}
@@ -234,7 +234,7 @@ func (e *Engine) dispatchIngest(src trace.BatchSource, max int, chans []chan bat
 		go func() {
 			defer rwg.Done()
 			counts := make([]int32, e.units)
-			for !failed.Load() {
+			for !failed.Load() && !canceled(done) {
 				c := <-e.freeChunks
 				if !rd.fill(c) {
 					e.freeChunks <- c

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"wlcrc/internal/core"
+	"wlcrc/internal/fault"
 	"wlcrc/internal/memline"
 	"wlcrc/internal/pcm"
 	"wlcrc/internal/prng"
@@ -86,9 +87,19 @@ type shard struct {
 	rnd *prng.Xoshiro256
 	m   Metrics
 	// wear records dense per-cell program counts when Options.TrackWear
-	// is set (nil otherwise). Owned by the shard's single goroutine;
-	// only its fixed-size Summary ever leaves, folded into metricsView.
+	// is set or the fault model is enabled (wear onset needs the
+	// counts); nil otherwise. Owned by the shard's single goroutine;
+	// only its fixed-size Summary ever leaves, folded into metricsView —
+	// and only when TrackWear asked for it.
 	wear *wear.Dense
+	// fm is the shard's stuck-at fault state and repair stats when
+	// Options.Faults.Enabled (nil otherwise — the fault-free settle path
+	// carries exactly one nil check). encodeStuck is the scheme's
+	// optional stuck-aware re-encode, the repair pipeline's first
+	// recourse; eccSc is the reusable ECC scratch of the second.
+	fm          *fault.Map
+	encodeStuck func(dst, old []pcm.State, data *memline.Line, stuck *fault.LineStuck) bool
+	eccSc       fault.ECCScratch
 
 	// pub is the last published copy of this shard's metrics, the
 	// half that makes Engine.Snapshot safe during Run: the owning worker
@@ -109,8 +120,11 @@ type shard struct {
 	errSeq uint64
 }
 
-// newShard builds a shard for sch. opts must outlive the shard.
-func newShard(opts *Options, sch core.Scheme, rnd *prng.Xoshiro256) *shard {
+// newShard builds a shard for sch. opts must outlive the shard. fm is
+// the shard's fault map (nil when the fault model is off) and implies a
+// wear recorder: wear onset compares live program counts against the
+// drawn endurance thresholds.
+func newShard(opts *Options, sch core.Scheme, rnd *prng.Xoshiro256, fm *fault.Map) *shard {
 	n := sch.TotalCells()
 	u := &shard{
 		opts:    opts,
@@ -121,14 +135,18 @@ func newShard(opts *Options, sch core.Scheme, rnd *prng.Xoshiro256) *shard {
 		rnd:     rnd,
 		m:       newMetrics(sch.Name()),
 		pub:     newMetrics(sch.Name()),
+		fm:      fm,
 	}
-	if opts.TrackWear {
+	if opts.TrackWear || fm != nil {
 		u.wear = wear.NewDense(n)
 	}
 	u.compressed = core.CompressedWriteFunc(sch)
 	u.encodeCtr = core.EncodeCtrFunc(sch)
 	u.decodeCtr = core.DecodeCtrFunc(sch)
 	u.encodeBatch = core.EncodeBatchFunc(sch)
+	if fm != nil {
+		u.encodeStuck = core.EncodeStuckFunc(sch)
+	}
 	if core.UsesCounters(sch) {
 		u.ctrs = make(map[uint64]uint64)
 	}
@@ -167,25 +185,41 @@ func (u *shard) prepare(addr uint64) (old []pcm.State, ctr uint64) {
 
 // apply replays one request through the shard's scheme, charging the
 // energy, endurance and disturbance models and updating the stored cell
-// state. It returns a non-nil error when Verify is on and the stored
-// line fails to decode back to the written data.
-func (u *shard) apply(req *trace.Request) error {
+// state. seq is the request's global trace sequence number (for
+// deterministic fault and error ordering). It returns a non-nil error
+// when Verify is on and the stored line fails to decode back to the
+// written data, or when FailFast is on and the fault pipeline hit an
+// uncorrectable stuck line.
+func (u *shard) apply(req *trace.Request, seq uint64) error {
 	old, ctr := u.prepare(req.Addr)
 	dst := u.takeSpare()
 	u.encodeCtr(dst, old, req.Addr, ctr, &req.New)
-	return u.settle(dst, old, req.Addr, ctr, &req.New)
+	return u.settle(dst, old, req.Addr, ctr, seq, &req.New)
 }
 
 // settle charges the accounting models for one encoded write and commits
-// it: energy/endurance/disturbance accumulation, histograms, wear,
+// it: fault detection and repair first (it may re-encode newCells),
+// then energy/endurance/disturbance accumulation, histograms, wear,
 // compression classification, optional fault injection, then the buffer
 // swap that stores dst and recycles the previous states. Requests of one
 // shard settle strictly in trace order — the PRNG draws of the sampled
 // models happen here, so batching the encodes never perturbs them.
-func (u *shard) settle(newCells, old []pcm.State, addr, ctr uint64, data *memline.Line) error {
+//
+// Under the fault model, newCells is the intended encode throughout the
+// accounting (the controller attempts to program it, so energy and wear
+// charge the attempt); the stuck cells' frozen states are overlaid just
+// before the commit, so the stored line is the physical view future
+// writes diff against, while Verify checks the intended content —
+// whose recoverability from the physical states the ECC classification
+// has already established.
+func (u *shard) settle(newCells, old []pcm.State, addr, ctr, seq uint64, data *memline.Line) error {
 	sch := u.scheme
 	m := &u.m
 	m.Writes++
+	var faultErr error
+	if u.fm != nil {
+		faultErr = u.repairFaults(newCells, old, addr, ctr, seq, data)
+	}
 	st, changed := u.opts.Energy.DiffWriteMask(old, newCells, sch.DataCells(), u.changed)
 	m.Energy.Add(st)
 	u.changed = changed
@@ -207,22 +241,124 @@ func (u *shard) settle(newCells, old []pcm.State, addr, ctr uint64, data *memlin
 		m.CompressedWrites++
 	}
 	if u.opts.InjectFaults {
-		u.runVnR(newCells, u.changed, u.opts.MaxVnRIterations)
+		u.runVnR(newCells, u.changed, u.opts.MaxVnRIterations, addr)
+	}
+	var verifyErr error
+	if u.opts.Verify {
+		got := &u.decodeBuf
+		u.decodeCtr(newCells, addr, ctr, got)
+		if !got.Equal(data) {
+			m.DecodeErrors++
+			verifyErr = fmt.Errorf("sim: %s: decode mismatch at addr %#x", sch.Name(), addr)
+		}
+	}
+	if u.fm != nil {
+		// Wear onset: cells crossing their endurance threshold freeze at
+		// the state this write just programmed. Then persist the ECC
+		// parity of the intended content and overlay the frozen states,
+		// making newCells the physically stored line.
+		u.fm.OnWrite(addr, u.changed, newCells, u.wear.LineCounts(addr))
+		if ls := u.fm.Stuck(addr); ls != nil {
+			u.fm.StoreParity(addr, newCells, &u.eccSc)
+			ls.Overlay(newCells)
+		}
 	}
 	// Swap the buffers: the freshly-encoded states become the stored
 	// line; the previous stored line (or the first-touch initial vector)
 	// becomes a future request's encode target.
 	u.mem[addr] = newCells
 	u.putSpare(old)
-	if u.opts.Verify {
-		got := &u.decodeBuf
-		u.decodeCtr(newCells, addr, ctr, got)
-		if !got.Equal(data) {
-			m.DecodeErrors++
-			return fmt.Errorf("sim: %s: decode mismatch at addr %#x", sch.Name(), addr)
+	if verifyErr != nil {
+		return verifyErr
+	}
+	return faultErr
+}
+
+// repairFaults is the per-write detection and repair pipeline of the
+// fault model, run before the write's accounting so the models charge
+// what the controller actually programs. Write-verify against the stuck
+// map detects intended states that disagree with frozen cells; the
+// recourses, in order:
+//
+//  1. stuck-aware re-encode — coset schemes search for a candidate
+//     assignment matching every stuck cell (free if one exists);
+//  2. ECC classification — the interleaved BCH budget covers the
+//     mismatches, so reads will correct the stored line back to the
+//     intended content;
+//  3. line retirement — the address remaps to a healthy spare line and
+//     the write re-encodes against a fresh initial vector;
+//  4. uncorrectable — counted, and fatal only under Options.FailFast.
+//
+// Every step is a pure function of the shard's own trace-ordered
+// history, so the outcome is bit-identical for every worker count.
+func (u *shard) repairFaults(newCells, old []pcm.State, addr, ctr, seq uint64, data *memline.Line) error {
+	ls := u.fm.Stuck(addr)
+	if ls == nil || ls.MismatchCount(newCells) == 0 {
+		return nil
+	}
+	st := &u.fm.Stats
+	st.Detected++
+	if u.encodeStuck != nil {
+		st.Retries++
+		if u.encodeStuck(newCells, old, data, ls) {
+			st.RetriedOK++
+			return nil
 		}
+		// The failed retry may have partially filled newCells; restore
+		// the canonical encode before pricing it against the ECC.
+		u.encodeCtr(newCells, old, addr, ctr, data)
+	}
+	if bits, ok := u.fm.Correct(newCells, ls, &u.eccSc); ok {
+		st.CorrectedBits += uint64(bits)
+		st.CorrectedWrites++
+		return nil
+	}
+	if u.fm.Retire(addr, u.wear.LineCounts(addr), seq) {
+		// The spare line is pristine: restart from the initial RESET
+		// vector and re-encode against it. The address keeps its write
+		// counter — counters are address metadata and survive the remap.
+		for i := range old {
+			old[i] = pcm.S1
+		}
+		u.encodeCtr(newCells, old, addr, ctr, data)
+		return nil
+	}
+	st.Uncorrectable++
+	if u.opts.FailFast {
+		return fmt.Errorf("sim: %s: uncorrectable stuck-at fault at addr %#x (%d stuck cells exceed the %d-bit ECC budget, spare pool empty)",
+			u.scheme.Name(), addr, ls.N, u.fm.ECC().BudgetBits())
 	}
 	return nil
+}
+
+// readLine decodes the current content of addr the way a controller
+// read would: fetch the physically stored states, run the ECC recovery
+// against the line's stored parity when it has stuck cells, then decode
+// the scheme. ok=false means the address was never written; an error
+// means the line is uncorrectably corrupted (deterministically so).
+func (u *shard) readLine(addr uint64, dst *memline.Line) (ok bool, err error) {
+	phys, ok := u.mem[addr]
+	if !ok {
+		return false, nil
+	}
+	cells := phys
+	if u.fm != nil {
+		if cap(u.vnrStored) < len(phys) {
+			u.vnrStored = make([]pcm.State, len(phys))
+			u.vnrRestore = make([]bool, len(phys))
+		}
+		rec, recOK := u.fm.Recover(addr, phys, u.vnrStored[:len(phys)], &u.eccSc)
+		if !recOK {
+			return true, fmt.Errorf("sim: %s: uncorrectable read at addr %#x", u.scheme.Name(), addr)
+		}
+		cells = rec
+	}
+	var ctr uint64
+	if u.ctrs != nil {
+		ctr = u.ctrs[addr]
+	}
+	u.decodeCtr(cells, addr, ctr, dst)
+	return true, nil
 }
 
 // runHasAddr reports whether the open batch-encode run already contains
@@ -286,7 +422,7 @@ func (u *shard) flushRun() (errSeq uint64, err error) {
 			u.putSpare(j.Dst)
 			continue
 		}
-		if e := u.settle(j.Dst, j.Old, j.Addr, j.Ctr, j.Data); e != nil {
+		if e := u.settle(j.Dst, j.Old, j.Addr, j.Ctr, u.jobSeqs[k], j.Data); e != nil {
 			err, errSeq = e, u.jobSeqs[k]
 		}
 	}
@@ -300,8 +436,11 @@ func (u *shard) flushRun() (errSeq uint64, err error) {
 // it; concurrent readers go through the published copy instead.
 func (u *shard) metricsView() Metrics {
 	m := u.m
-	if u.wear != nil {
+	if u.wear != nil && u.opts.TrackWear {
 		m.Wear = u.wear.Summary()
+	}
+	if u.fm != nil {
+		m.Faults = u.fm.Stats
 	}
 	return m
 }
@@ -343,6 +482,9 @@ func (u *shard) resetMetrics() {
 	if u.wear != nil {
 		u.wear.Reset()
 	}
+	if u.fm != nil {
+		u.fm.ResetStats()
+	}
 	u.err = nil
 	u.errSeq = 0
 	u.pubWrites = 0
@@ -359,6 +501,9 @@ func (u *shard) reset() {
 	}
 	if u.wear != nil {
 		u.wear = wear.NewDense(u.scheme.TotalCells())
+	}
+	if u.fm != nil {
+		u.fm.Reset()
 	}
 	u.resetMetrics()
 }

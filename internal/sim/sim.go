@@ -19,11 +19,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"wlcrc/internal/core"
+	"wlcrc/internal/fault"
 	"wlcrc/internal/memsys"
 	"wlcrc/internal/pcm"
 	"wlcrc/internal/prng"
@@ -67,6 +69,11 @@ type Metrics struct {
 	// Options.InjectFaults is set.
 	VnR VnRStats
 
+	// Faults reports the stuck-at fault lifecycle — stuck cells,
+	// repair-pipeline recourse counts, retired lines, uncorrectable
+	// writes — when Options.Faults.Enabled is set.
+	Faults fault.Stats
+
 	// EnergyHist is the distribution of per-write total programming
 	// energy (pJ), and UpdatedHist of per-write programmed cells — the
 	// online form of the Figure 8/9 series: fixed-bucket, mergeable, and
@@ -106,6 +113,7 @@ func (m *Metrics) Merge(o Metrics) {
 	m.CompressedWrites += o.CompressedWrites
 	m.DecodeErrors += o.DecodeErrors
 	m.VnR.Merge(o.VnR)
+	m.Faults.Merge(o.Faults)
 	m.EnergyHist.Merge(o.EnergyHist)
 	m.UpdatedHist.Merge(o.UpdatedHist)
 	m.Wear.Merge(o.Wear)
@@ -219,6 +227,25 @@ type Options struct {
 	// only guards against pathological restore-disturb ping-pong.
 	MaxVnRIterations int
 
+	// Faults enables the stuck-at fault lifetime model and its repair
+	// pipeline (internal/fault): cells wear out against deterministic
+	// endurance thresholds and freeze at their last-programmed state,
+	// writes that disagree with stuck cells are repaired by stuck-aware
+	// re-encoding, ECC, or line retirement to a spare pool, and
+	// Metrics.Faults reports the lifecycle. Off by default; when off the
+	// replay hot path carries no fault overhead.
+	Faults fault.Config
+	// FailFast restores the pre-fault-model failure semantics: an
+	// uncorrectable stuck line (ECC budget exceeded, spare pool empty)
+	// freezes its unit and aborts the run with the earliest such error,
+	// exactly like a Verify decode mismatch. With FailFast off (the
+	// default) uncorrectable writes are only counted and the full trace
+	// replays; a run whose retired-line fraction exceeds
+	// Faults.MaxRetiredFraction — or that recorded any uncorrectable
+	// write — then returns a *DegradedError carrying the complete
+	// metrics. Decode mismatches of a buggy scheme abort regardless.
+	FailFast bool
+
 	// Workers is the number of goroutines an Engine replays with.
 	// 0 means runtime.GOMAXPROCS(0); 1 is the serial mode; values above
 	// the routing-unit count (banks x sub-shards, see Geometry) are
@@ -331,6 +358,10 @@ type Simulator struct {
 	opts Options
 	// shards holds one full-address-space shard per scheme.
 	shards []*shard
+	// seq numbers requests across Write/Run calls — the serial
+	// counterpart of the engine's global trace sequence, feeding the
+	// fault model's writes-to-first-retirement accounting.
+	seq uint64
 }
 
 // New builds a simulator for the given schemes.
@@ -338,22 +369,44 @@ func New(opts Options, schemes ...core.Scheme) *Simulator {
 	if opts.MaxVnRIterations == 0 {
 		opts.MaxVnRIterations = 16
 	}
+	sampled := opts.SampleDisturb || opts.InjectFaults
 	var rnd *prng.Xoshiro256
-	if opts.SampleDisturb || opts.InjectFaults {
+	if sampled || opts.Faults.Enabled {
 		rnd = prng.New(opts.Seed)
+	}
+	var ecc *fault.ECC
+	var fcfg fault.Config
+	if opts.Faults.Enabled {
+		fcfg = opts.Faults.WithDefaults()
+		ecc = fault.NewECC(fcfg.ECCBits)
 	}
 	s := &Simulator{opts: opts}
 	s.shards = make([]*shard, len(schemes))
 	for i, sch := range schemes {
-		s.shards[i] = newShard(&s.opts, sch, rnd)
+		var fm *fault.Map
+		if opts.Faults.Enabled {
+			// Seed each scheme's map from the shared stream (drawn in
+			// fixed scheme order at construction, before any replay).
+			fm = fault.NewMap(fcfg, rnd.Uint64(), sch.TotalCells(), ecc)
+			for _, sc := range fcfg.Static {
+				fm.SeedStatic(sc)
+			}
+		}
+		shardRnd := rnd
+		if !sampled {
+			shardRnd = nil
+		}
+		s.shards[i] = newShard(&s.opts, sch, shardRnd, fm)
 	}
 	return s
 }
 
 // Write replays one request through every scheme.
 func (s *Simulator) Write(req trace.Request) error {
+	seq := s.seq
+	s.seq++
 	for _, u := range s.shards {
-		if err := u.apply(&req); err != nil {
+		if err := u.apply(&req, seq); err != nil {
 			return err
 		}
 	}
@@ -363,20 +416,32 @@ func (s *Simulator) Write(req trace.Request) error {
 // Run drains a source through the simulator, stopping after max requests
 // when max > 0.
 func (s *Simulator) Run(src trace.Source, max int) error {
+	return s.RunContext(context.Background(), src, max)
+}
+
+// RunContext is Run with cooperative cancellation: the loop checks ctx
+// between requests and returns ctx.Err() with the metrics of the prefix
+// replayed so far.
+func (s *Simulator) RunContext(ctx context.Context, src trace.Source, max int) error {
+	done := ctx.Done()
 	n := 0
 	for {
+		if canceled(done) {
+			return ctx.Err()
+		}
 		if max > 0 && n >= max {
-			return nil
+			break
 		}
 		req, ok := src.Next()
 		if !ok {
-			return nil
+			break
 		}
 		if err := s.Write(req); err != nil {
 			return err
 		}
 		n++
 	}
+	return degradedError(s.Metrics(), s.opts.Faults)
 }
 
 // Metrics returns the accumulated per-scheme metrics, index-aligned with
@@ -418,4 +483,5 @@ func (s *Simulator) Reset() {
 	for _, u := range s.shards {
 		u.reset()
 	}
+	s.seq = 0
 }

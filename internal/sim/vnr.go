@@ -37,7 +37,10 @@ func (v *VnRStats) Merge(o VnRStats) {
 // content); changed marks the cells this write programmed. The array's
 // stored state is corrupted in place and then restored; the shard's VnR
 // stats describe the repair effort. maxIter caps the restore loop.
-func (u *shard) runVnR(cells []pcm.State, changed []bool, maxIter int) {
+// Residual errors at the cap — disturbance VnR never cleared — feed the
+// fault pipeline when it is enabled: the affected cells of addr are
+// injected as stuck at the disturbed SET state.
+func (u *shard) runVnR(cells []pcm.State, changed []bool, maxIter int, addr uint64) {
 	m := &u.m
 	if cap(u.vnrStored) < len(cells) {
 		u.vnrStored = make([]pcm.State, len(cells))
@@ -81,5 +84,28 @@ func (u *shard) runVnR(cells []pcm.State, changed []bool, maxIter int) {
 	}
 	if len(hits) > 0 {
 		m.VnR.Residual += uint64(len(hits))
+		if u.fm != nil {
+			u.injectResiduals(addr, cells, hits)
+		}
+	}
+}
+
+// injectResiduals freezes VnR residual cells at the SET state the
+// disturbance drove them to and classifies the line's recoverability:
+// residuals beyond the ECC budget make reads of the line deterministic
+// garbage, counted as uncorrectable (no retry or retirement recourse —
+// the write itself succeeded; the corruption crept in afterwards).
+func (u *shard) injectResiduals(addr uint64, cells []pcm.State, hits []int) {
+	injected := 0
+	for _, c := range hits {
+		if u.fm.InjectStuck(addr, c, pcm.S2) {
+			injected++
+		}
+	}
+	if injected == 0 {
+		return
+	}
+	if _, ok := u.fm.Correct(cells, u.fm.Stuck(addr), &u.eccSc); !ok {
+		u.fm.Stats.Uncorrectable++
 	}
 }

@@ -286,6 +286,20 @@ func (d *Dense) CellWear(addr uint64, cell int) uint32 {
 	return d.counts[sl*d.cellsPerLine+cell]
 }
 
+// LineCounts returns the live per-cell program counts of one line, or
+// nil for untracked lines. The slice aliases the recorder's storage —
+// valid only until the next Record/RecordChanged (which may grow the
+// array) and must not be modified. The fault model reads it to compare
+// a line's wear against its endurance thresholds without copying.
+func (d *Dense) LineCounts(addr uint64) []uint32 {
+	sl, ok := d.slots[addr]
+	if !ok {
+		return nil
+	}
+	base := sl * d.cellsPerLine
+	return d.counts[base : base+d.cellsPerLine]
+}
+
 // Summary returns the current mergeable digest. The copy is detached:
 // later writes do not affect it.
 func (d *Dense) Summary() Summary { return d.s }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"wlcrc/internal/fault"
 	"wlcrc/internal/sim"
 )
 
@@ -19,6 +20,29 @@ type Metrics = sim.Metrics
 // dispatched, elapsed time (Rate() combines them), and per-worker queue
 // depths.
 type Progress = sim.Progress
+
+// FaultConfig enables and parameterizes the stuck-at fault model: cell
+// endurance and its spread, pre-seeded static defects, the per-line ECC
+// budget, the spare-line pool, and the graceful-degradation threshold.
+// The zero value (Enabled false) keeps the fault machinery — and its
+// replay cost — entirely off.
+type FaultConfig = fault.Config
+
+// FaultStats is the per-scheme fault/repair digest a fault-enabled
+// Replay folds into Metrics.Faults: stuck-cell counts by origin, repair
+// recourse counters (retries, ECC corrections, retirements, remap
+// hits), uncorrectable writes, and the sequence number of the first
+// retirement.
+type FaultStats = fault.Stats
+
+// StuckCell pre-seeds one manufacturing defect via FaultConfig.Static.
+type StuckCell = fault.StuckCell
+
+// DegradedError reports a fault-enabled replay that completed but
+// breached its service thresholds: too many retired lines or at least
+// one uncorrectable write. The metrics inside are complete — the whole
+// trace replayed before the verdict.
+type DegradedError = sim.DegradedError
 
 // ReplayOptions configures Replay.
 type ReplayOptions struct {
@@ -47,6 +71,15 @@ type ReplayOptions struct {
 	// Progress, when non-nil, receives live dispatcher reports roughly
 	// twice a second while the replay runs.
 	Progress func(Progress)
+	// Faults enables the stuck-at fault model and repair pipeline
+	// (write-verify, stuck-aware re-encode, interleaved BCH ECC, line
+	// retirement). Fault statistics land in each scheme's
+	// Metrics.Faults; a replay that breaches the degradation thresholds
+	// returns a *DegradedError alongside complete metrics.
+	Faults FaultConfig
+	// FailFast aborts a fault-enabled replay at the first uncorrectable
+	// write instead of degrading gracefully to end-of-trace.
+	FailFast bool
 }
 
 // Replay replays n requests from the workload through every scheme on
@@ -66,8 +99,15 @@ func Replay(w *Workload, n int, opts ReplayOptions, schemes ...Scheme) ([]Metric
 	o.Seed = opts.Seed
 	o.TrackWear = opts.TrackWear
 	o.Progress = opts.Progress
+	o.Faults = opts.Faults
+	o.FailFast = opts.FailFast
 	e := sim.NewEngine(o, schemes...)
 	if err := e.Run(w.src, n); err != nil {
+		// A degraded fault-model run still replayed everything: hand the
+		// caller the metrics next to the verdict.
+		if _, ok := err.(*DegradedError); ok {
+			return e.Metrics(), err
+		}
 		return nil, err
 	}
 	return e.Metrics(), nil

@@ -1,6 +1,7 @@
 package wlcrc_test
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -213,5 +214,52 @@ func TestReplayIngestMatchesSerial(t *testing.T) {
 				t.Errorf("workers=%d ingest=%d: metrics differ from serial replay", workers, ingest)
 			}
 		}
+	}
+}
+
+// TestReplayFaultModel drives the stuck-at fault model through the
+// public API: an accelerated-endurance replay accumulates fault stats
+// in Metrics.Faults, stays worker-count deterministic, and a run that
+// breaches the degradation threshold returns a *DegradedError together
+// with complete metrics.
+func TestReplayFaultModel(t *testing.T) {
+	faults := wlcrc.FaultConfig{
+		Enabled:         true,
+		CellEndurance:   8,
+		EnduranceSpread: 0.5,
+		ECCBits:         4,
+		SpareLines:      4,
+		Static:          []wlcrc.StuckCell{{Addr: 3, Cell: 17, State: 2}},
+	}
+	run := func(workers int) ([]wlcrc.Metrics, error) {
+		w, err := wlcrc.NewWorkload("gcc", 96, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wlcrc.Replay(w, 2000, wlcrc.ReplayOptions{Workers: workers, Seed: 13, Faults: faults},
+			wlcrc.MustScheme("Baseline"), wlcrc.MustScheme("WLCRC-16"))
+	}
+	ms, err := run(1)
+	var de *wlcrc.DegradedError
+	if err != nil && !errors.As(err, &de) {
+		t.Fatal(err)
+	}
+	if ms == nil {
+		t.Fatal("no metrics returned alongside the replay verdict")
+	}
+	for _, m := range ms {
+		if m.Writes != 2000 {
+			t.Errorf("%s: %d writes, want 2000 (graceful mode replays the whole trace)", m.Scheme, m.Writes)
+		}
+		if m.Faults.StuckCells == 0 || m.Faults.LinesTouched == 0 {
+			t.Errorf("%s: fault model left no trace in metrics: %+v", m.Scheme, m.Faults)
+		}
+	}
+	ms4, err4 := run(4)
+	if !reflect.DeepEqual(ms, ms4) {
+		t.Error("fault-enabled replay metrics depend on worker count")
+	}
+	if !reflect.DeepEqual(err, err4) {
+		t.Errorf("fault-enabled replay verdict depends on worker count:\nserial:   %v\nparallel: %v", err, err4)
 	}
 }
