@@ -28,6 +28,7 @@ import (
 
 	"wlcrc/internal/exp"
 	"wlcrc/internal/hw"
+	"wlcrc/internal/profiling"
 	"wlcrc/internal/sim"
 	"wlcrc/internal/stats"
 )
@@ -44,8 +45,17 @@ func main() {
 		encrypted = flag.Bool("encrypted", false, "replay every workload in counter-mode encrypted (whitened) form")
 		key       = flag.Uint64("key", 0, "encryption key for -encrypted and the VCC/Enc schemes (0 = default key)")
 		useVCC    = flag.Bool("vcc", false, "append VCC-2,VCC-4,VCC-8 to the fig8/9/10 evaluation matrix")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		execTrace  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 
 	cfg := exp.DefaultConfig()
 	cfg.WritesPerBenchmark = *writes
@@ -155,8 +165,13 @@ func main() {
 			fmt.Println(getEval().Headline())
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", id)
+			stopProf()
 			os.Exit(2)
 		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
 }
 

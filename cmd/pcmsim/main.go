@@ -33,7 +33,10 @@
 // -progress streams live dispatcher throughput and per-worker queue
 // depths to stderr while a replay runs; -wear enables dense per-cell
 // wear tracking and appends a wear report (worst-cell wear, wear CDF
-// quantiles, first-cell-failure projection) per scheme.
+// quantiles, first-cell-failure projection) per scheme. -cpuprofile,
+// -memprofile and -exectrace write a pprof CPU profile, a heap profile
+// and a runtime execution trace of the replay (-trace already names the
+// input trace file, hence -exectrace).
 //
 // -faults enables the stuck-at fault model: cells wear out (mean
 // endurance -fault-endurance, spread -fault-spread) or start defective
@@ -69,6 +72,7 @@ import (
 	"wlcrc/internal/core"
 	"wlcrc/internal/fault"
 	"wlcrc/internal/memsys"
+	"wlcrc/internal/profiling"
 	"wlcrc/internal/sim"
 	"wlcrc/internal/stats"
 	"wlcrc/internal/trace"
@@ -103,8 +107,15 @@ func main() {
 		faultRetire = flag.Float64("fault-retire-frac", 0, "retired-line fraction of touched lines that ends the run degraded (0 = 0.25)")
 		faultStatic = flag.Int("fault-static", 0, "pre-seed N random stuck cells (manufacturing defects) over the first -footprint lines (4096 when unset)")
 		failFast    = flag.Bool("failfast", false, "abort replay on the first uncorrectable write instead of degrading gracefully")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		execTrace   = flag.String("exectrace", "", "write a runtime execution trace to this file (-trace names the input trace file)")
 	)
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.EncryptionKey = *key
@@ -318,6 +329,10 @@ func main() {
 				stats.Percent(s.Utilization()))
 		}
 		fmt.Print(mt.String())
+	}
+	if err := stopProf(); err != nil {
+		log.Print(err)
+		failed = true
 	}
 	if failed {
 		os.Exit(1)

@@ -1,0 +1,159 @@
+// Package arena provides flat plane-resident line storage: every stored
+// line is a fixed-stride run of uint64 bit-plane words inside one
+// contiguous slab, addressed by an open-addressed slot index keyed on
+// the line address. It replaces the map[addr][]state line stores of the
+// replay hot path — one multiply-shift hash probe instead of a map
+// lookup per request, 16-byte-aligned contiguous line images instead of
+// pointer-chased cell vectors, and a Reset that keeps every allocation.
+package arena
+
+import "math/bits"
+
+// fibK is the 64-bit Fibonacci hashing multiplier (2^64 / phi). Line
+// addresses are dense small integers under most traces; the multiply
+// spreads them across the high bits the index shift keeps.
+const fibK = 0x9E3779B97F4A7C15
+
+// minIndexBits sizes the smallest slot index (64 entries).
+const minIndexBits = 6
+
+// Lines is a flat arena of plane-resident lines. The zero value is not
+// ready to use; call New. Lines is not safe for concurrent use.
+type Lines struct {
+	stride int      // plane words per line
+	planes []uint64 // live*stride words; slot s at [s*stride, (s+1)*stride)
+	addrs  []uint64 // slot -> line address
+	zero   []uint64 // stride zero words, the append source of fresh slots
+	// index is the open-addressed hash table: entries hold slot+1, 0 is
+	// empty. Capacity is a power of two, grown at 3/4 load; collisions
+	// probe linearly.
+	index []int32
+	shift uint // 64 - log2(len(index))
+}
+
+// New builds an arena for lines of the given plane-word stride, with
+// capacity preallocated for capHint lines (0 for the minimal table).
+func New(stride, capHint int) *Lines {
+	a := &Lines{stride: stride, zero: make([]uint64, stride)}
+	a.rehash(1 << minIndexBits)
+	if capHint > 0 {
+		a.Reserve(capHint)
+	}
+	return a
+}
+
+// Stride returns the plane words per line.
+func (a *Lines) Stride() int { return a.stride }
+
+// Len returns the number of stored lines.
+func (a *Lines) Len() int { return len(a.addrs) }
+
+// Planes returns slot's plane words. The slice stays valid until the
+// next Ensure or Reserve call, which may move the slab.
+func (a *Lines) Planes(slot int) []uint64 {
+	return a.planes[slot*a.stride : (slot+1)*a.stride : (slot+1)*a.stride]
+}
+
+// Addr returns the line address stored at slot.
+func (a *Lines) Addr(slot int) uint64 { return a.addrs[slot] }
+
+// find probes for addr: it returns the slot holding it, or -1 and the
+// index position where it would insert.
+func (a *Lines) find(addr uint64) (pos uint64, slot int32) {
+	mask := uint64(len(a.index) - 1)
+	i := (addr * fibK) >> a.shift
+	for {
+		s := a.index[i]
+		if s == 0 {
+			return i, -1
+		}
+		if a.addrs[s-1] == addr {
+			return i, s - 1
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Lookup returns the slot storing addr, or ok=false.
+func (a *Lines) Lookup(addr uint64) (slot int, ok bool) {
+	_, s := a.find(addr)
+	return int(s), s >= 0
+}
+
+// Ensure returns addr's slot, inserting a fresh all-zero-plane line
+// (the all-S1 initial RESET vector) on first touch. Warmed addresses
+// never allocate.
+func (a *Lines) Ensure(addr uint64) (slot int, fresh bool) {
+	pos, s := a.find(addr)
+	if s >= 0 {
+		return int(s), false
+	}
+	if (len(a.addrs)+1)*4 > len(a.index)*3 {
+		a.rehash(len(a.index) * 2)
+		pos, _ = a.find(addr)
+	}
+	slot = len(a.addrs)
+	a.addrs = append(a.addrs, addr)
+	if need := (slot + 1) * a.stride; need <= cap(a.planes) {
+		// Reused capacity from a Reset: re-zero the recycled slot.
+		a.planes = a.planes[:need]
+		clear(a.planes[need-a.stride : need])
+	} else {
+		a.planes = append(a.planes, a.zero...)
+	}
+	a.index[pos] = int32(slot + 1)
+	return slot, true
+}
+
+// Reserve grows the arena's capacity to hold at least n lines without
+// further slab or index allocations. It never shrinks.
+func (a *Lines) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if size := indexSize(n); size > len(a.index) {
+		a.rehash(size)
+	}
+	if want := n * a.stride; want > cap(a.planes) {
+		grown := make([]uint64, len(a.planes), want)
+		copy(grown, a.planes)
+		a.planes = grown
+	}
+	if n > cap(a.addrs) {
+		grown := make([]uint64, len(a.addrs), n)
+		copy(grown, a.addrs)
+		a.addrs = grown
+	}
+}
+
+// indexSize returns the smallest power-of-two table size keeping n
+// entries under 3/4 load.
+func indexSize(n int) int {
+	size := 1 << minIndexBits
+	for size*3 < n*4 {
+		size <<= 1
+	}
+	return size
+}
+
+// rehash rebuilds the index at the given power-of-two size.
+func (a *Lines) rehash(size int) {
+	a.index = make([]int32, size)
+	a.shift = uint(64 - bits.Len(uint(size-1)))
+	mask := uint64(size - 1)
+	for s, addr := range a.addrs {
+		i := (addr * fibK) >> a.shift
+		for a.index[i] != 0 {
+			i = (i + 1) & mask
+		}
+		a.index[i] = int32(s + 1)
+	}
+}
+
+// Reset drops every stored line but keeps the slab, the address list
+// and the index table — the next fill reuses all of it.
+func (a *Lines) Reset() {
+	a.planes = a.planes[:0]
+	a.addrs = a.addrs[:0]
+	clear(a.index)
+}

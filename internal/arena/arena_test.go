@@ -1,0 +1,202 @@
+package arena
+
+import (
+	"testing"
+)
+
+const testStride = 18 // a 257-cell scheme: 9 word pairs
+
+// fill stamps a recognizable per-slot pattern into slot's planes.
+func fill(a *Lines, slot int, tag uint64) {
+	p := a.Planes(slot)
+	for i := range p {
+		p[i] = tag<<32 | uint64(i)
+	}
+}
+
+// check verifies the pattern fill stamped.
+func check(t *testing.T, a *Lines, slot int, tag uint64) {
+	t.Helper()
+	p := a.Planes(slot)
+	if len(p) != a.Stride() {
+		t.Fatalf("Planes(%d) has %d words, want %d", slot, len(p), a.Stride())
+	}
+	for i := range p {
+		if p[i] != tag<<32|uint64(i) {
+			t.Fatalf("slot %d word %d = %#x, want tag %#x", slot, i, p[i], tag)
+		}
+	}
+}
+
+func TestEnsureLookupBasic(t *testing.T) {
+	a := New(testStride, 0)
+	if a.Len() != 0 {
+		t.Fatalf("fresh arena has %d lines", a.Len())
+	}
+	if _, ok := a.Lookup(42); ok {
+		t.Fatal("Lookup hit on an empty arena")
+	}
+	slot, fresh := a.Ensure(42)
+	if !fresh {
+		t.Fatal("first Ensure not fresh")
+	}
+	for _, w := range a.Planes(slot) {
+		if w != 0 {
+			t.Fatal("fresh slot not zeroed")
+		}
+	}
+	if got, ok := a.Lookup(42); !ok || got != slot {
+		t.Fatalf("Lookup(42) = %d,%v after Ensure gave %d", got, ok, slot)
+	}
+	if s2, fresh := a.Ensure(42); fresh || s2 != slot {
+		t.Fatalf("second Ensure(42) = %d, fresh=%v", s2, fresh)
+	}
+	if a.Addr(slot) != 42 || a.Len() != 1 {
+		t.Fatalf("Addr=%d Len=%d", a.Addr(slot), a.Len())
+	}
+}
+
+// TestSlotsAreFirstTouchOrdered pins the slot assignment the wear
+// recorder's dense slot array relies on: slot k is the k-th distinct
+// address ever ensured.
+func TestSlotsAreFirstTouchOrdered(t *testing.T) {
+	a := New(testStride, 0)
+	addrs := []uint64{900, 3, 77, 0, 1 << 40}
+	for k, addr := range addrs {
+		if slot, _ := a.Ensure(addr); slot != k {
+			t.Fatalf("Ensure(%d) -> slot %d, want %d", addr, slot, k)
+		}
+	}
+}
+
+// TestGrowthPreservesLines inserts far past the initial table and slab
+// capacity — forcing several rehashes and slab moves — and demands
+// every line's content and addressing survive. Addresses are spread
+// (dense, strided, and high-bit) to exercise collision probing.
+func TestGrowthPreservesLines(t *testing.T) {
+	a := New(testStride, 0)
+	const n = 5000
+	addrOf := func(k int) uint64 {
+		switch k % 3 {
+		case 0:
+			return uint64(k)
+		case 1:
+			return uint64(k) << 20
+		default:
+			return uint64(k)<<44 | 0xfff
+		}
+	}
+	slots := make(map[uint64]int, n)
+	for k := 0; k < n; k++ {
+		addr := addrOf(k)
+		slot, fresh := a.Ensure(addr)
+		if !fresh {
+			t.Fatalf("addr %#x duplicated at k=%d", addr, k)
+		}
+		slots[addr] = slot
+		fill(a, slot, addr)
+	}
+	if a.Len() != n {
+		t.Fatalf("Len = %d, want %d", a.Len(), n)
+	}
+	for addr, slot := range slots {
+		got, ok := a.Lookup(addr)
+		if !ok || got != slot {
+			t.Fatalf("Lookup(%#x) = %d,%v, want slot %d", addr, got, ok, slot)
+		}
+		if a.Addr(slot) != addr {
+			t.Fatalf("Addr(%d) = %#x, want %#x", slot, a.Addr(slot), addr)
+		}
+		check(t, a, slot, addr)
+	}
+}
+
+// TestReserveNoGrowthAllocs pins the Count()-hint path: after
+// Reserve(n), inserting n lines performs zero heap allocations.
+func TestReserveNoGrowthAllocs(t *testing.T) {
+	a := New(testStride, 0)
+	const n = 1000
+	a.Reserve(n)
+	k := uint64(0)
+	avg := testing.AllocsPerRun(n, func() {
+		slot, _ := a.Ensure(k * 977)
+		fill(a, slot, k*977)
+		k++
+	})
+	if avg != 0 {
+		t.Fatalf("insert after Reserve allocates %.2f objects/op, want 0", avg)
+	}
+	for i := uint64(0); i < k; i++ {
+		slot, ok := a.Lookup(i * 977)
+		if !ok {
+			t.Fatalf("addr %d missing", i*977)
+		}
+		check(t, a, slot, i*977)
+	}
+}
+
+// TestResetKeepsFootprintAndZeroes covers the shard reset fix: after
+// Reset, the arena is empty, refilling allocates nothing, and recycled
+// slots come back fully zeroed even though the slab kept the old bytes.
+func TestResetKeepsFootprintAndZeroes(t *testing.T) {
+	a := New(testStride, 0)
+	const n = 300
+	for k := uint64(0); k < n; k++ {
+		slot, _ := a.Ensure(k)
+		fill(a, slot, ^k) // dirty every word
+	}
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", a.Len())
+	}
+	if _, ok := a.Lookup(5); ok {
+		t.Fatal("Lookup hit after Reset")
+	}
+	k := uint64(1)
+	avg := testing.AllocsPerRun(n-1, func() {
+		slot, fresh := a.Ensure(k * 3)
+		if !fresh {
+			t.Fatal("refill found a stale entry")
+		}
+		for _, w := range a.Planes(slot) {
+			if w != 0 {
+				t.Fatalf("recycled slot %d not re-zeroed", slot)
+			}
+		}
+		k++
+	})
+	if avg != 0 {
+		t.Fatalf("refill after Reset allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestPlanesSliceCapped guards against append-through-slice corruption:
+// a slot's Planes view must not reach into the next slot.
+func TestPlanesSliceCapped(t *testing.T) {
+	a := New(testStride, 0)
+	s0, _ := a.Ensure(1)
+	s1, _ := a.Ensure(2)
+	fill(a, s1, 7)
+	p := a.Planes(s0)
+	if cap(p) != testStride {
+		t.Fatalf("Planes cap = %d, want %d", cap(p), testStride)
+	}
+	_ = append(p, 0xdead) // must reallocate, not clobber slot s1
+	check(t, a, s1, 7)
+}
+
+func TestLookupZeroAddress(t *testing.T) {
+	// Address 0 must be a first-class key (the index encodes slots as
+	// slot+1 precisely so 0 can mean empty).
+	a := New(testStride, 0)
+	if _, ok := a.Lookup(0); ok {
+		t.Fatal("Lookup(0) hit on empty arena")
+	}
+	slot, fresh := a.Ensure(0)
+	if !fresh {
+		t.Fatal("Ensure(0) not fresh")
+	}
+	if got, ok := a.Lookup(0); !ok || got != slot {
+		t.Fatalf("Lookup(0) = %d,%v", got, ok)
+	}
+}

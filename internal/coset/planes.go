@@ -1,0 +1,81 @@
+package coset
+
+import (
+	"wlcrc/internal/memline"
+	"wlcrc/internal/pcm"
+)
+
+// Plane-resident line layout.
+//
+// The replay engine stores lines as de-interleaved bit-planes rather
+// than byte-per-cell []pcm.State vectors: a line of n cells occupies
+// PlaneWords(n) uint64 words, where planes[2w] carries the low state
+// bits and planes[2w+1] the high state bits of cells [32w, 32w+32).
+// Cell c in state s contributes bit s&1 at position c&31 of the low
+// plane and bit s>>1 of the high plane — exactly the operand shape the
+// SWAR tables price and apply, so a plane-resident line enters the
+// kernels with zero conversion. A 256-cell line is 128 contiguous bytes
+// instead of a 256-byte state vector.
+//
+// Tail-zero invariant: bits at positions >= n of the final word pair
+// are always zero. All-zero planes decode to the all-S1 line, matching
+// pcm/core's initial cell state, so a freshly zeroed arena slot *is* a
+// pristine line; and because both operands of a diff share the
+// invariant, XOR-based change masks never need a validity mask.
+
+// PlaneWords returns the []uint64 length of a plane-resident line of
+// totalCells cells: one (lo, hi) word pair per 32 cells.
+func PlaneWords(totalCells int) int {
+	return 2 * ((totalCells + memline.WordCells - 1) / memline.WordCells)
+}
+
+// PlaneGet reads cell c's state out of a plane-resident line.
+func PlaneGet(planes []uint64, c int) pcm.State {
+	w, b := c>>5, uint(c&31)
+	return pcm.State((planes[2*w]>>b)&1 | ((planes[2*w+1]>>b)&1)<<1)
+}
+
+// PlaneSet stores state s into cell c of a plane-resident line.
+func PlaneSet(planes []uint64, c int, s pcm.State) {
+	w, b := c>>5, uint(c&31)
+	planes[2*w] = planes[2*w]&^(1<<b) | uint64(s&1)<<b
+	planes[2*w+1] = planes[2*w+1]&^(1<<b) | uint64(s>>1)<<b
+}
+
+// PackLine packs a state vector into plane layout, establishing the
+// tail-zero invariant. planes must have PlaneWords(len(cells)) words.
+func PackLine(cells []pcm.State, planes []uint64) {
+	n := len(cells)
+	full := n / memline.WordCells
+	for w := 0; w < full; w++ {
+		planes[2*w], planes[2*w+1] = PackStates(cells[w*memline.WordCells:])
+	}
+	if rem := n - full*memline.WordCells; rem > 0 {
+		var lo, hi uint64
+		for i, s := range cells[full*memline.WordCells:] {
+			lo |= uint64(s&1) << uint(i)
+			hi |= uint64(s>>1) << uint(i)
+		}
+		planes[2*full], planes[2*full+1] = lo, hi
+	}
+}
+
+// UnpackLine writes the states of a plane-resident line into cells —
+// the inverse of PackLine. It unpacks len(cells) states.
+func UnpackLine(planes []uint64, cells []pcm.State) {
+	n := len(cells)
+	for w := 0; w*memline.WordCells < n; w++ {
+		end := (w + 1) * memline.WordCells
+		if end > n {
+			end = n
+		}
+		UnpackStates(planes[2*w], planes[2*w+1], cells[w*memline.WordCells:end])
+	}
+}
+
+// SetOldPlanes replaces the old-state planes from an already
+// plane-resident line's word — the zero-conversion counterpart of
+// SetOld, fed straight from arena storage instead of via PackStates.
+func (p *WordPlanes) SetOldPlanes(lo, hi uint64) {
+	p.OldIs = minterms(lo, hi)
+}

@@ -1,0 +1,100 @@
+package pcm
+
+import "math/bits"
+
+// Plane-resident write accounting for the arena replay path. Lines are
+// stored as (lo, hi) bit-plane pairs — 32 cells in the low bits of each
+// uint64, cell c of word w at bit c&31 of words 2w (low state bit) and
+// 2w+1 (high state bit) — with every bit at or beyond the line's cell
+// count zero. Under that tail-zero invariant the XOR of two lines'
+// planes is a valid changed-cell mask with no extra clamping, which is
+// what makes the mask-based forms below drop-in replacements for the
+// scalar DiffWriteMask/CountDisturb pair.
+//
+// Both routines visit cells in ascending index order, charging each
+// cell exactly the way the scalar loops do, so energy sums and sampler
+// draw sequences are bit-identical to the reference path.
+
+// planeWordCells is the number of cells per plane word pair.
+const planeWordCells = 32
+
+// DiffWriteMasks computes the differential-write cost of programming
+// the plane-resident line oldP into newP and fills masks[w] with the
+// changed-cell mask of cells [32w, 32w+32). masks must have
+// len(oldP)/2 words; cells with index < dataCells are accounted as
+// data, the rest as aux.
+func (m *EnergyModel) DiffWriteMasks(oldP, newP, masks []uint64, dataCells int) WriteStats {
+	var st WriteStats
+	for w := range masks {
+		lo, hi := newP[2*w], newP[2*w+1]
+		ch := (oldP[2*w] ^ lo) | (oldP[2*w+1] ^ hi)
+		masks[w] = ch
+		base := w * planeWordCells
+		for mch := ch; mch != 0; mch &= mch - 1 {
+			b := bits.TrailingZeros64(mch)
+			s := State(lo>>uint(b)&1 | (hi>>uint(b)&1)<<1)
+			e := m.Reset + m.Set[s]
+			if base+b < dataCells {
+				st.EnergyData += e
+				st.UpdatedData++
+			} else {
+				st.EnergyAux += e
+				st.UpdatedAux++
+			}
+		}
+	}
+	return st
+}
+
+// CountDisturbMasks is CountDisturb over a plane-resident post-write
+// line and its changed-cell masks. Exposure is the same immediate-
+// neighbor model: an idle cell next to at least one programmed cell is
+// disturbed with probability DER[state]. totalCells bounds the valid
+// cells of the final word — tail bits read as S1, whose DER is
+// nonzero, so they must be masked out rather than trusted to skip.
+func (dm *DisturbModel) CountDisturbMasks(newP, masks []uint64, totalCells, dataCells int, rnd Sampler) DisturbStats {
+	var st DisturbStats
+	nw := len(masks)
+	const wordMask = 1<<planeWordCells - 1
+	for w := 0; w < nw; w++ {
+		ch := masks[w]
+		exp := (ch<<1 | ch>>1) & wordMask
+		if w > 0 {
+			exp |= masks[w-1] >> (planeWordCells - 1) & 1
+		}
+		if w+1 < nw {
+			exp |= (masks[w+1] & 1) << (planeWordCells - 1)
+		}
+		exp &^= ch
+		base := w * planeWordCells
+		if rem := totalCells - base; rem < planeWordCells {
+			if rem <= 0 {
+				break
+			}
+			exp &= 1<<uint(rem) - 1
+		}
+		if exp == 0 {
+			continue
+		}
+		lo, hi := newP[2*w], newP[2*w+1]
+		for ; exp != 0; exp &= exp - 1 {
+			b := bits.TrailingZeros64(exp)
+			p := dm.DER[lo>>uint(b)&1|(hi>>uint(b)&1)<<1]
+			if p == 0 {
+				continue
+			}
+			var hit float64
+			if rnd == nil {
+				hit = p
+			} else if rnd.Bool(p) {
+				hit = 1
+			}
+			if base+b < dataCells {
+				st.ErrorsData += hit
+			} else {
+				st.ErrorsAux += hit
+			}
+		}
+	}
+	return st
+}

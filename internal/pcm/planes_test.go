@@ -1,0 +1,136 @@
+package pcm
+
+import (
+	"testing"
+
+	"wlcrc/internal/prng"
+)
+
+// packTestPlanes packs a cell vector into the bit-plane layout the
+// arena stores: planes[2w] holds the low state bits and planes[2w+1]
+// the high state bits of cells [32w, 32w+32), tail bits zero. (The
+// canonical packer lives in coset, which imports pcm — re-implemented
+// here to keep the test in-package.)
+func packTestPlanes(cells []State) []uint64 {
+	words := 2 * ((len(cells) + 31) / 32)
+	p := make([]uint64, words)
+	for i, s := range cells {
+		p[2*(i/32)] |= uint64(s&1) << uint(i%32)
+		p[2*(i/32)+1] |= uint64(s>>1) << uint(i%32)
+	}
+	return p
+}
+
+// randStates fills a random cell vector.
+func randStates(r *prng.Xoshiro256, n int) []State {
+	cells := make([]State, n)
+	for i := range cells {
+		cells[i] = State(r.Intn(NumStates))
+	}
+	return cells
+}
+
+// maskEquivCase cross-checks the plane-mask accounting against the
+// scalar reference for one (old, new) pair: DiffWriteMasks must produce
+// the exact WriteStats of DiffWrite (bit-identical floats — both visit
+// changed cells in the same ascending order) plus the changed mask of
+// ChangedMask, and CountDisturbMasks must produce the exact
+// DisturbStats of CountDisturb under both expected-value and sampled
+// accounting, with identical PRNG draw sequences.
+func maskEquivCase(t *testing.T, old, new []State, dataCells int, seed uint64) {
+	t.Helper()
+	em := DefaultEnergy()
+	dm := DefaultDisturb()
+	n := len(old)
+
+	wantW := em.DiffWrite(old, new, dataCells)
+	wantCh := ChangedMask(old, new)
+
+	oldP, newP := packTestPlanes(old), packTestPlanes(new)
+	masks := make([]uint64, len(newP)/2)
+	gotW := em.DiffWriteMasks(oldP, newP, masks, dataCells)
+	if wantW != gotW {
+		t.Fatalf("DiffWriteMasks = %+v, DiffWrite = %+v", gotW, wantW)
+	}
+	for i, ch := range wantCh {
+		if got := masks[i/32]>>uint(i%32)&1 == 1; got != ch {
+			t.Fatalf("changed mask differs at cell %d: plane %v scalar %v", i, got, ch)
+		}
+	}
+	for w, m := range masks {
+		hi := (w + 1) * 32
+		if hi > n {
+			if m>>(uint(n-w*32)) != 0 {
+				t.Fatalf("mask word %d has tail bits set: %#x", w, m)
+			}
+		}
+	}
+
+	// Expected-value disturbance.
+	wantD := dm.CountDisturb(new, wantCh, dataCells, nil)
+	gotD := dm.CountDisturbMasks(newP, masks, n, dataCells, nil)
+	if wantD != gotD {
+		t.Fatalf("CountDisturbMasks = %+v, CountDisturb = %+v", gotD, wantD)
+	}
+
+	// Sampled disturbance: identical stats from identical seeds, and the
+	// two streams must end at the same position (same number of draws).
+	r1, r2 := prng.New(seed), prng.New(seed)
+	wantS := dm.CountDisturb(new, wantCh, dataCells, r1)
+	gotS := dm.CountDisturbMasks(newP, masks, n, dataCells, r2)
+	if wantS != gotS {
+		t.Fatalf("sampled CountDisturbMasks = %+v, CountDisturb = %+v", gotS, wantS)
+	}
+	if a, b := r1.Uint64(), r2.Uint64(); a != b {
+		t.Fatalf("sampled paths consumed different draw counts (next draws %#x vs %#x)", a, b)
+	}
+}
+
+// TestPlaneMaskAccountingMatchesScalar sweeps the plane-mask energy and
+// disturbance accounting over the line geometries the schemes use (257
+// and 258 total cells, 256 data cells) plus boundary sizes around the
+// 32-cell plane word.
+func TestPlaneMaskAccountingMatchesScalar(t *testing.T) {
+	r := prng.New(20260807)
+	sizes := []struct{ n, data int }{
+		{257, 256}, {258, 256}, {256, 256}, {64, 32}, {33, 32}, {32, 16}, {1, 1},
+	}
+	for _, sz := range sizes {
+		for trial := 0; trial < 40; trial++ {
+			old := randStates(r, sz.n)
+			new := randStates(r, sz.n)
+			if trial%4 == 0 {
+				copy(new, old) // no-op write: nothing changed, nothing exposed
+				if sz.n > 2 {
+					new[sz.n/2] = (new[sz.n/2] + 1) % NumStates
+				}
+			}
+			maskEquivCase(t, old, new, sz.data, uint64(trial)+1)
+		}
+	}
+}
+
+// FuzzPlaneMaskAccounting fuzzes the same equivalence: the input bytes
+// drive both state vectors and the data-cell split.
+func FuzzPlaneMaskAccounting(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, []byte{3, 2, 1, 0}, uint16(2))
+	f.Add([]byte{1}, []byte{2}, uint16(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 3}, []byte{1, 1, 1, 1, 0, 0, 0, 0, 3}, uint16(8))
+	f.Fuzz(func(t *testing.T, a, b []byte, dataSel uint16) {
+		if len(a) == 0 || len(b) == 0 {
+			t.Skip("empty vectors")
+		}
+		n := len(a)
+		if n > 258 {
+			n = 258
+		}
+		old := make([]State, n)
+		new := make([]State, n)
+		for i := 0; i < n; i++ {
+			old[i] = State(a[i] % 4)
+			new[i] = State(b[i%len(b)] % 4)
+		}
+		dataCells := int(dataSel) % (n + 1)
+		maskEquivCase(t, old, new, dataCells, uint64(dataSel)+7)
+	})
+}

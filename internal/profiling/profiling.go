@@ -1,0 +1,75 @@
+// Package profiling wires the standard pprof/trace collection flags
+// into the command-line tools: a CPU profile and an execution trace
+// stream for the duration of the run, and a heap profile snapshotted at
+// stop. It exists so pcmsim and experiments share one tested
+// implementation of the file handling and shutdown ordering.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start begins collecting the requested profiles. Empty paths disable
+// the corresponding collector; Start with all paths empty is a no-op
+// that still returns a valid stop function. The returned stop must be
+// called exactly once before the process exits — deferred stops do not
+// survive os.Exit — and flushes, in order: the CPU profile, the
+// execution trace, then a garbage-collected heap profile.
+func Start(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			cpuF = nil
+			cleanup()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	if tracePath != "" {
+		traceF, err = os.Create(tracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("profiling: start trace: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the live heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("profiling: write heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

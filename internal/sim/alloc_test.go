@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"wlcrc/internal/core"
+	"wlcrc/internal/fault"
 	"wlcrc/internal/trace"
 	"wlcrc/internal/workload"
 )
@@ -144,6 +145,86 @@ func TestSteadyStateApplyRunZeroAllocs(t *testing.T) {
 							scheme, avg)
 					}
 				})
+			}
+		})
+	}
+}
+
+// TestArenaStorageSelection pins the storage dispatch of the
+// plane-native PR: every plane-capable scheme must get the arena store
+// (and no scalar map), while counter-keyed schemes keep the scalar map
+// path — their codecs need (addr, ctr) and have no plane entry points.
+func TestArenaStorageSelection(t *testing.T) {
+	opts := DefaultOptions()
+	for _, name := range allocSchemes {
+		sch, err := core.NewScheme(name, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := newShard(&opts, sch, nil, nil)
+		_, wantPlanes := core.PlaneCodec(sch)
+		if gotPlanes := u.arena != nil; gotPlanes != wantPlanes {
+			t.Errorf("%s: arena storage = %v, PlaneCodec = %v", name, gotPlanes, wantPlanes)
+		}
+		if wantPlanes && u.mem != nil {
+			t.Errorf("%s: plane-native shard also allocated the scalar map", name)
+		}
+		if !wantPlanes && u.mem == nil {
+			t.Errorf("%s: scalar shard has no map store", name)
+		}
+	}
+}
+
+// TestSteadyStateApplyZeroAllocsStuckRepair extends the zero-alloc
+// guarantee to the fault pipeline on arena storage: with static stuck
+// cells live in the written footprint — so writes keep hitting the
+// detection, retry and ECC paths — warmed replay must still allocate
+// nothing. Endurance wear-out stays off to keep the stuck set (and
+// hence the parity store) fixed after warm-up.
+func TestSteadyStateApplyZeroAllocsStuckRepair(t *testing.T) {
+	for _, name := range []string{"Baseline", "WLCRC-16", "6cosets"} {
+		t.Run(name, func(t *testing.T) {
+			sch, err := core.NewScheme(name, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := fault.Config{
+				Enabled:            true,
+				ECCBits:            8,
+				SpareLines:         2,
+				MaxRetiredFraction: 1,
+			}.WithDefaults()
+			fm := fault.NewMap(cfg, 99, sch.TotalCells(), fault.NewECC(cfg.ECCBits))
+			for _, sc := range fault.RandomStatic(5, 24, 64) {
+				fm.SeedStatic(sc)
+			}
+			opts := DefaultOptions()
+			opts.Verify = true
+			opts.MaxVnRIterations = 16
+			u := newShard(&opts, sch, nil, fm)
+			p, ok := workload.ProfileByName("gcc")
+			if !ok {
+				t.Fatal("gcc profile missing")
+			}
+			src := trace.Record(workload.NewGenerator(p, 64, 11), 256)
+			reqs := src.Reqs
+			for i := range reqs {
+				if err := u.apply(&reqs[i], uint64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if u.fm.Stats.Detected == 0 {
+				t.Fatal("warm-up never hit a stuck cell; the test is not exercising repair")
+			}
+			i := len(reqs)
+			avg := testing.AllocsPerRun(200, func() {
+				if err := u.apply(&reqs[i%len(reqs)], uint64(i)); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s: stuck+repair apply allocates %.2f objects/op, want 0", name, avg)
 			}
 		})
 	}

@@ -45,6 +45,74 @@ func determinismWorkerSet(banks int) []int {
 // bit-identical — reflect.DeepEqual, floats included — to the
 // Workers=1, ingest-off run of the same trace. The -race CI job runs
 // this matrix too, so the guarantee is checked under the race detector.
+// TestScalarStorageBitIdentical is the cross-storage leg of the net:
+// the same trace replayed on the plane-native arena and on the
+// reference scalar store (Options.ScalarStorage) must produce
+// DeepEqual metrics, snapshots, retired-line sets and errors —
+// including under the full stuck-at + repair pipeline, whose plane
+// fast path falls back to the scalar repair encoder on mismatches.
+func TestScalarStorageBitIdentical(t *testing.T) {
+	geo := determinismGeometry()
+	modes := []struct {
+		name  string
+		src   func(t *testing.T) *trace.SliceSource
+		tweak func(*Options)
+	}{
+		{
+			name:  "deterministic",
+			src:   func(t *testing.T) *trace.SliceSource { return fixedTrace(t, "gcc", 512, 2500, 11) },
+			tweak: func(o *Options) {},
+		},
+		{
+			name: "stuck+repair",
+			src:  func(t *testing.T) *trace.SliceSource { return fixedTrace(t, "gcc", 96, 2500, 31) },
+			tweak: func(o *Options) {
+				o.Seed = 13
+				o.Faults = fault.Config{
+					Enabled:            true,
+					CellEndurance:      8,
+					EnduranceSpread:    0.5,
+					ECCBits:            4,
+					SpareLines:         4,
+					MaxRetiredFraction: 1,
+					Static:             fault.RandomStatic(5, 40, 96),
+				}
+			},
+		},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			src := mode.src(t)
+			run := func(scalar bool) (metrics []Metrics, retired [][]uint64, err error) {
+				src.Rewind()
+				opts := DefaultOptions()
+				opts.Geometry = geo
+				opts.Workers = 1
+				opts.TrackWear = true
+				opts.ScalarStorage = scalar
+				mode.tweak(&opts)
+				e := NewEngine(opts, schemesForTest(t, engineSchemeNames...)...)
+				err = e.Run(src, 0)
+				if err != nil && !errors.As(err, new(*DegradedError)) {
+					t.Fatal(err)
+				}
+				return e.Metrics(), e.RetiredLines(), err
+			}
+			planeMetrics, planeRetired, planeErr := run(false)
+			scalarMetrics, scalarRetired, scalarErr := run(true)
+			if !reflect.DeepEqual(planeMetrics, scalarMetrics) {
+				t.Error("plane-arena Metrics differ from scalar-storage reference")
+			}
+			if !reflect.DeepEqual(planeRetired, scalarRetired) {
+				t.Errorf("retired-line sets differ:\nplanes: %v\nscalar: %v", planeRetired, scalarRetired)
+			}
+			if !reflect.DeepEqual(planeErr, scalarErr) {
+				t.Errorf("run errors differ:\nplanes: %v\nscalar: %v", planeErr, scalarErr)
+			}
+		})
+	}
+}
+
 func TestEngineDeterminismMatrix(t *testing.T) {
 	geo := determinismGeometry()
 	banks := geo.Banks()

@@ -296,6 +296,7 @@ func (e *Engine) Run(src trace.Source, max int) error {
 // cover exactly the requests read before the stop, applied to every
 // scheme alike. A background context costs one nil check per request.
 func (e *Engine) RunContext(ctx context.Context, src trace.Source, max int) error {
+	e.reserveLines(src, max)
 	done := ctx.Done()
 	chans := make([]chan batch, e.workers)
 	for i := range chans {
@@ -381,6 +382,35 @@ func (e *Engine) RunContext(ctx context.Context, src trace.Source, max int) erro
 		return err
 	}
 	return degradedError(e.Metrics(), e.opts.Faults)
+}
+
+// reserveLineCap bounds the per-shard arena preallocation a Count()
+// hint can request. The request count only upper-bounds the distinct
+// lines (most traces rewrite heavily), so the hint is treated as a
+// growth-churn saver, not a sizing guarantee — past the cap, the
+// arena's amortized doubling takes over.
+const reserveLineCap = 4096
+
+// reserveLines sizes every shard's arena from the source's request
+// count when it advertises one (mmap-backed and pre-parsed sources
+// implement Count). Shards partition the address space, so each gets
+// the per-unit share.
+func (e *Engine) reserveLines(src trace.Source, max int) {
+	c, ok := src.(interface{ Count() uint64 })
+	if !ok {
+		return
+	}
+	n := c.Count()
+	if max > 0 && uint64(max) < n {
+		n = uint64(max)
+	}
+	hint := int(n/uint64(e.units)) + 1
+	if hint > reserveLineCap {
+		hint = reserveLineCap
+	}
+	for _, u := range e.shards {
+		u.reserve(hint)
+	}
 }
 
 // canceled reports whether done is closed without blocking; a nil done

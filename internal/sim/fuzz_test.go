@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -231,15 +232,19 @@ func FuzzRouteSubShard(f *testing.F) {
 			seen := map[uint64]bool{}
 			for u := 0; u < units; u++ {
 				sh := e.shards[si*units+u]
-				for addr := range sh.mem {
+				var bad error
+				sh.eachResident(func(addr uint64) {
 					if e.routeOf(addr) != u {
-						t.Fatalf("scheme %d: addr %#x resident in unit %d, routes to %d",
+						bad = fmt.Errorf("scheme %d: addr %#x resident in unit %d, routes to %d",
 							si, addr, u, e.routeOf(addr))
 					}
 					if seen[addr] {
-						t.Fatalf("scheme %d: addr %#x resident in two shards", si, addr)
+						bad = fmt.Errorf("scheme %d: addr %#x resident in two shards", si, addr)
 					}
 					seen[addr] = true
+				})
+				if bad != nil {
+					t.Fatal(bad)
 				}
 			}
 			if !reflect.DeepEqual(want, seen) {

@@ -86,11 +86,12 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 	for i, sch := range schemes {
 		for addr, want := range lastWrite {
-			cells := s.shards[i].mem[addr]
-			if cells == nil {
-				t.Fatalf("%s: no state for addr %d", sch.Name(), addr)
+			var got memline.Line
+			ok, err := s.shards[i].readLine(addr, &got)
+			if err != nil || !ok {
+				t.Fatalf("%s: no state for addr %d (ok=%v err=%v)", sch.Name(), addr, ok, err)
 			}
-			if got := sch.Decode(cells); !got.Equal(&want) {
+			if !got.Equal(&want) {
 				t.Fatalf("%s: final content of line %d does not decode", sch.Name(), addr)
 			}
 			// The backing store agrees with the trace.

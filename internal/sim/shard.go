@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 
+	"wlcrc/internal/arena"
 	"wlcrc/internal/core"
+	"wlcrc/internal/coset"
 	"wlcrc/internal/fault"
 	"wlcrc/internal/memline"
 	"wlcrc/internal/pcm"
@@ -50,8 +52,36 @@ type shard struct {
 	encodeCtr   func(dst, old []pcm.State, addr, ctr uint64, data *memline.Line)
 	decodeCtr   func(cells []pcm.State, addr, ctr uint64, dst *memline.Line)
 	encodeBatch func(jobs []core.EncodeJob)
-	// mem is this shard's cell-state view of its addresses.
+	// mem is this shard's cell-state view of its addresses — the scalar
+	// reference store, used only when the scheme has no plane codec.
 	mem map[uint64][]pcm.State
+	// Plane-native path: when the scheme implements core.PlaneScheme,
+	// lines live in the arena as bit-plane words — 128 contiguous data
+	// bytes per line instead of 256 scattered cell bytes — addressed by
+	// the arena's open slot index instead of the mem map, and every
+	// encode, diff, wear, disturb and fault step below runs on planes.
+	// planeEnc == nil selects the scalar path throughout.
+	planeEnc  core.PlaneScheme
+	planeGate func([]uint64) bool
+	arena     *arena.Lines
+	stride    int // plane words per line
+	// planeSpare is the plane path's free-buffer stack (the []uint64
+	// analog of spare): encode targets a detached buffer, settle commits
+	// it into the arena slot with one copy, and the buffer recycles.
+	planeSpare [][]uint64
+	// planeJobs is the open plane batch-encode run. Jobs carry arena
+	// slots, not plane slices: Ensure during routing may grow the slab,
+	// so old-plane pointers resolve at flush time, when no insert can
+	// intervene. pjobs is the resolved scratch handed to the batch call.
+	planeJobs []planeJob
+	pjobs     []core.PlaneEncodeJob
+	// masks is the reusable changed-cell mask (one word per 32 cells),
+	// the plane path's counterpart of changed.
+	masks []uint64
+	// cellsOld/cellsNew are the plane path's scalar materialization
+	// scratch, touched only off the fast path: fault repair, VnR
+	// injection and recovery reads unpack into them.
+	cellsOld, cellsNew []pcm.State
 	// ctrs is the per-line write-counter store (the shard-local slice of
 	// an encryption engine's counter cache); nil unless the scheme is a
 	// CounterScheme. Requests to one address always replay in trace
@@ -129,8 +159,6 @@ func newShard(opts *Options, sch core.Scheme, rnd *prng.Xoshiro256, fm *fault.Ma
 	u := &shard{
 		opts:    opts,
 		scheme:  sch,
-		mem:     make(map[uint64][]pcm.State),
-		spare:   [][]pcm.State{make([]pcm.State, n)},
 		changed: make([]bool, n),
 		rnd:     rnd,
 		m:       newMetrics(sch.Name()),
@@ -150,7 +178,28 @@ func newShard(opts *Options, sch core.Scheme, rnd *prng.Xoshiro256, fm *fault.Ma
 	if core.UsesCounters(sch) {
 		u.ctrs = make(map[uint64]uint64)
 	}
+	if ps, ok := core.PlaneCodec(sch); ok && !opts.ScalarStorage {
+		u.planeEnc = ps
+		u.planeGate = core.CompressedWritePlanesFunc(sch)
+		u.stride = coset.PlaneWords(n)
+		u.arena = arena.New(u.stride, 0)
+		u.planeSpare = [][]uint64{make([]uint64, u.stride)}
+		u.masks = make([]uint64, u.stride/2)
+		u.cellsOld = make([]pcm.State, n)
+		u.cellsNew = make([]pcm.State, n)
+	} else {
+		u.mem = make(map[uint64][]pcm.State)
+		u.spare = [][]pcm.State{make([]pcm.State, n)}
+	}
 	return u
+}
+
+// reserve preallocates the line store for the expected number of
+// distinct lines (a trace Count()-derived hint; see Engine.reserveLines).
+func (u *shard) reserve(lines int) {
+	if u.arena != nil {
+		u.arena.Reserve(lines)
+	}
 }
 
 // takeSpare pops a free cell buffer (allocating only while the shard's
@@ -167,6 +216,33 @@ func (u *shard) takeSpare() []pcm.State {
 
 // putSpare releases a cell buffer for reuse.
 func (u *shard) putSpare(s []pcm.State) { u.spare = append(u.spare, s) }
+
+// takePlaneSpare pops a free plane buffer (the plane path's takeSpare:
+// allocating only while the in-flight count grows toward its
+// steady-state ceiling of shardRunCap+1).
+func (u *shard) takePlaneSpare() []uint64 {
+	if n := len(u.planeSpare); n > 0 {
+		s := u.planeSpare[n-1]
+		u.planeSpare = u.planeSpare[:n-1]
+		return s
+	}
+	return make([]uint64, u.stride)
+}
+
+// putPlaneSpare releases a plane buffer for reuse.
+func (u *shard) putPlaneSpare(s []uint64) { u.planeSpare = append(u.planeSpare, s) }
+
+// planeJob is one pending write of a plane batch-encode run. It holds
+// the line's arena slot rather than its plane slice: a later Ensure of
+// the same run may grow the arena slab, so the old planes are resolved
+// at flush, when inserts can no longer move them.
+type planeJob struct {
+	slot int
+	addr uint64
+	seq  uint64
+	dst  []uint64
+	data *memline.Line
+}
 
 // prepare resolves a request's encode inputs: the line's current cells
 // (the initial RESET vector on first touch) and, for counter schemes,
@@ -191,6 +267,12 @@ func (u *shard) prepare(addr uint64) (old []pcm.State, ctr uint64) {
 // written data, or when FailFast is on and the fault pipeline hit an
 // uncorrectable stuck line.
 func (u *shard) apply(req *trace.Request, seq uint64) error {
+	if u.planeEnc != nil {
+		slot, _ := u.arena.Ensure(req.Addr)
+		dst := u.takePlaneSpare()
+		u.planeEnc.EncodePlanesInto(dst, u.arena.Planes(slot), &req.New)
+		return u.settlePlanes(dst, slot, req.Addr, seq, &req.New)
+	}
 	old, ctr := u.prepare(req.Addr)
 	dst := u.takeSpare()
 	u.encodeCtr(dst, old, req.Addr, ctr, &req.New)
@@ -218,7 +300,7 @@ func (u *shard) settle(newCells, old []pcm.State, addr, ctr, seq uint64, data *m
 	m.Writes++
 	var faultErr error
 	if u.fm != nil {
-		faultErr = u.repairFaults(newCells, old, addr, ctr, seq, data)
+		faultErr = u.repairFaults(newCells, old, u.wear.LineCounts(addr), addr, ctr, seq, data)
 	}
 	st, changed := u.opts.Energy.DiffWriteMask(old, newCells, sch.DataCells(), u.changed)
 	m.Energy.Add(st)
@@ -291,7 +373,13 @@ func (u *shard) settle(newCells, old []pcm.State, addr, ctr, seq uint64, data *m
 //
 // Every step is a pure function of the shard's own trace-ordered
 // history, so the outcome is bit-identical for every worker count.
-func (u *shard) repairFaults(newCells, old []pcm.State, addr, ctr, seq uint64, data *memline.Line) error {
+//
+// counts is the line's live per-cell wear — addr-keyed on the scalar
+// store, slot-keyed on the plane arena. Retirement re-draws the spare
+// line's endurance thresholds above it, so both stores must feed the
+// counters they actually record into, or their retirement timelines
+// diverge.
+func (u *shard) repairFaults(newCells, old []pcm.State, counts []uint32, addr, ctr, seq uint64, data *memline.Line) error {
 	ls := u.fm.Stuck(addr)
 	if ls == nil || ls.MismatchCount(newCells) == 0 {
 		return nil
@@ -313,7 +401,7 @@ func (u *shard) repairFaults(newCells, old []pcm.State, addr, ctr, seq uint64, d
 		st.CorrectedWrites++
 		return nil
 	}
-	if u.fm.Retire(addr, u.wear.LineCounts(addr), seq) {
+	if u.fm.Retire(addr, counts, seq) {
 		// The spare line is pristine: restart from the initial RESET
 		// vector and re-encode against it. The address keeps its write
 		// counter — counters are address metadata and survive the remap.
@@ -331,14 +419,142 @@ func (u *shard) repairFaults(newCells, old []pcm.State, addr, ctr, seq uint64, d
 	return nil
 }
 
+// settlePlanes is settle on the plane-native path: the same model
+// charges in the same order — fault repair, energy+endurance, wear,
+// disturbance, compression classification, fault injection, Verify,
+// stuck overlay, commit — with every step reading planes instead of
+// cell vectors. The XOR diff of the stored and encoded planes doubles
+// as the changed-cell mask for wear, disturbance exposure and the fault
+// model, and the commit is a single 144-byte copy into the arena slot.
+// Energy sums, histogram observations and PRNG draws are bit-identical
+// to the scalar path (DiffWriteMasks and CountDisturbMasks visit cells
+// in the same ascending order), which the equivalence tests pin down.
+func (u *shard) settlePlanes(newP []uint64, slot int, addr, seq uint64, data *memline.Line) error {
+	sch := u.scheme
+	m := &u.m
+	m.Writes++
+	oldP := u.arena.Planes(slot)
+	var faultErr error
+	if u.fm != nil {
+		faultErr = u.repairFaultsPlanes(newP, oldP, slot, addr, seq, data)
+	}
+	st := u.opts.Energy.DiffWriteMasks(oldP, newP, u.masks, sch.DataCells())
+	m.Energy.Add(st)
+	m.EnergyHist.Observe(st.Energy())
+	m.UpdatedHist.Observe(float64(st.Updated()))
+	if u.wear != nil {
+		u.wear.RecordSlotMasks(slot, u.masks)
+	}
+	var sampler pcm.Sampler
+	if u.rnd != nil {
+		sampler = u.rnd
+	}
+	d := u.opts.Disturb.CountDisturbMasks(newP, u.masks, sch.TotalCells(), sch.DataCells(), sampler)
+	m.Disturb.Add(d)
+	if e := d.Errors(); e > m.MaxDisturb {
+		m.MaxDisturb = e
+	}
+	if u.planeGate(newP) {
+		m.CompressedWrites++
+	}
+	if u.opts.InjectFaults {
+		// The restore loop mutates a stored copy cell by cell; feed it
+		// the materialized write and the expanded change mask.
+		cells := u.cellsNew[:sch.TotalCells()]
+		coset.UnpackLine(newP, cells)
+		expandMasks(u.masks, u.changed)
+		u.runVnR(cells, u.changed, u.opts.MaxVnRIterations, addr)
+	}
+	var verifyErr error
+	if u.opts.Verify {
+		got := &u.decodeBuf
+		u.planeEnc.DecodePlanesInto(newP, got)
+		if !got.Equal(data) {
+			m.DecodeErrors++
+			verifyErr = fmt.Errorf("sim: %s: decode mismatch at addr %#x", sch.Name(), addr)
+		}
+	}
+	if u.fm != nil {
+		u.fm.OnWriteMasks(addr, u.masks, newP, u.wear.SlotCounts(slot))
+		if ls := u.fm.Stuck(addr); ls != nil {
+			cells := u.cellsNew[:sch.TotalCells()]
+			coset.UnpackLine(newP, cells)
+			u.fm.StoreParity(addr, cells, &u.eccSc)
+			ls.OverlayPlanes(newP)
+		}
+	}
+	// Commit: the encoded planes overwrite the stored line in place —
+	// the arena slot stays put, so no pointer swap and no map store —
+	// and the detached buffer recycles.
+	copy(oldP, newP)
+	u.putPlaneSpare(newP)
+	if verifyErr != nil {
+		return verifyErr
+	}
+	return faultErr
+}
+
+// repairFaultsPlanes runs the write-verify fault check against plane
+// storage. The no-mismatch fast path — every write on a healthy line,
+// and most writes on stuck ones — costs one stuck-map lookup and a
+// plane scan; an actual repair is rare, so it materializes both cell
+// vectors, reuses the scalar repair pipeline verbatim (retry, ECC,
+// retirement), and packs the outcome back — including the pristine
+// all-S1 old vector a retirement resets the slot to.
+func (u *shard) repairFaultsPlanes(newP, oldP []uint64, slot int, addr, seq uint64, data *memline.Line) error {
+	ls := u.fm.Stuck(addr)
+	if ls == nil || ls.MismatchCountPlanes(newP) == 0 {
+		return nil
+	}
+	n := u.scheme.TotalCells()
+	newC, oldC := u.cellsNew[:n], u.cellsOld[:n]
+	coset.UnpackLine(newP, newC)
+	coset.UnpackLine(oldP, oldC)
+	err := u.repairFaults(newC, oldC, u.wear.SlotCounts(slot), addr, 0, seq, data)
+	coset.PackLine(newC, newP)
+	coset.PackLine(oldC, oldP)
+	return err
+}
+
+// expandMasks spreads plane-diff change masks into the bool mask the
+// scalar VnR loop consumes: dst[32w+i] = bit i of masks[w].
+func expandMasks(masks []uint64, dst []bool) {
+	n := len(dst)
+	for w, m := range masks {
+		base := w * 32
+		end := base + 32
+		if end > n {
+			end = n
+		}
+		for c := base; c < end; c++ {
+			dst[c] = m&1 == 1
+			m >>= 1
+		}
+	}
+}
+
 // readLine decodes the current content of addr the way a controller
 // read would: fetch the physically stored states, run the ECC recovery
 // against the line's stored parity when it has stuck cells, then decode
 // the scheme. ok=false means the address was never written; an error
 // means the line is uncorrectably corrupted (deterministically so).
+// On the plane path the healthy-line read decodes the arena slot
+// directly; the fault path materializes cells for the ECC recovery.
 func (u *shard) readLine(addr uint64, dst *memline.Line) (ok bool, err error) {
-	phys, ok := u.mem[addr]
-	if !ok {
+	var phys []pcm.State
+	if u.planeEnc != nil {
+		slot, ok := u.arena.Lookup(addr)
+		if !ok {
+			return false, nil
+		}
+		planes := u.arena.Planes(slot)
+		if u.fm == nil {
+			u.planeEnc.DecodePlanesInto(planes, dst)
+			return true, nil
+		}
+		phys = u.cellsOld[:u.scheme.TotalCells()]
+		coset.UnpackLine(planes, phys)
+	} else if phys, ok = u.mem[addr]; !ok {
 		return false, nil
 	}
 	cells := phys
@@ -361,6 +577,21 @@ func (u *shard) readLine(addr uint64, dst *memline.Line) (ok bool, err error) {
 	return true, nil
 }
 
+// eachResident calls fn with every line address resident in the shard's
+// store — arena or scalar map — in unspecified order. Test and debug
+// helper; the hot path never enumerates residency.
+func (u *shard) eachResident(fn func(addr uint64)) {
+	if u.arena != nil {
+		for s := 0; s < u.arena.Len(); s++ {
+			fn(u.arena.Addr(s))
+		}
+		return
+	}
+	for addr := range u.mem {
+		fn(addr)
+	}
+}
+
 // runHasAddr reports whether the open batch-encode run already contains
 // a job for addr — the read-after-write hazard that forces a flush,
 // since the repeated write's Old must be the first write's Dst.
@@ -381,6 +612,9 @@ func (u *shard) runHasAddr(addr uint64) bool {
 // sequence number with the error; the remaining requests of the batch
 // are not applied (the Engine freezes the shard).
 func (u *shard) applyRun(rs []routedReq) (errSeq uint64, err error) {
+	if u.planeEnc != nil {
+		return u.applyRunPlanes(rs)
+	}
 	for j := range rs {
 		rr := &rs[j]
 		if u.runHasAddr(rr.req.Addr) {
@@ -428,6 +662,75 @@ func (u *shard) flushRun() (errSeq uint64, err error) {
 	}
 	u.jobs = u.jobs[:0]
 	u.jobSeqs = u.jobSeqs[:0]
+	return errSeq, err
+}
+
+// applyRunPlanes is applyRun on the plane-native path: the same
+// shardRunCap batching and address-hazard flushes, with line state
+// resolved through the arena slot index instead of the mem map.
+func (u *shard) applyRunPlanes(rs []routedReq) (errSeq uint64, err error) {
+	for j := range rs {
+		rr := &rs[j]
+		if u.planeRunHasAddr(rr.req.Addr) {
+			if seq, err := u.flushRunPlanes(); err != nil {
+				return seq, err
+			}
+		}
+		slot, _ := u.arena.Ensure(rr.req.Addr)
+		u.planeJobs = append(u.planeJobs, planeJob{
+			slot: slot,
+			addr: rr.req.Addr,
+			seq:  rr.seq,
+			dst:  u.takePlaneSpare(),
+			data: &rr.req.New,
+		})
+		if len(u.planeJobs) == shardRunCap {
+			if seq, err := u.flushRunPlanes(); err != nil {
+				return seq, err
+			}
+		}
+	}
+	return u.flushRunPlanes()
+}
+
+// planeRunHasAddr is runHasAddr for the plane batch-encode run.
+func (u *shard) planeRunHasAddr(addr uint64) bool {
+	for k := range u.planeJobs {
+		if u.planeJobs[k].addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// flushRunPlanes resolves the open run's old planes (safe now — no
+// Ensure can land between here and the settles), batch-encodes, and
+// settles each job in trace order; error semantics match flushRun.
+func (u *shard) flushRunPlanes() (errSeq uint64, err error) {
+	if len(u.planeJobs) == 0 {
+		return 0, nil
+	}
+	u.pjobs = u.pjobs[:0]
+	for k := range u.planeJobs {
+		j := &u.planeJobs[k]
+		u.pjobs = append(u.pjobs, core.PlaneEncodeJob{
+			Dst:  j.dst,
+			Old:  u.arena.Planes(j.slot),
+			Data: j.data,
+		})
+	}
+	core.EncodePlaneBatch(u.planeEnc, u.pjobs)
+	for k := range u.planeJobs {
+		j := &u.planeJobs[k]
+		if err != nil {
+			u.putPlaneSpare(j.dst)
+			continue
+		}
+		if e := u.settlePlanes(j.dst, j.slot, j.addr, j.seq, j.data); e != nil {
+			err, errSeq = e, j.seq
+		}
+	}
+	u.planeJobs = u.planeJobs[:0]
 	return errSeq, err
 }
 
@@ -491,16 +794,26 @@ func (u *shard) resetMetrics() {
 	u.publish()
 }
 
-// reset clears metrics and memory state. The wear recorder is replaced
-// before resetMetrics runs so the old footprint is dropped rather than
-// pointlessly zeroed.
+// reset clears metrics and memory state while keeping every allocation
+// warm: the arena keeps its slab and index, the scalar store recycles
+// its line buffers through the spare stack and keeps its map buckets,
+// the counter map keeps its buckets, and the wear recorder keeps its
+// count array — a reset-and-rerun (warm-up flows, repeated experiment
+// phases) re-fills storage without rebuilding it.
 func (u *shard) reset() {
-	u.mem = make(map[uint64][]pcm.State)
+	if u.arena != nil {
+		u.arena.Reset()
+	} else {
+		for addr, cells := range u.mem {
+			u.putSpare(cells)
+			delete(u.mem, addr)
+		}
+	}
 	if u.ctrs != nil {
-		u.ctrs = make(map[uint64]uint64)
+		clear(u.ctrs)
 	}
 	if u.wear != nil {
-		u.wear = wear.NewDense(u.scheme.TotalCells())
+		u.wear.Clear()
 	}
 	if u.fm != nil {
 		u.fm.Reset()

@@ -274,6 +274,15 @@ type Options struct {
 	// count is reported by Engine.IngestRouters. Ignored by Simulator.
 	IngestRouters int
 
+	// ScalarStorage forces plane-capable schemes onto the reference
+	// scalar store (a map of []pcm.State lines with per-write
+	// pack/unpack) instead of the plane-native arena. Results are
+	// bit-identical either way — the scalar path exists as the
+	// equivalence reference and as the baseline the benchguard arena
+	// gate measures the plane path against. Leave it off outside
+	// benchmarks and differential tests.
+	ScalarStorage bool
+
 	// TrackWear enables dense per-cell wear accounting: every programmed
 	// cell of every touched line gets a uint32 program counter, and the
 	// mergeable wear digest (worst-cell wear, wear-level CDF,
@@ -423,6 +432,18 @@ func (s *Simulator) Run(src trace.Source, max int) error {
 // between requests and returns ctx.Err() with the metrics of the prefix
 // replayed so far.
 func (s *Simulator) RunContext(ctx context.Context, src trace.Source, max int) error {
+	if c, ok := src.(interface{ Count() uint64 }); ok {
+		hint := c.Count()
+		if max > 0 && uint64(max) < hint {
+			hint = uint64(max)
+		}
+		if hint > 1<<16 {
+			hint = 1 << 16
+		}
+		for _, u := range s.shards {
+			u.reserve(int(hint))
+		}
+	}
 	done := ctx.Done()
 	n := 0
 	for {

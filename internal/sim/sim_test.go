@@ -110,6 +110,13 @@ func (b brokenScheme) DecodeInto(cells []pcm.State, dst *memline.Line) {
 	dst[0] ^= 0xff
 }
 
+// DecodePlanesInto mirrors the scalar corruption so the breakage
+// surfaces on whichever storage path the shard resolves.
+func (b brokenScheme) DecodePlanesInto(planes []uint64, dst *memline.Line) {
+	b.Baseline.DecodePlanesInto(planes, dst)
+	dst[0] ^= 0xff
+}
+
 func TestDisturbSampledVsExpected(t *testing.T) {
 	// Sampled disturbance should be close to expected-value accounting
 	// in aggregate.

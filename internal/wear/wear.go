@@ -187,7 +187,8 @@ func (s Summary) RelativeLifetime(other Summary) float64 {
 // count array.
 type Dense struct {
 	cellsPerLine int
-	slots        map[uint64]int // line addr -> slot index
+	slots        map[uint64]int // line addr -> slot index (addr-keyed API)
+	nSlots       int            // slots allocated through the slot-keyed API
 	counts       []uint32       // slot*cellsPerLine + cell
 	zero         []uint32       // reusable zero block for new lines
 	s            Summary
@@ -210,7 +211,12 @@ func NewDense(cellsPerLine int) *Dense {
 func (d *Dense) CellsPerLine() int { return d.cellsPerLine }
 
 // Lines returns the number of distinct lines touched.
-func (d *Dense) Lines() int { return len(d.slots) }
+func (d *Dense) Lines() int {
+	if d.nSlots > len(d.slots) {
+		return d.nSlots
+	}
+	return len(d.slots)
+}
 
 // slot returns the count-array base index of addr, allocating a zeroed
 // block on first touch.
@@ -300,6 +306,45 @@ func (d *Dense) LineCounts(addr uint64) []uint32 {
 	return d.counts[base : base+d.cellsPerLine]
 }
 
+// ensureSlot grows the count array to cover slot, zeroing any new
+// blocks. Slots are handed out by the sim arena in first-touch order, so
+// growth is almost always by exactly one line.
+func (d *Dense) ensureSlot(slot int) {
+	for d.nSlots <= slot {
+		d.counts = append(d.counts, d.zero...)
+		d.nSlots++
+		d.s.Cells += uint64(d.cellsPerLine)
+	}
+}
+
+// RecordSlotMasks registers one line write from plane-diff change masks:
+// bit i of masks[w] reports whether cell 32*w+i was programmed (bits at
+// or beyond cells-per-line must be zero — the plane storage's tail-zero
+// invariant guarantees this for masks produced by DiffWritePlanes). slot
+// is the caller's dense line index — in the replay engine, the shard
+// arena's slot, assigned in first-touch order — and replaces the
+// addr-keyed map lookup of RecordChanged on the plane-resident path.
+func (d *Dense) RecordSlotMasks(slot int, masks []uint64) {
+	d.ensureSlot(slot)
+	base := slot * d.cellsPerLine
+	d.s.Writes++
+	for w, m := range masks {
+		for ; m != 0; m &= m - 1 {
+			d.bump(base + w*32 + bits.TrailingZeros64(m))
+		}
+	}
+}
+
+// SlotCounts returns the live per-cell program counts of a slot-keyed
+// line, growing the store if the slot is new. Like LineCounts, the slice
+// aliases the recorder's storage and is valid only until the next
+// record call.
+func (d *Dense) SlotCounts(slot int) []uint32 {
+	d.ensureSlot(slot)
+	base := slot * d.cellsPerLine
+	return d.counts[base : base+d.cellsPerLine]
+}
+
 // Summary returns the current mergeable digest. The copy is detached:
 // later writes do not affect it.
 func (d *Dense) Summary() Summary { return d.s }
@@ -311,5 +356,16 @@ func (d *Dense) Reset() {
 	for i := range d.counts {
 		d.counts[i] = 0
 	}
-	d.s = Summary{Cells: uint64(len(d.slots) * d.cellsPerLine)}
+	d.s = Summary{Cells: uint64(d.Lines() * d.cellsPerLine)}
+}
+
+// Clear drops the line footprint as well as the counts but keeps the
+// allocated capacity, so a full simulator reset reuses the count array
+// instead of reallocating it. Slot-keyed callers reassign slots from 0
+// after a Clear (the sim arena resets its index the same way).
+func (d *Dense) Clear() {
+	d.counts = d.counts[:0]
+	d.nSlots = 0
+	clear(d.slots)
+	d.s = Summary{}
 }

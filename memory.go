@@ -1,7 +1,9 @@
 package wlcrc
 
 import (
+	"wlcrc/internal/arena"
 	"wlcrc/internal/core"
+	"wlcrc/internal/coset"
 	"wlcrc/internal/pcm"
 	"wlcrc/internal/prng"
 )
@@ -65,10 +67,14 @@ func WithMemEnergy(em pcm.EnergyModel) MemOption {
 // the Table II device model, and can read back (decode) any line.
 // Memory is not safe for concurrent use.
 //
-// The write path is allocation-free in steady state: encoding targets a
-// reusable scratch buffer that swaps roles with the stored line on every
-// write, and the compression-flag convention is resolved once at
-// construction.
+// Lines are stored plane-native whenever the scheme supports it: each
+// line is a flat run of bit-plane words in a contiguous arena,
+// addressed by an open slot index, and the scheme encodes and decodes
+// the planes directly — no per-write cell pack/unpack and no map
+// lookup. Counter-keyed schemes (VCC-n, Enc) keep the scalar
+// map-of-cell-vectors store. Either way the write path is
+// allocation-free in steady state and the compression-flag convention
+// is resolved once at construction.
 type Memory struct {
 	scheme     Scheme
 	compressed func([]pcm.State) bool
@@ -77,6 +83,12 @@ type Memory struct {
 	energy     pcm.EnergyModel
 	disturb    pcm.DisturbModel
 	cells      map[uint64][]pcm.State
+	// Plane-native storage (nil planeEnc selects the scalar path).
+	planeEnc     core.PlaneScheme
+	planeGate    func([]uint64) bool
+	lines        *arena.Lines
+	planeScratch []uint64
+	masks        []uint64
 	// ctrs is the per-line write-counter store counter-keyed schemes
 	// (VCC-n, Enc) encode and decode against; nil for ordinary schemes.
 	ctrs    map[uint64]uint64
@@ -95,13 +107,22 @@ func NewMemory(scheme Scheme, opts ...MemOption) *Memory {
 		scheme:  scheme,
 		energy:  pcm.DefaultEnergy(),
 		disturb: pcm.DefaultDisturb(),
-		cells:   make(map[uint64][]pcm.State),
-		scratch: make([]pcm.State, scheme.TotalCells()),
-		changed: make([]bool, scheme.TotalCells()),
 	}
 	m.compressed = core.CompressedWriteFunc(scheme)
 	m.encodeCtr = core.EncodeCtrFunc(scheme)
 	m.decodeCtr = core.DecodeCtrFunc(scheme)
+	if ps, ok := core.PlaneCodec(scheme); ok {
+		stride := coset.PlaneWords(scheme.TotalCells())
+		m.planeEnc = ps
+		m.planeGate = core.CompressedWritePlanesFunc(scheme)
+		m.lines = arena.New(stride, 0)
+		m.planeScratch = make([]uint64, stride)
+		m.masks = make([]uint64, stride/2)
+	} else {
+		m.cells = make(map[uint64][]pcm.State)
+		m.scratch = make([]pcm.State, scheme.TotalCells())
+		m.changed = make([]bool, scheme.TotalCells())
+	}
 	if core.UsesCounters(scheme) {
 		m.ctrs = make(map[uint64]uint64)
 	}
@@ -116,6 +137,9 @@ func (m *Memory) Scheme() Scheme { return m.scheme }
 
 // Write stores data at the given line address and returns its cost.
 func (m *Memory) Write(addr uint64, data Line) WriteInfo {
+	if m.planeEnc != nil {
+		return m.writePlanes(addr, data)
+	}
 	old, ok := m.cells[addr]
 	if !ok {
 		old = core.InitialCells(m.scheme.TotalCells())
@@ -156,14 +180,53 @@ func (m *Memory) Write(addr uint64, data Line) WriteInfo {
 	return info
 }
 
+// writePlanes is Write on plane-native storage: one slot probe, a
+// plane-resident encode into the reusable scratch, the XOR-diff energy
+// and disturbance charges, and a single plane copy to commit.
+func (m *Memory) writePlanes(addr uint64, data Line) WriteInfo {
+	slot, _ := m.lines.Ensure(addr)
+	old := m.lines.Planes(slot)
+	next := m.planeScratch
+	m.lineBuf = data
+	m.planeEnc.EncodePlanesInto(next, old, &m.lineBuf)
+	ws := m.energy.DiffWriteMasks(old, next, m.masks, m.scheme.DataCells())
+	var sampler pcm.Sampler
+	if m.rnd != nil {
+		sampler = m.rnd
+	}
+	ds := m.disturb.CountDisturbMasks(next, m.masks, m.scheme.TotalCells(), m.scheme.DataCells(), sampler)
+	copy(old, next)
+
+	info := WriteInfo{
+		EnergyPJ:      ws.Energy(),
+		UpdatedCells:  ws.Updated(),
+		DisturbErrors: ds.Errors(),
+		Compressed:    m.planeGate(next),
+	}
+	m.stats.Writes++
+	m.stats.EnergyPJ += info.EnergyPJ
+	m.stats.UpdatedCells += info.UpdatedCells
+	m.stats.DisturbErrors += info.DisturbErrors
+	if info.Compressed {
+		m.stats.CompressedWrites++
+	}
+	return info
+}
+
 // Read decodes and returns the line at addr. Unwritten lines read as
 // zero.
 func (m *Memory) Read(addr uint64) Line {
+	var l Line
+	if m.planeEnc != nil {
+		if slot, ok := m.lines.Lookup(addr); ok {
+			m.planeEnc.DecodePlanesInto(m.lines.Planes(slot), &l)
+		}
+		return l
+	}
 	cells, ok := m.cells[addr]
 	if !ok {
 		return Line{}
 	}
-	var l Line
 	var ctr uint64
 	if m.ctrs != nil {
 		ctr = m.ctrs[addr]
@@ -174,12 +237,21 @@ func (m *Memory) Read(addr uint64) Line {
 
 // Written reports whether addr has ever been written.
 func (m *Memory) Written(addr uint64) bool {
+	if m.planeEnc != nil {
+		_, ok := m.lines.Lookup(addr)
+		return ok
+	}
 	_, ok := m.cells[addr]
 	return ok
 }
 
 // Lines returns the number of distinct lines written.
-func (m *Memory) Lines() int { return len(m.cells) }
+func (m *Memory) Lines() int {
+	if m.planeEnc != nil {
+		return m.lines.Len()
+	}
+	return len(m.cells)
+}
 
 // Stats returns the accumulated write statistics.
 func (m *Memory) Stats() MemStats { return m.stats }
