@@ -64,6 +64,17 @@
 // creeping back into the hot loop).
 //
 //	go test -run xxx -bench BenchmarkReplayStorage -benchtime 2x -count 3 . | benchguard -arena
+//
+// With -from-store <dir> the measured numbers come from a pcmserver
+// result store instead of bench output: the latest point of the named
+// series (-series, defaulting to the guard mode's name — encode,
+// replay, ingest, faultfree or arena) supplies the key→value map the
+// mode would otherwise parse from `go test -bench` text. A CI box that
+// pushes its bench runs to the server over POST /v1/series can then
+// gate any recorded run, or re-gate yesterday's, without keeping the
+// raw bench logs around:
+//
+//	benchguard -ingest -from-store /var/lib/pcmserver -series ingest
 package main
 
 import (
@@ -78,6 +89,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"wlcrc/internal/store"
 )
 
 type baseline struct {
@@ -172,6 +185,8 @@ func main() {
 		ingest    = flag.Bool("ingest", false, "guard the trace-decode front-end (mapped/reader decode-cost ratio from BenchmarkIngest) instead of the encode series")
 		faultFree = flag.Bool("faultfree", false, "guard the fault model's zero-cost-when-disabled claim (BenchmarkEngineRunFaults/off over BenchmarkEngineRun) instead of the encode series")
 		arena     = flag.Bool("arena", false, "guard the plane-native line store's speedup (BenchmarkReplayStorage scalar/planes ratio) instead of the encode series")
+		fromStore = flag.String("from-store", "", "pcmserver result-store directory: gate the latest point of a recorded series instead of parsing bench output")
+		series    = flag.String("series", "", "series name to read with -from-store (default: the guard mode's name — encode, replay, ingest, faultfree or arena)")
 	)
 	flag.Parse()
 
@@ -184,19 +199,19 @@ func main() {
 		log.Fatal(err)
 	}
 	if *replay {
-		guardReplay(base, openInput(), *replayTol)
+		guardReplay(base, measured(*fromStore, *series, "replay", parseReplayBench), *replayTol)
 		return
 	}
 	if *ingest {
-		guardIngest(base, openInput())
+		guardIngest(base, measured(*fromStore, *series, "ingest", parseIngestBench))
 		return
 	}
 	if *faultFree {
-		guardFaultFree(base, openInput())
+		guardFaultFree(base, measured(*fromStore, *series, "faultfree", parseFaultFreeBench))
 		return
 	}
 	if *arena {
-		guardArena(base, openInput())
+		guardArena(base, measured(*fromStore, *series, "arena", parseArenaBench))
 		return
 	}
 	if len(base.EncodePR3) == 0 {
@@ -217,10 +232,7 @@ func main() {
 		return
 	}
 
-	got, err := parseBench(openInput())
-	if err != nil {
-		log.Fatal(err)
-	}
+	got := measured(*fromStore, *series, "encode", parseBench)
 	if len(got) == 0 {
 		log.Fatal("no BenchmarkEncodeInto results in input")
 	}
@@ -292,16 +304,55 @@ func openInput() io.Reader {
 	return f
 }
 
+// measured resolves the mode's measured key→value map: parsed from
+// bench output (stdin or a file) by default, or — with -from-store —
+// the latest point of a series recorded in a pcmserver result store.
+// Store series carry exactly the map the parser would produce (the
+// server's POST /v1/series contract), so the gates downstream cannot
+// tell the two sources apart. name defaults to the mode's own name.
+func measured(dir, name, mode string, parse func(io.Reader) (map[string]float64, error)) map[string]float64 {
+	if dir == "" {
+		m, err := parse(openInput())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+	if name == "" {
+		name = mode
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	pts := st.Series(name)
+	if len(pts) == 0 {
+		have := strings.Join(st.SeriesNames(), ", ")
+		if have == "" {
+			have = "none"
+		}
+		log.Fatalf("store %s has no series %q (recorded series: %s)", dir, name, have)
+	}
+	// Latest observation wins; points carry their submission timestamp,
+	// with append order breaking ties (and ordering unstamped points).
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.Unix >= best.Unix {
+			best = p
+		}
+	}
+	fmt.Printf("benchguard: gating series %q from %s (%d point(s), latest of job %q)\n",
+		name, dir, len(pts), best.JobID)
+	return best.Values
+}
+
 // guardReplay enforces the routed-dispatch baseline: the measured
 // parallel-over-serial replay ratio must not exceed the committed ratio
 // by more than tol (relative). It gates the PR 6 scaling series when the
 // input carries it, and falls back to the PR 4 serial/parallel pair for
 // older bench outputs.
-func guardReplay(base baseline, in io.Reader, tol float64) {
-	m, err := parseReplayBench(in)
-	if err != nil {
-		log.Fatal(err)
-	}
+func guardReplay(base baseline, m map[string]float64, tol float64) {
 	if bs := base.ReplayScaling; bs != nil && bs.Ratio != 0 {
 		gateKey := fmt.Sprintf("workers=%d", bs.GateWorkers)
 		serial, parallel := m["workers=1"], m[gateKey]
@@ -347,13 +398,9 @@ func gateRatio(serial, parallel, baseRatio float64, workers int, tol float64, se
 // zero-copy decode, batching lost, the mapping silently falling back).
 // No tolerance is applied: the baseline ratio sits well under the gate,
 // so the gate itself is the headroom.
-func guardIngest(base baseline, in io.Reader) {
+func guardIngest(base baseline, m map[string]float64) {
 	if base.Ingest == nil || base.Ingest.GateRatio == 0 {
 		log.Fatal("baseline has no ingest_pr7 series")
-	}
-	m, err := parseIngestBench(in)
-	if err != nil {
-		log.Fatal(err)
 	}
 	reader, mapped := m["reader"], m["mapped"]
 	if reader == 0 || mapped == 0 {
@@ -383,13 +430,9 @@ func guardIngest(base baseline, in io.Reader) {
 // fault-disabled write path (a map lookup that stopped compiling down
 // to a nil check, wear tracking created unconditionally, and so on).
 // The fault-enabled time is reported for context but never gated.
-func guardFaultFree(base baseline, in io.Reader) {
+func guardFaultFree(base baseline, m map[string]float64) {
 	if base.FaultFree == nil || base.FaultFree.GateRatio == 0 {
 		log.Fatal("baseline has no fault_free_pr8 series")
-	}
-	m, err := parseFaultFreeBench(in)
-	if err != nil {
-		log.Fatal(err)
 	}
 	plain, off := m["plain"], m["off"]
 	if plain == 0 || off == 0 {
@@ -415,13 +458,9 @@ func guardFaultFree(base baseline, in io.Reader) {
 // two runs share a process and a box, so the ratio never moves with
 // machine speed — only with the arena path's actual edge over the
 // per-write pack/unpack and map-lookup storage it replaced.
-func guardArena(base baseline, in io.Reader) {
+func guardArena(base baseline, m map[string]float64) {
 	if base.Arena == nil || base.Arena.GateRatio == 0 {
 		log.Fatal("baseline has no replay_arena_pr9 series")
-	}
-	m, err := parseArenaBench(in)
-	if err != nil {
-		log.Fatal(err)
 	}
 	planes, scalar := m["storage=planes"], m["storage=scalar"]
 	if planes == 0 || scalar == 0 {

@@ -20,11 +20,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"wlcrc/internal/exp"
 	"wlcrc/internal/hw"
@@ -57,7 +60,34 @@ func main() {
 		os.Exit(1)
 	}
 
+	// SIGINT/SIGTERM cancel the running replay cooperatively: the
+	// experiment panics with exp.Interrupted, recovered below into a
+	// partial report instead of the process dying mid-replay.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		intr, ok := r.(exp.Interrupted)
+		if !ok {
+			panic(r)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", intr)
+		if len(intr.Partial) > 0 {
+			t := stats.NewTable("scheme", "writes", "pJ/write", "cells/write", "disturb/write")
+			for _, m := range intr.Partial {
+				t.Row(m.Scheme, fmt.Sprintf("%d", m.Writes), m.AvgEnergy(), m.AvgUpdated(), m.AvgDisturb())
+			}
+			fmt.Printf("== Partial metrics of the interrupted replay (%s) ==\n%s\n", intr.Benchmark, t.String())
+		}
+		stopProf()
+		os.Exit(130)
+	}()
+
 	cfg := exp.DefaultConfig()
+	cfg.Context = ctx
 	cfg.WritesPerBenchmark = *writes
 	cfg.RandomWrites = *random
 	cfg.Seed = *seed

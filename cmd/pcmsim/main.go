@@ -60,12 +60,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"wlcrc"
@@ -245,11 +248,20 @@ func main() {
 			})
 		}
 	}
+	// SIGINT/SIGTERM cancel the replay cooperatively between batches:
+	// the loop below reports the partial metrics of everything replayed
+	// so far and pcmsim exits non-zero instead of dying mid-replay.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+
 	var totalWrites uint64
-	var failed bool
+	var failed, interrupted bool
 	start := time.Now()
 	var eng *sim.Engine
 	for _, ns := range sources {
+		if interrupted {
+			break
+		}
 		eng = sim.NewEngine(opts, schemes...)
 		src := ns.src
 		if *encrypted {
@@ -266,13 +278,19 @@ func main() {
 			}
 			src = &timingTap{src: src, timers: timers}
 		}
-		if err := eng.Run(src, 0); err != nil {
+		if err := eng.RunContext(ctx, src, 0); err != nil {
 			// A failed replay — an aborted -failfast run, a degraded
-			// graceful one, a trace decode error — still has merged
-			// partial metrics worth reporting: Snapshot drains whatever
-			// the shards got through before the stop. Report, keep going,
-			// and exit non-zero at the end.
-			log.Printf("%s: %v (reporting partial metrics)", ns.name, err)
+			// graceful one, a trace decode error, a SIGINT — still has
+			// merged partial metrics worth reporting: Snapshot drains
+			// whatever the shards got through before the stop. Report,
+			// keep going (or stop, on interrupt), and exit non-zero at
+			// the end.
+			if ctx.Err() != nil {
+				log.Printf("%s: interrupted (reporting partial metrics)", ns.name)
+				interrupted = true
+			} else {
+				log.Printf("%s: %v (reporting partial metrics)", ns.name, err)
+			}
 			failed = true
 		}
 		for _, m := range eng.Snapshot() {

@@ -65,10 +65,13 @@ func EnduranceStudy(cfg Config) ([]EnduranceRow, *stats.Table) {
 	}
 	e := sim.NewEngine(opts, schemes...)
 	gen := cfg.source(workload.NewGenerator(p, fp, cfg.Seed))
-	if err := e.Run(&workload.Limited{Src: gen, N: cfg.WritesPerBenchmark}, 0); err != nil {
+	if err := e.RunContext(cfg.ctx(), &workload.Limited{Src: gen, N: cfg.WritesPerBenchmark}, 0); err != nil {
 		// Accelerated wear is meant to walk schemes off the end of their
 		// service life; a degraded ending is the study's data, anything
-		// else is a bug.
+		// else — short of a SIGINT-driven cancellation — is a bug.
+		if cfg.ctx().Err() != nil {
+			panic(Interrupted{Benchmark: "endurance", Partial: e.Snapshot(), Err: cfg.ctx().Err()})
+		}
 		if !errors.As(err, new(*sim.DegradedError)) {
 			panic(fmt.Sprintf("exp: endurance: %v", err))
 		}

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"wlcrc/internal/core"
@@ -63,6 +64,54 @@ type Config struct {
 	// Progress, when non-nil, receives live dispatcher reports from
 	// every replay the experiments run (see sim.Options.Progress).
 	Progress func(sim.Progress)
+	// Context, when non-nil, cancels experiment replays cooperatively:
+	// when it fires, the running experiment panics with an Interrupted
+	// value carrying the partial metrics of the replay it stopped in —
+	// cmd/experiments recovers it into a partial report instead of
+	// dying mid-replay on SIGINT.
+	Context context.Context
+}
+
+// Interrupted is the panic value an experiment raises when its
+// Config.Context is canceled mid-replay. It carries the metrics of the
+// prefix that replayed before the stop; callers recover it at the top
+// of the run (the experiment runners' established failure mode is
+// panic, so cancellation travels the same way).
+type Interrupted struct {
+	// Benchmark names the workload whose replay was interrupted.
+	Benchmark string
+	// Partial holds the interrupted replay's per-scheme snapshot.
+	Partial []sim.Metrics
+	// Err is the context's error (context.Canceled on SIGINT).
+	Err error
+}
+
+// Error implements error so a recovered Interrupted prints cleanly.
+func (i Interrupted) Error() string {
+	return fmt.Sprintf("exp: %s interrupted: %v", i.Benchmark, i.Err)
+}
+
+// ctx resolves the configured context.
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
+// replay drains src through the engine, panicking with Interrupted
+// (carrying the engine's partial snapshot) when cfg.Context fires and
+// with a plain message on any other error — the experiments' uniform
+// replay path, so every figure honors cancellation.
+func replay(cfg Config, bench string, e *sim.Engine, src trace.Source) {
+	err := e.RunContext(cfg.ctx(), src, 0)
+	if err == nil {
+		return
+	}
+	if cfg.ctx().Err() != nil {
+		panic(Interrupted{Benchmark: bench, Partial: e.Snapshot(), Err: cfg.ctx().Err()})
+	}
+	panic(fmt.Sprintf("exp: %s: %v", bench, err))
 }
 
 // DefaultConfig returns laptop-scale defaults.
@@ -105,15 +154,10 @@ func runMatrix(cfg Config, profiles []workload.Profile, schemes []core.Scheme) [
 		s := sim.NewEngine(simOptions(cfg), schemes...)
 		gen := cfg.source(workload.NewGenerator(p, cfg.Footprint, cfg.Seed))
 		if w := cfg.warmup(p); w > 0 {
-			if err := s.Run(&workload.Limited{Src: gen, N: w}, 0); err != nil {
-				panic(fmt.Sprintf("exp: %s warmup: %v", p.Name, err))
-			}
+			replay(cfg, p.Name+" warmup", s, &workload.Limited{Src: gen, N: w})
 			s.ResetMetrics()
 		}
-		src := &workload.Limited{Src: gen, N: cfg.WritesPerBenchmark}
-		if err := s.Run(src, 0); err != nil {
-			panic(fmt.Sprintf("exp: %s: %v", p.Name, err))
-		}
+		replay(cfg, p.Name, s, &workload.Limited{Src: gen, N: cfg.WritesPerBenchmark})
 		for _, m := range s.Metrics() {
 			out = append(out, BenchResult{Benchmark: p.Name, HMI: p.HMI, Scheme: m.Scheme, M: m})
 		}
@@ -153,14 +197,10 @@ func runRandom(cfg Config, schemes []core.Scheme) []sim.Metrics {
 	p := workload.RandomProfile()
 	gen := cfg.source(workload.NewGenerator(p, cfg.Footprint, cfg.Seed))
 	if w := cfg.warmup(p); w > 0 {
-		if err := s.Run(&workload.Limited{Src: gen, N: w}, 0); err != nil {
-			panic(fmt.Sprintf("exp: random warmup: %v", err))
-		}
+		replay(cfg, "random warmup", s, &workload.Limited{Src: gen, N: w})
 		s.ResetMetrics()
 	}
-	if err := s.Run(&workload.Limited{Src: gen, N: cfg.RandomWrites}, 0); err != nil {
-		panic(fmt.Sprintf("exp: random: %v", err))
-	}
+	replay(cfg, "random", s, &workload.Limited{Src: gen, N: cfg.RandomWrites})
 	return s.Metrics()
 }
 

@@ -1,0 +1,146 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"wlcrc/internal/sim"
+	"wlcrc/internal/trace"
+	"wlcrc/internal/workload"
+)
+
+// run executes one job: every workload in spec order replays on a fresh
+// engine (fresh scheme instances too, like pcmsim's per-source loop),
+// with progress reports and periodic snapshots fanned out to the job's
+// subscribers. The returned results are partial when ctx fires or a
+// replay errors mid-sweep — whatever Snapshot() drained stays attached
+// to the job.
+//
+// The engine options come from Spec.simOptions, which mirrors
+// wlcrc.Replay field for field; the determinism test in internal/server
+// holds the two paths bit-identical.
+func (m *Manager) run(ctx context.Context, j *Job) (results []Result, degraded bool, err error) {
+	spec := j.Spec()
+	for _, name := range spec.workloadNames() {
+		if ctx.Err() != nil {
+			return results, degraded, ctx.Err()
+		}
+		res, deg, runErr := m.runWorkload(ctx, j, spec, name)
+		results = append(results, res)
+		degraded = degraded || deg
+		if runErr != nil {
+			return results, degraded, runErr
+		}
+	}
+	return results, degraded, nil
+}
+
+// runWorkload replays one workload (or the trace file) of the job.
+func (m *Manager) runWorkload(ctx context.Context, j *Job, spec Spec, name string) (Result, bool, error) {
+	res := Result{Workload: name}
+
+	schemes, err := spec.schemes()
+	if err != nil {
+		return res, false, err // unreachable: Normalize validated them
+	}
+
+	src, max, closeSrc, err := openSource(spec, name)
+	if err != nil {
+		return res, false, err
+	}
+	if closeSrc != nil {
+		defer closeSrc()
+	}
+
+	opts := spec.simOptions()
+	opts.ProgressInterval = m.cfg.ProgressInterval
+	var lastDispatched uint64
+	opts.Progress = func(p sim.Progress) {
+		// Fold the dispatch delta into the manager-wide replayed counter
+		// (the /metrics writes/s numerator), then fan out. The callback
+		// runs on the dispatcher goroutine — keep it light and do not
+		// retain p.QueueDepth.
+		m.replayed.Add(p.Dispatched - lastDispatched)
+		lastDispatched = p.Dispatched
+		j.setProgress(ProgressInfo{
+			Workload:   name,
+			Dispatched: p.Dispatched,
+			ElapsedMS:  p.Elapsed.Milliseconds(),
+			PerSecond:  p.Rate(),
+			Workers:    p.Workers,
+			Done:       p.Done,
+		})
+	}
+
+	eng := sim.NewEngine(opts, schemes...)
+
+	// Periodic live snapshots: Engine.Snapshot is safe during Run, so a
+	// ticker goroutine can merge and publish mid-replay state without
+	// touching the dispatch path.
+	snapDone := make(chan struct{})
+	go func() {
+		t := time.NewTicker(m.cfg.SnapshotInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-snapDone:
+				return
+			case <-t.C:
+				j.publish(Event{Type: "snapshot", Workload: name, Snapshot: eng.Snapshot()})
+			}
+		}
+	}()
+	runErr := eng.RunContext(ctx, src, max)
+	close(snapDone)
+
+	// Whatever happened, the merged prefix is the workload's result.
+	res.Metrics = eng.Snapshot()
+
+	if runErr != nil {
+		var deg *sim.DegradedError
+		if errors.As(runErr, &deg) {
+			return res, true, runErr
+		}
+		return res, false, runErr
+	}
+	return res, false, nil
+}
+
+// openSource builds the workload's trace source: the trace file
+// (mapped, with a reader fallback) or the named synthetic generator,
+// optionally encrypted, budgeted to spec.Writes for synthetic streams.
+// max is the engine-side request bound (0 = drain the source).
+func openSource(spec Spec, name string) (src trace.Source, max int, closeFn func(), err error) {
+	if spec.Trace != "" {
+		if mp, merr := trace.OpenMapped(spec.Trace); merr == nil {
+			// A torn trace tail replays its complete prefix (mp.Err() is
+			// advisory), same as pcmsim.
+			src, closeFn = mp, func() { mp.Close() }
+		} else {
+			f, oerr := os.Open(spec.Trace)
+			if oerr != nil {
+				return nil, 0, nil, fmt.Errorf("jobs: %w", oerr)
+			}
+			rd, rerr := trace.NewReader(f)
+			if rerr != nil {
+				f.Close()
+				return nil, 0, nil, fmt.Errorf("jobs: %w", rerr)
+			}
+			src, closeFn = &trace.ReaderSource{R: rd}, func() { f.Close() }
+		}
+	} else {
+		p, perr := profileFor(name)
+		if perr != nil {
+			return nil, 0, nil, perr
+		}
+		src = workload.NewGenerator(p, spec.Footprint, spec.Seed)
+		max = spec.Writes
+	}
+	if spec.Encrypted {
+		src = workload.Encrypted(src, spec.EncryptionKey)
+	}
+	return src, max, closeFn, nil
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"wlcrc/internal/core"
+	"wlcrc/internal/fault"
+	"wlcrc/internal/workload"
+)
+
+// TestMetricsJSONRoundTrip is the stable-schema guarantee behind the
+// pcmserver API and result store: a fully populated Metrics — histograms,
+// wear digest, fault stats from a real fault-enabled replay — survives
+// encoding/json byte-for-byte (Go emits floats with round-trip
+// precision, every field is exported, and the fixed-array types carry
+// their own MarshalJSON).
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	cfg := core.DefaultConfig()
+	var schemes []core.Scheme
+	for _, name := range []string{"Baseline", "WLCRC-16"} {
+		s, err := core.NewScheme(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes = append(schemes, s)
+	}
+	opts := DefaultOptions()
+	opts.TrackWear = true
+	opts.Seed = 3
+	opts.Faults = fault.Config{Enabled: true, CellEndurance: 50, EnduranceSpread: 0.5}
+	eng := NewEngine(opts, schemes...)
+	p, _ := workload.ProfileByName("gcc")
+	src := &workload.Limited{Src: workload.NewGenerator(p, 64, 3), N: 2000}
+	if err := eng.Run(src, 0); err != nil {
+		if _, ok := err.(*DegradedError); !ok {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range eng.Metrics() {
+		if m.Writes == 0 || m.EnergyHist.N == 0 {
+			t.Fatalf("replay produced hollow metrics: %+v", m)
+		}
+		if m.Wear.Updates == 0 {
+			t.Fatalf("wear digest empty despite TrackWear: %+v", m.Wear)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Metrics
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back, m) {
+			t.Errorf("%s: JSON round trip changed the metrics:\n got %+v\nwant %+v", m.Scheme, back, m)
+		}
+	}
+}
+
+// TestFaultStatsJSONRoundTrip covers fault.Stats alone (every field
+// set), complementing the replay-populated pass above.
+func TestFaultStatsJSONRoundTrip(t *testing.T) {
+	s := fault.Stats{
+		StuckCells: 1, WearStuck: 2, InjectedStuck: 3, LinesTouched: 4,
+		Detected: 5, Retries: 6, RetriedOK: 7, CorrectedWrites: 8,
+		CorrectedBits: 9, RetiredLines: 10, RemapHits: 11,
+		Uncorrectable: 12, FirstRetireSeq: 13,
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back fault.Stats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Errorf("round trip changed fault stats:\n got %+v\nwant %+v", back, s)
+	}
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// histogramJSON is the wire schema of Histogram: stable lowercase keys,
+// and Counts as a variable-length array with trailing zero buckets
+// trimmed — most histograms populate a handful of low buckets, so the
+// fixed [64]uint64 would serialize as a wall of zeros in every API
+// response and store record.
+type histogramJSON struct {
+	Width  float64  `json:"width"`
+	Counts []uint64 `json:"counts,omitempty"`
+	Over   uint64   `json:"over,omitempty"`
+	N      uint64   `json:"n"`
+	Sum    float64  `json:"sum"`
+	Max    float64  `json:"max"`
+}
+
+// MarshalJSON implements json.Marshaler with the stable trimmed schema.
+// The value receiver matters: Metrics embeds Histogram by value, and
+// encoding/json only consults value-receiver methods for
+// non-addressable fields.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	last := -1
+	for i, c := range h.Counts {
+		if c != 0 {
+			last = i
+		}
+	}
+	var counts []uint64
+	if last >= 0 {
+		counts = h.Counts[:last+1]
+	}
+	return json.Marshal(histogramJSON{
+		Width:  h.Width,
+		Counts: counts,
+		Over:   h.Over,
+		N:      h.N,
+		Sum:    h.Sum,
+		Max:    h.Max,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring the fixed-size
+// bucket array from the trimmed wire form.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Counts) > HistogramBuckets {
+		return fmt.Errorf("stats: histogram has %d count buckets, max %d", len(w.Counts), HistogramBuckets)
+	}
+	*h = Histogram{Width: w.Width, Over: w.Over, N: w.N, Sum: w.Sum, Max: w.Max}
+	copy(h.Counts[:], w.Counts)
+	return nil
+}

@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(1024)
+	for _, v := range []float64{0, 100, 2047, 3000, 70000, 1e6, 512.5} {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire form trims trailing zero buckets: the highest populated
+	// bucket here is 3000/1024 = 2, so "counts" carries 3 entries (0,
+	// 100 and 512.5 in bucket 0; 2047 in bucket 1; 3000 in bucket 2; the
+	// rest overflow), not 64.
+	if s := string(data); !strings.Contains(s, `"counts":[3,1,1]`) {
+		t.Errorf("wire form = %s, want trimmed counts [3,1,1]", s)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, h) {
+		t.Errorf("round trip changed the histogram:\n got %+v\nwant %+v", back, h)
+	}
+}
+
+func TestHistogramJSONZeroValue(t *testing.T) {
+	var h Histogram
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, h) {
+		t.Errorf("zero histogram round trip = %+v", back)
+	}
+}
+
+func TestHistogramJSONRejectsOversizedCounts(t *testing.T) {
+	var h Histogram
+	data := []byte(`{"width":1,"counts":[` + strings.TrimSuffix(strings.Repeat("1,", 65), ",") + `]}`)
+	if err := json.Unmarshal(data, &h); err == nil {
+		t.Fatal("accepted 65 count buckets")
+	}
+}

@@ -1,0 +1,345 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// segmentPrefix / segmentSuffix name the append-only files inside a
+// store directory: segment-000001.jsonl, segment-000002.jsonl, ...
+// Every Open starts a fresh segment lazily on its first write and never
+// appends to an old one, so a segment torn by a crash can only ever be
+// torn at its very end.
+const (
+	segmentPrefix = "segment-"
+	segmentSuffix = ".jsonl"
+)
+
+// defaultSegmentBytes rotates the active segment once it grows past
+// this size, bounding the blast radius of a corrupt file and keeping
+// individual files greppable.
+const defaultSegmentBytes = 8 << 20
+
+// envelope is the one-line JSON frame every record travels in. T tags
+// the payload ("job" or "series"); unknown tags are skipped on read so
+// future record kinds do not break old readers.
+type envelope struct {
+	T      string       `json:"t"`
+	Job    *JobRecord   `json:"job,omitempty"`
+	Series *SeriesPoint `json:"series,omitempty"`
+}
+
+// JSONL is the stdlib-only Store implementation: append-only JSONL
+// segments plus an in-memory index rebuilt by scanning them on Open.
+// Writes append one envelope line and update the index under one lock;
+// reads serve from the index alone.
+type JSONL struct {
+	dir string
+
+	mu        sync.Mutex
+	file      *os.File
+	w         *bufio.Writer
+	fileBytes int64
+	nextSeg   int
+	maxBytes  int64
+
+	jobs     map[string]JobRecord
+	jobOrder []string // first-seen order
+	series   map[string][]SeriesPoint
+
+	writes uint64
+	closed bool
+}
+
+// Open loads (or creates) a JSONL store under dir. Existing segments
+// are scanned oldest-first to rebuild the index; a truncated or
+// garbage final line — the signature of a crash mid-append — is
+// tolerated and skipped, while corruption anywhere else is reported.
+func Open(dir string) (*JSONL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &JSONL{
+		dir:      dir,
+		maxBytes: defaultSegmentBytes,
+		jobs:     make(map[string]JobRecord),
+		series:   make(map[string][]SeriesPoint),
+		nextSeg:  1,
+	}
+	segs, err := s.segments()
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range segs {
+		if err := s.load(seg); err != nil {
+			return nil, err
+		}
+	}
+	if n := len(segs); n > 0 {
+		// Segment numbers are monotonic; never reuse (or append to) an
+		// existing file, so old tails stay immutable.
+		if num, ok := segmentNumber(segs[n-1]); ok {
+			s.nextSeg = num + 1
+		}
+	}
+	return s, nil
+}
+
+// segments returns the store's segment paths in numeric order.
+func (s *JSONL) segments() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var segs []string
+	for _, e := range ents {
+		name := e.Name()
+		if _, ok := segmentNumber(name); ok {
+			segs = append(segs, filepath.Join(s.dir, name))
+		}
+	}
+	sort.Strings(segs) // zero-padded numbers sort lexically
+	return segs, nil
+}
+
+// segmentNumber extracts the numeric part of a segment file name.
+func segmentNumber(path string) (int, bool) {
+	name := filepath.Base(path)
+	if len(name) <= len(segmentPrefix)+len(segmentSuffix) ||
+		name[:len(segmentPrefix)] != segmentPrefix ||
+		name[len(name)-len(segmentSuffix):] != segmentSuffix {
+		return 0, false
+	}
+	var n int
+	if _, err := fmt.Sscanf(name[len(segmentPrefix):len(name)-len(segmentSuffix)], "%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// load replays one segment into the index. The final line of a segment
+// is allowed to be torn: every segment was once the active segment of
+// some process, and a crash mid-append leaves exactly one truncated
+// line at its end (reopens always start a new segment, so the torn
+// tail stays where the crash left it). Recovery means keeping every
+// complete record before it; garbage anywhere else is a hard error.
+func (s *JSONL) load(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			if lastNonEmpty(lines, i) {
+				// Torn tail from a crash mid-append: everything before it
+				// is intact, so recover by dropping just this line.
+				return nil
+			}
+			return fmt.Errorf("store: %s line %d: %w", filepath.Base(path), i+1, err)
+		}
+		s.apply(env)
+	}
+	return nil
+}
+
+// lastNonEmpty reports whether lines[i] is the final line with content.
+func lastNonEmpty(lines [][]byte, i int) bool {
+	for _, l := range lines[i+1:] {
+		if len(bytes.TrimSpace(l)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// apply folds one decoded envelope into the index.
+func (s *JSONL) apply(env envelope) {
+	switch env.T {
+	case "job":
+		if env.Job == nil {
+			return
+		}
+		if _, seen := s.jobs[env.Job.ID]; !seen {
+			s.jobOrder = append(s.jobOrder, env.Job.ID)
+		}
+		s.jobs[env.Job.ID] = *env.Job
+	case "series":
+		if env.Series == nil {
+			return
+		}
+		s.series[env.Series.Name] = append(s.series[env.Series.Name], *env.Series)
+	}
+}
+
+// append writes one envelope line to the active segment, rotating
+// first when the segment is full. Callers hold s.mu.
+func (s *JSONL) append(env envelope) error {
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	line, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.file == nil || s.fileBytes+int64(len(line))+1 > s.maxBytes {
+		if err := s.rotate(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.w.Write(line); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Flush per record: a record acknowledged to a client must survive a
+	// process exit (OS durability is enough for a simulation result
+	// store; add fsync here if the backend ever holds source data).
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.fileBytes += int64(len(line)) + 1
+	s.writes++
+	return nil
+}
+
+// rotate closes the active segment and opens the next one.
+func (s *JSONL) rotate() error {
+	if s.file != nil {
+		s.w.Flush()
+		s.file.Close()
+	}
+	path := filepath.Join(s.dir, fmt.Sprintf("%s%06d%s", segmentPrefix, s.nextSeg, segmentSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.nextSeg++
+	s.file = f
+	s.w = bufio.NewWriter(f)
+	s.fileBytes = 0
+	return nil
+}
+
+// PutJob implements Store.
+func (s *JSONL) PutJob(rec JobRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(envelope{T: "job", Job: &rec}); err != nil {
+		return err
+	}
+	s.apply(envelope{T: "job", Job: &rec})
+	return nil
+}
+
+// Job implements Store.
+func (s *JSONL) Job(id string) (JobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	return rec, ok
+}
+
+// Jobs implements Store.
+func (s *JSONL) Jobs() []JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobRecord, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Results implements Store.
+func (s *JSONL) Results(q Query) []ResultRow {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rows []ResultRow
+	for _, id := range s.jobOrder {
+		for _, row := range flatten(s.jobs[id]) {
+			if q.Match(row) {
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}
+
+// PutSeries implements Store.
+func (s *JSONL) PutSeries(p SeriesPoint) error {
+	if p.Name == "" {
+		return fmt.Errorf("store: series point needs a name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(envelope{T: "series", Series: &p}); err != nil {
+		return err
+	}
+	s.apply(envelope{T: "series", Series: &p})
+	return nil
+}
+
+// Series implements Store.
+func (s *JSONL) Series(name string) []SeriesPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pts := s.series[name]
+	out := make([]SeriesPoint, len(pts))
+	copy(out, pts)
+	return out
+}
+
+// SeriesNames implements Store.
+func (s *JSONL) SeriesNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.series))
+	for n := range s.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Writes returns the number of records appended by this process — the
+// store-writes counter behind the server's /metrics endpoint.
+func (s *JSONL) Writes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
+}
+
+// Close implements Store.
+func (s *JSONL) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.file != nil {
+		if err := s.w.Flush(); err != nil {
+			s.file.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := s.file.Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+var _ Store = (*JSONL)(nil)

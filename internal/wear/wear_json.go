@@ -1,0 +1,65 @@
+package wear
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// summaryJSON is the wire schema of Summary: stable lowercase keys, and
+// the log2 wear-level buckets as a variable-length array with trailing
+// zero levels trimmed (a run's wear occupies a few adjacent levels of
+// the 33, so the fixed array would serialize mostly as zeros).
+type summaryJSON struct {
+	Writes       uint64   `json:"writes"`
+	Updates      uint64   `json:"updates"`
+	Cells        uint64   `json:"cells"`
+	CellsTouched uint64   `json:"cells_touched"`
+	MaxCellWear  uint32   `json:"max_cell_wear"`
+	Buckets      []uint64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with the stable trimmed schema.
+// Value receiver on purpose: Metrics embeds Summary by value and
+// encoding/json only sees value-receiver methods on non-addressable
+// fields.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	last := -1
+	for i, c := range s.Buckets {
+		if c != 0 {
+			last = i
+		}
+	}
+	var buckets []uint64
+	if last >= 0 {
+		buckets = s.Buckets[:last+1]
+	}
+	return json.Marshal(summaryJSON{
+		Writes:       s.Writes,
+		Updates:      s.Updates,
+		Cells:        s.Cells,
+		CellsTouched: s.CellsTouched,
+		MaxCellWear:  s.MaxCellWear,
+		Buckets:      buckets,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring the fixed-size
+// bucket array from the trimmed wire form.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var w summaryJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Buckets) > summaryBuckets {
+		return fmt.Errorf("wear: summary has %d wear buckets, max %d", len(w.Buckets), summaryBuckets)
+	}
+	*s = Summary{
+		Writes:       w.Writes,
+		Updates:      w.Updates,
+		Cells:        w.Cells,
+		CellsTouched: w.CellsTouched,
+		MaxCellWear:  w.MaxCellWear,
+	}
+	copy(s.Buckets[:], w.Buckets)
+	return nil
+}

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the pcmserver job daemon: boots the real binary
+# on a random port, submits a job over HTTP, streams its SSE feed, polls
+# it to done, queries the result rows and metrics, then restarts the
+# server on the same data directory and asserts the finished job is
+# still served — the restart-persistence contract of the JSONL store,
+# proven against the shipped binary rather than httptest.
+#
+#   ./scripts/server-smoke.sh [path-to-pcmserver-binary]
+#
+# Needs curl; everything else is POSIX-ish shell. Exits non-zero on the
+# first broken expectation.
+set -euo pipefail
+
+BIN=${1:-}
+if [ -z "$BIN" ]; then
+  go build -o /tmp/pcmserver-smoke ./cmd/pcmserver
+  BIN=/tmp/pcmserver-smoke
+fi
+
+WORK=$(mktemp -d)
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_server() {
+  "$BIN" -addr 127.0.0.1:0 -data "$WORK/store" -port-file "$WORK/port" \
+    -pool 2 -snapshot-interval 200ms >"$WORK/server.log" 2>&1 &
+  SRV_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$WORK/port" ] && break
+    sleep 0.1
+  done
+  [ -s "$WORK/port" ] || { echo "FAIL: server never wrote its port file"; cat "$WORK/server.log"; exit 1; }
+  BASE="http://127.0.0.1:$(cat "$WORK/port")"
+}
+
+stop_server() {
+  kill -TERM "$SRV_PID"
+  wait "$SRV_PID" || true
+  SRV_PID=""
+  rm -f "$WORK/port"
+}
+
+# The server pretty-prints its JSON, so every matcher tolerates
+# whitespace after the colon. Bodies are fetched into variables before
+# matching: under pipefail, `curl | grep -q` fails spuriously when grep
+# exits at the first match and curl takes the EPIPE.
+fetch() { # fetch <url-path>
+  curl -fsS "$BASE$1"
+}
+json_field() { # json_field <key> — first string value of "key" on stdin
+  sed -n "s/.*\"$1\": *\"\([^\"]*\)\".*/\1/p" | head -n 1
+}
+
+start_server
+echo "== server up at $BASE"
+
+fetch /healthz | grep '"status": *"ok"' >/dev/null || { echo "FAIL: healthz"; exit 1; }
+
+ID=$(curl -fsS -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' \
+  -d '{"label":"smoke","workload":"gcc","writes":2000,"schemes":["Baseline","WLCRC-16"],"series":"smoke"}' \
+  | json_field id)
+[ -n "$ID" ] || { echo "FAIL: submit returned no job id"; exit 1; }
+echo "== submitted job $ID"
+
+STATE=""
+for _ in $(seq 1 100); do
+  STATE=$(fetch "/v1/jobs/$ID" | json_field state)
+  [ "$STATE" = done ] && break
+  case "$STATE" in failed|canceled) echo "FAIL: job ended $STATE"; cat "$WORK/server.log"; exit 1;; esac
+  sleep 0.2
+done
+[ "$STATE" = done ] || { echo "FAIL: job never reached done (last state: $STATE)"; exit 1; }
+echo "== job done"
+
+# A finished job's SSE feed replays its terminal state and closes: one
+# done event carrying the full status.
+SSE=$(curl -fsS --max-time 10 "$BASE/v1/jobs/$ID/events")
+echo "$SSE" | grep '^event: done' >/dev/null \
+  || { echo "FAIL: SSE feed has no done event"; exit 1; }
+
+fetch "/v1/results?scheme=WLCRC-16&label=smoke" | grep '"scheme": *"WLCRC-16"' >/dev/null \
+  || { echo "FAIL: results query returned no WLCRC-16 row"; exit 1; }
+fetch /v1/series/smoke | grep '"job_id": *"'"$ID"'"' >/dev/null \
+  || { echo "FAIL: series endpoint has no point for the job"; exit 1; }
+fetch /metrics | grep '^pcmserver_jobs_completed_total 1$' >/dev/null \
+  || { echo "FAIL: metrics do not count the completed job"; exit 1; }
+echo "== results, series and metrics check out"
+
+# Restart on the same data directory: the finished job must come back
+# from the JSONL store, results and all.
+stop_server
+start_server
+echo "== server restarted at $BASE"
+
+fetch "/v1/jobs/$ID" | grep '"state": *"done"' >/dev/null \
+  || { echo "FAIL: restarted server lost the finished job"; exit 1; }
+fetch "/v1/results?job=$ID" | grep '"scheme": *"Baseline"' >/dev/null \
+  || { echo "FAIL: restarted server lost the result rows"; exit 1; }
+echo "== restart persistence holds"
+
+echo "PASS: pcmserver end-to-end smoke"
